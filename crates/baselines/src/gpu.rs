@@ -1,0 +1,122 @@
+//! Roofline model of the contest's embedded GPU (Jetson TX2 class).
+//!
+//! The GPU rows of Table 2 are published constants; this model makes
+//! the *mechanism* behind them reproducible: an embedded GPU wins on
+//! raw throughput (half-precision peak well above the FPGA's DSP
+//! array) but pays an order of magnitude more board power, so the
+//! energy-per-image comparison flips in the FPGA's favor — the paper's
+//! headline energy-efficiency claim.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple roofline model of an embedded GPU.
+///
+/// # Example
+///
+/// ```
+/// use codesign_baselines::GpuModel;
+///
+/// let tx2 = GpuModel::tx2();
+/// // Tiny-Yolo class workload: ~3.5 GMAC, ~60 MB of traffic.
+/// let lat = tx2.latency_ms(3.5e9, 60.0e6);
+/// assert!(lat > 1.0 && lat < 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Peak half-precision throughput in MAC/s.
+    pub peak_macs_per_s: f64,
+    /// DRAM bandwidth in bytes/s.
+    pub dram_bytes_per_s: f64,
+    /// Fraction of peak sustained by convolution kernels.
+    pub efficiency: f64,
+    /// Board power under load, watts.
+    pub load_power_w: f64,
+    /// Fixed per-frame overhead (kernel launches, preprocessing), ms.
+    pub frame_overhead_ms: f64,
+}
+
+impl GpuModel {
+    /// Jetson TX2 at the contest's 854 MHz GPU clock: ~1.33 TFLOP/s
+    /// fp16 (0.665 TMAC/s), 59.7 GB/s LPDDR4, ~35% sustained conv
+    /// efficiency, ~12 W board power.
+    pub fn tx2() -> Self {
+        Self {
+            peak_macs_per_s: 0.665e12,
+            dram_bytes_per_s: 59.7e9,
+            efficiency: 0.35,
+            load_power_w: 12.0,
+            frame_overhead_ms: 8.0,
+        }
+    }
+
+    /// Roofline latency of one frame: the slower of compute and memory,
+    /// plus fixed overhead.
+    pub fn latency_ms(&self, macs: f64, dram_bytes: f64) -> f64 {
+        let compute_s = macs / (self.peak_macs_per_s * self.efficiency);
+        let memory_s = dram_bytes / self.dram_bytes_per_s;
+        compute_s.max(memory_s) * 1e3 + self.frame_overhead_ms
+    }
+
+    /// Energy per frame in joules.
+    pub fn joules_per_image(&self, macs: f64, dram_bytes: f64) -> f64 {
+        self.load_power_w * self.latency_ms(macs, dram_bytes) * 1e-3
+    }
+}
+
+/// MAC and traffic estimates for the contest GPU entries' backbones on
+/// DAC-SDC-sized inputs: `(name, macs, dram_bytes, published_iou)`.
+pub fn contest_gpu_workloads() -> Vec<(&'static str, f64, f64, f64)> {
+    vec![
+        ("Yolo", 7.0e9, 120.0e6, 0.698),
+        ("Tiny-Yolo (2nd)", 5.6e9, 90.0e6, 0.691),
+        ("Tiny-Yolo (3rd)", 6.2e9, 95.0e6, 0.685),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx2_reproduces_contest_latency_band() {
+        // Published GPU latencies are 39.5-42.3 ms; the roofline with
+        // the contest workloads should land in that neighborhood.
+        let tx2 = GpuModel::tx2();
+        for (name, macs, bytes, _) in contest_gpu_workloads() {
+            let lat = tx2.latency_ms(macs, bytes);
+            assert!(
+                (20.0..70.0).contains(&lat),
+                "{name}: {lat} ms outside the plausible band"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_energy_per_image_matches_published_order() {
+        // Published: 0.44-0.53 J/pic.
+        let tx2 = GpuModel::tx2();
+        for (name, macs, bytes, _) in contest_gpu_workloads() {
+            let jpp = tx2.joules_per_image(macs, bytes);
+            assert!(
+                (0.2..0.9).contains(&jpp),
+                "{name}: {jpp} J/pic out of band"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_workloads_hit_the_bandwidth_roof() {
+        let tx2 = GpuModel::tx2();
+        // Tiny compute, huge traffic: latency tracks bytes/bandwidth.
+        let lat = tx2.latency_ms(1.0e6, 59.7e9 / 10.0);
+        assert!((lat - (100.0 + tx2.frame_overhead_ms)).abs() < 1.0);
+    }
+
+    #[test]
+    fn compute_bound_workloads_scale_with_macs() {
+        let tx2 = GpuModel::tx2();
+        let one = tx2.latency_ms(2.0e9, 1.0) - tx2.frame_overhead_ms;
+        let two = tx2.latency_ms(4.0e9, 1.0) - tx2.frame_overhead_ms;
+        assert!((two / one - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,26 @@
+//! Baselines for the co-design comparison (paper Table 2 and Sec. 6).
+//!
+//! Three kinds of comparators:
+//!
+//! * [`published`] — the DAC-SDC 2018 leaderboard numbers the paper
+//!   compares against (FPGA 1st-3rd place on PYNQ-Z1, GPU 1st-3rd place
+//!   on TX2), transcribed from Table 2 / the contest report (arXiv:1809.00110).
+//! * [`topdown`] — an *executable* top-down flow baseline: start from a
+//!   large SSD-like detector designed for accuracy, compress it until
+//!   it fits the device, then map it onto the same Tile-Arch
+//!   accelerator. This makes the paper's methodology comparison
+//!   (bottom-up co-design vs. top-down compress-then-map, Sec. 6)
+//!   reproducible rather than citation-only.
+//! * [`gpu`] — a roofline model of the TX2-class embedded GPU used by
+//!   the contest's GPU category, for energy-efficiency comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gpu;
+pub mod published;
+pub mod topdown;
+
+pub use gpu::GpuModel;
+pub use published::{dac_sdc_2018_results, Category, PublishedResult};
+pub use topdown::TopDownFlow;

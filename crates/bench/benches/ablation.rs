@@ -1,0 +1,22 @@
+//! Criterion bench for the Sec. 6 ablation: bottom-up co-design vs. the
+//! executable top-down compress-then-map baseline.
+
+use codesign_bench::experiments::{ablation, default_device};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let dev = default_device();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("codesign_vs_topdown", |b| b.iter(|| ablation(&dev).unwrap()));
+    group.finish();
+
+    let out = ablation(&dev).unwrap();
+    println!(
+        "ablation: co-design IoU {:.3} vs top-down IoU {:.3} at {:.0} ms target",
+        out.codesign_iou, out.topdown.iou, out.latency_target_ms
+    );
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for Fig. 5: fine-grained evaluation of the selected
+//! Bundles across Relu / Relu4 / Relu8 variants.
+
+use codesign_bench::experiments::{default_device, fig5};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig5(c: &mut Criterion) {
+    let dev = default_device();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("fine_grained_evaluation", |b| b.iter(|| fig5(&dev).unwrap()));
+    group.finish();
+
+    let rows = fig5(&dev).unwrap();
+    println!("fig5: {} (bundle, activation, reps) evaluations", rows.len());
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

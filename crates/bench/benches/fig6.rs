@@ -1,0 +1,23 @@
+//! Criterion bench for Fig. 6: the full hardware-aware DNN search at
+//! the 10 / 15 / 20 FPS targets.
+
+use codesign_bench::experiments::{default_device, fig6};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig6(c: &mut Criterion) {
+    let dev = default_device();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("scd_search_all_targets", |b| b.iter(|| fig6(&dev).unwrap()));
+    group.finish();
+
+    let out = fig6(&dev).unwrap();
+    println!(
+        "fig6: {} candidates across 3 targets (paper: 68); best IoUs: {:?}",
+        out.explored.len(),
+        out.best.iter().map(|d| (d.target_fps, d.accuracy)).collect::<Vec<_>>()
+    );
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

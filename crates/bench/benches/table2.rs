@@ -1,0 +1,24 @@
+//! Criterion bench for Table 2: evaluates DNN1-3 end to end (builder ->
+//! Tile-Arch simulation -> power model) against the published rows.
+
+use codesign_bench::experiments::{default_device, table2};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let dev = default_device();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("dnn1_3_full_evaluation", |b| b.iter(|| table2(&dev).unwrap()));
+    group.finish();
+
+    let (ours, _) = table2(&dev).unwrap();
+    for r in ours.iter().step_by(2) {
+        println!(
+            "table2: {} IoU {:.3}, {:.1} ms @100MHz, {:.2} W, {:.3} J/pic",
+            r.name, r.iou, r.latency_ms, r.power_w, r.j_per_pic
+        );
+    }
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 6: hardware-aware DNN search targeting 10 / 15 / 20
+//! FPS at 100 MHz on the PYNQ-Z1.
+
+use codesign_bench::experiments::{default_device, fig6};
+
+fn main() {
+    let out = fig6(&default_device()).expect("fig6 search");
+    let ids: Vec<usize> = out.selected_bundles.iter().map(|b| b.0).collect();
+    println!("== Fig. 6 - DNN exploration (selected bundles {ids:?}) ==");
+    println!("{} candidate DNNs met a target band (paper: 68)", out.explored.len());
+    println!();
+    println!("{:>9} {:>6} {:>5} {:>7} {:>7} {:>8} {:>9}", "target", "bundle", "reps", "max_ch", "act", "FPS@100", "IoU(est)");
+    for d in &out.explored {
+        println!(
+            "{:>9.0} {:>6} {:>5} {:>7} {:>7} {:>8.1} {:>9.3}",
+            d.target_fps, d.bundle, d.replications, d.max_channels, d.activation, d.fps, d.accuracy
+        );
+    }
+    println!();
+    println!("Best design per target (the paper's DNN1-3 analog):");
+    for d in &out.best {
+        println!(
+            "  target {:>2.0} FPS -> bundle {} x{} reps, max {} ch, {}: {:.1} FPS, IoU {:.3}",
+            d.target_fps, d.bundle, d.replications, d.max_channels, d.activation, d.fps, d.accuracy
+        );
+    }
+    println!();
+    println!("Paper: DNN1 = bundle 13 x5, max 512 ch, relu4; DNN2 = x4, 384, relu;");
+    println!("       DNN3 = x4, 384, relu4. (The simulator substrate is faster than");
+    println!("       the physical board, so bands fill with larger models here.)");
+}

@@ -1,0 +1,20 @@
+//! Extension experiment: the co-design flow ported to a larger edge
+//! device (Ultra96) — same task, same targets, bigger budget.
+
+use codesign_bench::experiments::portability;
+
+fn main() {
+    let rows = portability().expect("portability study");
+    println!("== device portability (15 FPS target @100 MHz) ==");
+    println!("{:<24} {:>8} {:>9} {:>7}", "device", "FPS", "IoU(est)", "DSP%");
+    for r in &rows {
+        println!("{:<24} {:>8.1} {:>9.3} {:>7.1}", r.device, r.fps, r.best_iou, r.dsp_pct);
+    }
+    if rows.len() == 2 {
+        println!();
+        println!(
+            "larger device buys {:+.1} IoU points at the same target",
+            (rows[1].best_iou - rows[0].best_iou) * 100.0
+        );
+    }
+}

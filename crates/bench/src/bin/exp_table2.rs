@@ -1,0 +1,52 @@
+//! Regenerates Table 2: DNN1-3 on the PYNQ-Z1 vs. the published DAC-SDC
+//! 2018 FPGA and GPU leaderboard.
+
+use codesign_bench::experiments::{default_device, table2};
+
+fn main() {
+    let (ours, published) = table2(&default_device()).expect("table2 evaluation");
+    println!("== Table 2 - performance comparison (50K-image evaluation) ==");
+    println!(
+        "{:<14} {:>6} {:>10} {:>7} {:>7} {:>9} {:>8} | {:>6} {:>6} {:>6} {:>6}",
+        "entry", "IoU", "lat(ms)", "FPS", "P(W)", "E(KJ)", "J/pic", "LUT%", "DSP%", "BRAM%", "FF%"
+    );
+    for r in &ours {
+        println!(
+            "{:<14} {:>6.3} {:>6.1}@{:<3.0} {:>7.1} {:>7.2} {:>9.2} {:>8.3} | {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+            format!("ours {}", r.name), r.iou, r.latency_ms, r.clock_mhz, r.fps, r.power_w,
+            r.energy_kj, r.j_per_pic, r.lut_pct, r.dsp_pct, r.bram_pct, r.ff_pct
+        );
+    }
+    for r in &published {
+        let util = r
+            .utilization
+            .map(|u| format!("{:>6.1} {:>6.1} {:>6.1} {:>6.1}", u.lut, u.dsp, u.bram, u.ff))
+            .unwrap_or_else(|| format!("{:>6} {:>6} {:>6} {:>6}", "-", "-", "-", "-"));
+        println!(
+            "{:<14} {:>6.3} {:>6.1}@{:<3.0} {:>7.1} {:>7.2} {:>9.2} {:>8.3} | {util}",
+            r.name, r.iou, r.latency_ms, r.clock_mhz, r.fps, r.power_w, r.energy_kj, r.j_per_pic
+        );
+    }
+    println!();
+    let dnn1 = &ours[0];
+    let ssd = &published[0];
+    let gpu1 = &published[3];
+    println!("Headline claims (paper -> measured):");
+    println!(
+        "  IoU vs FPGA 1st place: +6.2% -> {:+.1}%",
+        (dnn1.iou - ssd.iou) * 100.0
+    );
+    println!(
+        "  power vs FPGA 1st place: -40% -> {:+.0}%",
+        (dnn1.power_w / ssd.power_w - 1.0) * 100.0
+    );
+    println!(
+        "  energy efficiency vs FPGA 1st place: 2.5x -> {:.1}x",
+        ssd.j_per_pic / dnn1.j_per_pic
+    );
+    println!(
+        "  energy efficiency vs GPU 1st place: 3.6x -> {:.1}x (GPU keeps +{:.1}% IoU)",
+        gpu1.j_per_pic / dnn1.j_per_pic,
+        (gpu1.iou - dnn1.iou) * 100.0
+    );
+}

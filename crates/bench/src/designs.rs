@@ -1,0 +1,92 @@
+//! The three published designs of the paper (Fig. 6 / Table 2).
+//!
+//! Fig. 6 describes the final designs found by the co-design flow:
+//!
+//! * **DNN1** — Bundle 13, 5 Bundle replications, maximum 512 channels,
+//!   8-bit feature maps (`Relu4`);
+//! * **DNN2** — Bundle 13, 4 replications, maximum 384 channels,
+//!   16-bit feature maps (`Relu`);
+//! * **DNN3** — Bundle 13, 4 replications, maximum 384 channels,
+//!   8-bit feature maps (`Relu4`).
+//!
+//! The exact down-sampling / expansion schedules and parallel factors
+//! below were fixed the same way the paper fixed theirs: they are the
+//! best-accuracy candidates that fit the PYNQ-Z1 for the respective
+//! latency band on *this* substrate.
+
+use codesign_dnn::bundle::{bundle_by_id, BundleId};
+use codesign_dnn::quant::Activation;
+use codesign_dnn::space::DesignPoint;
+
+fn bundle13() -> codesign_dnn::bundle::Bundle {
+    bundle_by_id(BundleId(13)).expect("bundle 13 exists")
+}
+
+/// DNN1: the accuracy-oriented design (paper: 68.6% IoU, 12.5 FPS at
+/// 100 MHz).
+pub fn dnn1_point() -> DesignPoint {
+    let mut p = DesignPoint::initial(bundle13(), 5);
+    p.base_channels = 48;
+    p.max_channels = 512;
+    p.downsample = vec![true, true, true, false, false];
+    p.activation = Activation::Relu4;
+    p.parallel_factor = 176;
+    p
+}
+
+/// DNN2: the balanced design with 16-bit feature maps (paper: 61.2%
+/// IoU, 16.0 FPS at 100 MHz).
+pub fn dnn2_point() -> DesignPoint {
+    let mut p = DesignPoint::initial(bundle13(), 4);
+    p.base_channels = 32;
+    p.max_channels = 384;
+    p.downsample = vec![true, true, true, false];
+    p.activation = Activation::Relu;
+    p.parallel_factor = 96;
+    p
+}
+
+/// DNN3: the throughput-oriented design — DNN2's structure with 8-bit
+/// feature maps (paper: 59.3% IoU, 20.9 FPS at 100 MHz).
+pub fn dnn3_point() -> DesignPoint {
+    let mut p = dnn2_point();
+    p.activation = Activation::Relu4;
+    p.parallel_factor = 192;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::builder::DnnBuilder;
+    use codesign_sim::device::pynq_z1;
+    use codesign_sim::pipeline::{synthesize, AccelConfig};
+
+    #[test]
+    fn all_three_designs_fit_the_pynq() {
+        for (name, p) in [
+            ("DNN1", dnn1_point()),
+            ("DNN2", dnn2_point()),
+            ("DNN3", dnn3_point()),
+        ] {
+            p.validate().unwrap();
+            let dnn = DnnBuilder::new().build(&p).unwrap();
+            synthesize(&dnn, &AccelConfig::for_point(&p), &pynq_z1())
+                .unwrap_or_else(|e| panic!("{name} does not fit: {e}"));
+        }
+    }
+
+    #[test]
+    fn structures_match_the_paper_description() {
+        assert_eq!(dnn1_point().n_replications, 5);
+        assert_eq!(dnn1_point().max_channels, 512);
+        assert_eq!(dnn1_point().activation, Activation::Relu4);
+        assert_eq!(dnn2_point().n_replications, 4);
+        assert_eq!(dnn2_point().max_channels, 384);
+        assert_eq!(dnn2_point().activation, Activation::Relu);
+        assert_eq!(dnn3_point().activation, Activation::Relu4);
+        // DNN2 and DNN3 share one structure.
+        assert_eq!(dnn2_point().downsample, dnn3_point().downsample);
+        assert_eq!(dnn2_point().expansion, dnn3_point().expansion);
+    }
+}

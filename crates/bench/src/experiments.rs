@@ -1,0 +1,468 @@
+//! The experiment implementations.
+//!
+//! Every function regenerates one paper artifact and returns structured
+//! rows; the `exp_*` binaries pretty-print them next to the paper's
+//! reported values, and `EXPERIMENTS.md` records the comparison.
+
+use codesign_baselines::published::{dac_sdc_2018_results, PublishedResult};
+use codesign_baselines::topdown::{TopDownFlow, TopDownResult};
+use codesign_core::accuracy::AccuracyModel;
+use codesign_core::evaluate::{
+    coarse_evaluate, fine_evaluate, select_bundles, BundleEvaluation, EvalMethod, FineEvaluation,
+};
+use codesign_core::flow::{CoDesignFlow, FlowConfig};
+use codesign_dnn::builder::DnnBuilder;
+use codesign_dnn::bundle::{enumerate_bundles, BundleId};
+use codesign_sim::device::{pynq_z1, FpgaDevice};
+use codesign_sim::error::SimError;
+use codesign_sim::pipeline::{simulate, AccelConfig};
+use codesign_sim::power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// Images in the official DAC-SDC evaluation set.
+pub const EVAL_IMAGES: u64 = 50_000;
+
+/// Figure 4: coarse-grained Bundle evaluation.
+///
+/// Returns the bubble-chart data (one record per Bundle per parallel
+/// factor) and the selected Pareto Bundle set, for the given DNN
+/// construction method.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn fig4(
+    method: EvalMethod,
+    device: &FpgaDevice,
+) -> Result<(Vec<BundleEvaluation>, Vec<BundleId>), SimError> {
+    let model = AccuracyModel::paper_calibrated();
+    let evals = coarse_evaluate(
+        &enumerate_bundles(),
+        device,
+        &[4, 8, 16],
+        method,
+        &model,
+        100.0,
+    )?;
+    let at_pf16: Vec<BundleEvaluation> = evals
+        .iter()
+        .filter(|e| e.parallel_factor == 16)
+        .cloned()
+        .collect();
+    let selected = select_bundles(&at_pf16);
+    Ok((evals, selected))
+}
+
+/// Figure 5: fine-grained evaluation of the selected Bundles with all
+/// activation variants over a replication sweep.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn fig5(device: &FpgaDevice) -> Result<Vec<FineEvaluation>, SimError> {
+    let model = AccuracyModel::paper_calibrated();
+    let bundles = enumerate_bundles();
+    let mut rows = Vec::new();
+    for id in [1usize, 3, 13, 15, 17] {
+        rows.extend(fine_evaluate(
+            &bundles[id - 1],
+            device,
+            &model,
+            1..=4,
+            16,
+            100.0,
+        )?);
+    }
+    Ok(rows)
+}
+
+/// One explored design of Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExploredDesign {
+    /// FPS target band the design was searched for.
+    pub target_fps: f64,
+    /// Bundle the design is built from.
+    pub bundle: usize,
+    /// Replication count.
+    pub replications: usize,
+    /// Widest channel count.
+    pub max_channels: usize,
+    /// Activation variant.
+    pub activation: String,
+    /// Estimated FPS at 100 MHz.
+    pub fps: f64,
+    /// Estimated accuracy (IoU).
+    pub accuracy: f64,
+}
+
+/// Figure 6 output: all explored candidates plus the best design per
+/// target.
+#[derive(Debug, Clone)]
+pub struct Fig6Output {
+    /// Bundles selected by the coarse evaluation.
+    pub selected_bundles: Vec<BundleId>,
+    /// Every candidate in some target band.
+    pub explored: Vec<ExploredDesign>,
+    /// `(target fps, best candidate)` per target.
+    pub best: Vec<ExploredDesign>,
+}
+
+/// Figure 6: hardware-aware DNN search targeting 10 / 15 / 20 FPS at
+/// 100 MHz on the PYNQ-Z1.
+///
+/// # Errors
+///
+/// Propagates flow failures.
+pub fn fig6(device: &FpgaDevice) -> Result<Fig6Output, codesign_core::flow::FlowError> {
+    let flow = CoDesignFlow::new(FlowConfig {
+        candidates_per_bundle: 5,
+        coarse_pf_sweep: vec![16],
+        ..FlowConfig::for_device(device.clone())
+    });
+    let out = flow.run()?;
+    let to_row = |target: f64, c: &codesign_core::search::Candidate| ExploredDesign {
+        target_fps: target,
+        bundle: c.point.bundle.id().0,
+        replications: c.point.n_replications,
+        max_channels: c.point.max_channels.min(
+            // report the realized width, not just the cap
+            (0..c.point.n_replications)
+                .map(|i| c.point.channels_at(i))
+                .max()
+                .unwrap_or(c.point.max_channels),
+        ),
+        activation: c.point.activation.to_string(),
+        fps: 1000.0 / c.latency_ms,
+        accuracy: c.accuracy,
+    };
+    let explored: Vec<ExploredDesign> = out
+        .candidates
+        .iter()
+        .map(|(t, c)| to_row(*t, c))
+        .collect();
+    let mut best = Vec::new();
+    for &t in &flow.config().targets_fps {
+        if let Some(b) = out
+            .candidates
+            .iter()
+            .filter(|(bt, _)| *bt == t)
+            .max_by(|a, b| a.1.accuracy.total_cmp(&b.1.accuracy))
+        {
+            best.push(to_row(t, &b.1));
+        }
+    }
+    Ok(Fig6Output {
+        selected_bundles: out.selected_bundles,
+        explored,
+        best,
+    })
+}
+
+/// One of our rows in Table 2 (one design at one clock).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OursRow {
+    /// Design name (DNN1-3).
+    pub name: String,
+    /// Estimated accuracy (IoU) on the detection task.
+    pub iou: f64,
+    /// Clock in MHz.
+    pub clock_mhz: f64,
+    /// Single-frame latency in milliseconds.
+    pub latency_ms: f64,
+    /// Throughput in frames per second.
+    pub fps: f64,
+    /// Board power in watts.
+    pub power_w: f64,
+    /// Energy over the 50 K-image set in kilojoules.
+    pub energy_kj: f64,
+    /// Energy per image in joules.
+    pub j_per_pic: f64,
+    /// LUT utilization in percent.
+    pub lut_pct: f64,
+    /// DSP utilization in percent.
+    pub dsp_pct: f64,
+    /// BRAM utilization in percent.
+    pub bram_pct: f64,
+    /// FF utilization in percent.
+    pub ff_pct: f64,
+}
+
+/// Table 2: our DNN1-3 at 100 and 150 MHz, next to the published
+/// FPGA / GPU leaderboard rows.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn table2(device: &FpgaDevice) -> Result<(Vec<OursRow>, Vec<PublishedResult>), SimError> {
+    let model = AccuracyModel::paper_calibrated();
+    let power = PowerModel::pynq_z1();
+    let mut ours = Vec::new();
+    for (name, point) in [
+        ("DNN1", crate::designs::dnn1_point()),
+        ("DNN2", crate::designs::dnn2_point()),
+        ("DNN3", crate::designs::dnn3_point()),
+    ] {
+        let dnn = DnnBuilder::new().build(&point).map_err(|e| {
+            SimError::InvalidConfig {
+                reason: format!("{name} failed to elaborate: {e}"),
+            }
+        })?;
+        let report = simulate(&dnn, &AccelConfig::for_point(&point), device)?;
+        device.check_fit(&report.resources)?;
+        let iou = model.estimate(&point, &dnn);
+        let util = report.utilization(&device.budget());
+        for clock in [100.0, 150.0] {
+            let latency_ms = report.latency_ms(clock);
+            let watts = power.report_power(&report, &device.budget(), clock);
+            ours.push(OursRow {
+                name: name.to_string(),
+                iou,
+                clock_mhz: clock,
+                latency_ms,
+                fps: 1000.0 / latency_ms,
+                power_w: watts,
+                energy_kj: power.energy_joules(watts, latency_ms, EVAL_IMAGES) / 1000.0,
+                j_per_pic: power.joules_per_image(watts, latency_ms),
+                lut_pct: util.lut * 100.0,
+                dsp_pct: util.dsp * 100.0,
+                bram_pct: util.bram * 100.0,
+                ff_pct: util.ff * 100.0,
+            });
+        }
+    }
+    Ok((ours, dac_sdc_2018_results()))
+}
+
+/// Ablation result: co-design vs. the top-down flow at one latency
+/// target.
+#[derive(Debug, Clone)]
+pub struct AblationOutcome {
+    /// Latency target in milliseconds at 100 MHz.
+    pub latency_target_ms: f64,
+    /// Best co-design accuracy within the target.
+    pub codesign_iou: f64,
+    /// Co-design latency in milliseconds.
+    pub codesign_latency_ms: f64,
+    /// Top-down (compress-then-map) result.
+    pub topdown: TopDownResult,
+}
+
+/// Sec. 6 ablation: bottom-up co-design against the executable top-down
+/// baseline, at the paper's FPGA-category operating point.
+///
+/// # Errors
+///
+/// Propagates flow and simulator failures.
+pub fn ablation(device: &FpgaDevice) -> Result<AblationOutcome, SimError> {
+    let latency_target_ms = 85.0; // the FPGA 1st place's band (84.6 ms)
+
+    // Co-design arm: best design meeting the target on this substrate
+    // is DNN1 (the accuracy-oriented design is well inside 85 ms here).
+    let point = crate::designs::dnn1_point();
+    let dnn = DnnBuilder::new()
+        .build(&point)
+        .map_err(|e| SimError::InvalidConfig {
+            reason: format!("dnn1 failed to elaborate: {e}"),
+        })?;
+    let report = simulate(&dnn, &AccelConfig::for_point(&point), device)?;
+    let codesign_iou = AccuracyModel::paper_calibrated().estimate(&point, &dnn);
+
+    // Top-down arm on the identical device and target.
+    let topdown = TopDownFlow::new(device.clone()).run(100.0, latency_target_ms)?;
+
+    Ok(AblationOutcome {
+        latency_target_ms,
+        codesign_iou,
+        codesign_latency_ms: report.latency_ms(100.0),
+        topdown,
+    })
+}
+
+/// Default device for every experiment.
+pub fn default_device() -> FpgaDevice {
+    pynq_z1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_selects_paper_bundles_both_methods() {
+        let dev = default_device();
+        let (_, sel1) = fig4(EvalMethod::FixedHeadTail, &dev).unwrap();
+        let (_, sel2) = fig4(EvalMethod::Replicated { n: 3 }, &dev).unwrap();
+        let expected: Vec<BundleId> = [1, 3, 13, 15, 17].map(BundleId).to_vec();
+        assert_eq!(sel1, expected);
+        assert_eq!(sel2, expected);
+    }
+
+    #[test]
+    fn fig5_shows_bundle_trade_offs() {
+        let rows = fig5(&default_device()).unwrap();
+        // 5 bundles x 4 replication counts x 3 activations, minus
+        // entries that cannot elaborate.
+        assert!(rows.len() >= 50);
+        // Bundle 1 and 3 are accuracy-favorable but slower; Bundle 13 is
+        // latency-favorable (paper Fig. 5's observation). Compare at
+        // equal replication count and activation.
+        let at = |id: usize| {
+            rows.iter()
+                .find(|r| {
+                    r.bundle_id == BundleId(id)
+                        && r.n_replications == 3
+                        && r.activation == codesign_dnn::quant::Activation::Relu
+                })
+                .unwrap()
+        };
+        assert!(at(3).accuracy > at(13).accuracy);
+        assert!(at(13).latency_ms < at(1).latency_ms);
+    }
+
+    #[test]
+    fn table2_reproduces_paper_shape() {
+        let (ours, published) = table2(&default_device()).unwrap();
+        assert_eq!(ours.len(), 6); // 3 designs x 2 clocks
+
+        let dnn1 = &ours[0];
+        let dnn2 = &ours[2];
+        let dnn3 = &ours[4];
+        // Accuracy ordering and approximate values.
+        assert!(dnn1.iou > dnn2.iou && dnn2.iou > dnn3.iou);
+        assert!((dnn1.iou - 0.686).abs() < 0.02, "DNN1 IoU {}", dnn1.iou);
+        assert!((dnn2.iou - 0.612).abs() < 0.02, "DNN2 IoU {}", dnn2.iou);
+        assert!((dnn3.iou - 0.593).abs() < 0.02, "DNN3 IoU {}", dnn3.iou);
+        // Latency ordering: DNN1 slowest, DNN3 fastest.
+        assert!(dnn1.latency_ms > dnn2.latency_ms);
+        assert!(dnn2.latency_ms > dnn3.latency_ms);
+
+        // Headline claims against the FPGA 1st place.
+        let ssd = &published[0];
+        assert!(dnn1.iou > ssd.iou + 0.05, "IoU win over SSD too small");
+        assert!(dnn1.power_w < ssd.power_w * 0.7, "power win missing");
+        assert!(
+            ssd.j_per_pic / dnn1.j_per_pic > 2.0,
+            "energy-efficiency win below 2x: {} vs {}",
+            dnn1.j_per_pic,
+            ssd.j_per_pic
+        );
+        // GPU rows keep an accuracy edge but lose energy by >= 3x.
+        let gpu1 = &published[3];
+        assert!(gpu1.iou > dnn1.iou);
+        assert!(gpu1.j_per_pic / dnn1.j_per_pic > 3.0);
+    }
+
+    #[test]
+    fn ablation_codesign_beats_topdown() {
+        let out = ablation(&default_device()).unwrap();
+        assert!(
+            out.codesign_iou > out.topdown.iou + 0.02,
+            "co-design {} vs top-down {}",
+            out.codesign_iou,
+            out.topdown.iou
+        );
+        assert!(out.codesign_latency_ms <= out.latency_target_ms);
+        assert!(out.topdown.latency_ms <= out.latency_target_ms);
+    }
+}
+
+/// Outcome of the SCD-vs-random-search ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScdAblationOutcome {
+    /// Iteration budget given to both searchers.
+    pub budget: usize,
+    /// In-window candidates the SCD unit found.
+    pub scd_found: usize,
+    /// Best accuracy among SCD candidates.
+    pub scd_best_iou: f64,
+    /// In-window candidates uniform random sampling found.
+    pub random_found: usize,
+    /// Best accuracy among random candidates (0 when none).
+    pub random_best_iou: f64,
+}
+
+/// Design-choice ablation: what does the SCD unit (Algorithm 1) buy
+/// over uniform random sampling of the same co-design space, under an
+/// identical evaluation budget?
+///
+/// # Errors
+///
+/// Propagates simulator failures from calibration.
+pub fn scd_ablation(device: &FpgaDevice) -> Result<ScdAblationOutcome, SimError> {
+    use codesign_core::search::{random_search, scd_search_with_activation, ScdConfig};
+    use codesign_dnn::quant::Activation;
+    use codesign_hls::calibrate::calibrate_bundle_with;
+    use codesign_hls::model::HlsEstimator;
+
+    let bundle = enumerate_bundles()[12].clone(); // Bundle 13
+    let params = calibrate_bundle_with(&bundle, device, &[1, 2, 3, 4], 96)?;
+    let estimator = HlsEstimator::new(params, device.clone());
+    let model = AccuracyModel::paper_calibrated();
+    let cfg = ScdConfig {
+        latency_target_ms: 60.0,
+        tolerance_ms: 4.0,
+        clock_mhz: 100.0,
+        candidates: 10,
+        max_iterations: 150,
+        seed: 77,
+    };
+    let scd = scd_search_with_activation(&bundle, &estimator, &model, &cfg, Activation::Relu4);
+    let (random, _) = random_search(&bundle, &estimator, &model, &cfg, Activation::Relu4);
+    let best = |v: &[codesign_core::search::Candidate]| {
+        v.iter().map(|c| c.accuracy).fold(0.0f64, f64::max)
+    };
+    Ok(ScdAblationOutcome {
+        budget: cfg.max_iterations,
+        scd_found: scd.len(),
+        scd_best_iou: best(&scd),
+        random_found: random.len(),
+        random_best_iou: best(&random),
+    })
+}
+
+/// One row of the device-portability study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortabilityRow {
+    /// Device name.
+    pub device: String,
+    /// FPS target of the search.
+    pub target_fps: f64,
+    /// Best accuracy found within the band.
+    pub best_iou: f64,
+    /// Simulated FPS of the winning design at 100 MHz.
+    pub fps: f64,
+    /// DSP utilization of the winner in percent.
+    pub dsp_pct: f64,
+}
+
+/// Extension experiment: the methodology ported to a larger edge device
+/// (Ultra96). The paper positions the approach as device-portable; a
+/// bigger resource budget should buy more accuracy at the same FPS
+/// target.
+///
+/// # Errors
+///
+/// Propagates flow failures.
+pub fn portability() -> Result<Vec<PortabilityRow>, codesign_core::flow::FlowError> {
+    use codesign_sim::device::ultra96;
+    let mut rows = Vec::new();
+    for device in [pynq_z1(), ultra96()] {
+        let flow = CoDesignFlow::new(FlowConfig {
+            targets_fps: vec![15.0],
+            candidates_per_bundle: 2,
+            coarse_pf_sweep: vec![16],
+            ..FlowConfig::for_device(device.clone())
+        });
+        let out = flow.run()?;
+        if let Some(d) = out.designs.first() {
+            rows.push(PortabilityRow {
+                device: device.name.clone(),
+                target_fps: d.target_fps,
+                best_iou: d.accuracy,
+                fps: d.fps,
+                dsp_pct: d.report.utilization(&device.budget()).dsp * 100.0,
+            });
+        }
+    }
+    Ok(rows)
+}

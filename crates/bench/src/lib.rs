@@ -1,0 +1,22 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment is a pure function returning serializable rows, so
+//! the same code backs the `exp_*` binaries (which print the paper
+//! artifact next to the measured one) and the Criterion benches:
+//!
+//! | Paper artifact | Function | Binary | Bench |
+//! |---|---|---|---|
+//! | Fig. 4(a) | [`experiments::fig4`] (method#1) | `exp_fig4` | `fig4` |
+//! | Fig. 4(b) | [`experiments::fig4`] (method#2) | `exp_fig4` | `fig4` |
+//! | Fig. 5 | [`experiments::fig5`] | `exp_fig5` | `fig5` |
+//! | Fig. 6 | [`experiments::fig6`] | `exp_fig6` | `fig6` |
+//! | Table 2 | [`experiments::table2`] | `exp_table2` | `table2` |
+//! | Sec. 6 ablation | [`experiments::ablation`] | `exp_ablation` | `ablation` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod designs;
+pub mod experiments;
+
+pub use designs::{dnn1_point, dnn2_point, dnn3_point};

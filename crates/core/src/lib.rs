@@ -1,0 +1,58 @@
+//! Auto-DNN: the hardware-oriented DNN search engine of the DAC'19
+//! FPGA/DNN co-design methodology.
+//!
+//! This crate is the paper's primary contribution — the bottom-up,
+//! hardware-aware DNN exploration that runs hand in hand with the
+//! top-down accelerator generation of [`codesign_hls`]:
+//!
+//! * [`accuracy`] — accuracy oracles: a calibrated analytic model (the
+//!   fast path used during search, reproducing the paper's reported
+//!   accuracy landscape) and a proxy-training evaluator that really
+//!   trains candidate networks on the synthetic detection task.
+//! * [`pareto`] — Pareto-front selection over (latency, accuracy).
+//! * [`evaluate`] — Co-Design Step 2: coarse-grained Bundle evaluation
+//!   (both DNN-construction methods of Sec. 5.1.1, PF sweep, grouping
+//!   by resource similarity) and fine-grained evaluation of activation
+//!   variants (Sec. 5.1.2).
+//! * [`search`] — Co-Design Step 3: DNN initialization (Sec. 5.2.1) and
+//!   the Stochastic Coordinate Descent unit (Algorithm 1) updating the
+//!   replication count `N`, channel expansion `Π` and down-sampling `X`
+//!   under latency and resource constraints.
+//! * [`flow`] — the overall co-design flow of Fig. 1 wiring Bundle
+//!   modeling, Bundle selection, SCD search, Auto-HLS generation and
+//!   final simulation together.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use codesign_core::flow::{CoDesignFlow, FlowConfig};
+//! use codesign_sim::device::pynq_z1;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let flow = CoDesignFlow::new(FlowConfig {
+//!     targets_fps: vec![10.0, 15.0, 20.0],
+//!     ..FlowConfig::for_device(pynq_z1())
+//! });
+//! let out = flow.run()?;
+//! for design in &out.designs {
+//!     println!("{}: {:.1}% IoU @ {:.1} FPS", design.point.bundle.id(),
+//!              design.accuracy * 100.0, design.fps);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod evaluate;
+pub mod flow;
+pub mod pareto;
+pub mod search;
+
+pub use accuracy::{AccuracyModel, ProxyEvaluator};
+pub use evaluate::{coarse_evaluate, select_bundles, BundleEvaluation};
+pub use flow::{CoDesignFlow, FlowConfig, FlowOutput};
+pub use pareto::pareto_front;
+pub use search::{random_search, scd_search, scd_search_with_activation, Candidate, ScdConfig};

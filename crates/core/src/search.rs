@@ -1,0 +1,442 @@
+//! Co-Design Step 3: hardware-aware DNN search and update.
+//!
+//! Implements DNN initialization (Sec. 5.2.1) and the **Stochastic
+//! Coordinate Descent (SCD) unit** of Algorithm 1. Given an initial
+//! design, a latency target `Lat_targ`, a tolerance `ε` and a resource
+//! cap, SCD repeatedly estimates the latency change of a unit move
+//! along each of three coordinates — replication count `N`, channel
+//! expansion `Π`, down-sampling `X` — picks one coordinate uniformly at
+//! random, scales the move by `⌊|Lat_targ − Lat| / ΔLat⌋`, and applies
+//! it if the resource estimate stays within budget. Designs landing
+//! within `ε` of the target are collected as candidates.
+
+use crate::accuracy::AccuracyModel;
+use codesign_dnn::bundle::Bundle;
+use codesign_dnn::builder::DnnBuilder;
+use codesign_dnn::space::{DesignPoint, MAX_PARALLEL_FACTOR};
+use codesign_hls::model::{Estimate, HlsEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one SCD run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScdConfig {
+    /// Latency target in milliseconds (at `clock_mhz`).
+    pub latency_target_ms: f64,
+    /// Tolerance `ε` in milliseconds.
+    pub tolerance_ms: f64,
+    /// Clock used to convert cycles to milliseconds.
+    pub clock_mhz: f64,
+    /// Number of candidate DNNs `K` to collect.
+    pub candidates: usize,
+    /// Iteration budget (Algorithm 1 loops until `k = K`; the budget
+    /// bounds runs whose target is unreachable).
+    pub max_iterations: usize,
+    /// RNG seed for the stochastic coordinate choice.
+    pub seed: u64,
+}
+
+impl Default for ScdConfig {
+    fn default() -> Self {
+        Self {
+            latency_target_ms: 100.0,
+            tolerance_ms: 10.0,
+            clock_mhz: 100.0,
+            candidates: 4,
+            max_iterations: 400,
+            seed: 7,
+        }
+    }
+}
+
+/// A candidate design produced by SCD: within tolerance of the latency
+/// target and inside the resource budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Analytic estimate at collection time.
+    pub estimate: Estimate,
+    /// Latency in milliseconds at the run's clock.
+    pub latency_ms: f64,
+    /// Estimated accuracy (IoU).
+    pub accuracy: f64,
+}
+
+/// Chooses the largest legal parallel factor whose accelerator still
+/// fits the estimator's device (Sec. 5.2.1: "PF is set as the maximum
+/// value that can fully utilize available resources").
+pub fn choose_max_parallel_factor(point: &DesignPoint, estimator: &HlsEstimator) -> usize {
+    let mut pf = MAX_PARALLEL_FACTOR;
+    while pf > 4 {
+        let mut probe = point.clone();
+        probe.parallel_factor = pf;
+        if let Ok(est) = estimator.estimate_point(&probe) {
+            if estimator.fits(&est) {
+                return pf;
+            }
+        }
+        pf -= 16;
+    }
+    4
+}
+
+/// The three SCD coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Coordinate {
+    /// Replication count `N`.
+    Replications,
+    /// Channel-expansion vector `Π`.
+    Expansion,
+    /// Down-sampling vector `X`.
+    Downsampling,
+}
+
+fn apply_move(point: &DesignPoint, coord: Coordinate, steps: isize) -> DesignPoint {
+    match coord {
+        Coordinate::Replications => point.with_replication_delta(steps),
+        Coordinate::Expansion => point.with_expansion_delta(steps),
+        Coordinate::Downsampling => point.with_downsample_delta(steps),
+    }
+}
+
+/// Runs the SCD unit (Algorithm 1) for one Bundle with the default
+/// 16-bit (`Relu`) quantization arm.
+///
+/// Returns up to `cfg.candidates` designs whose estimated latency lies
+/// within `ε` of the target under the resource budget of the
+/// estimator's device. The run is deterministic for a given seed.
+pub fn scd_search(
+    bundle: &Bundle,
+    estimator: &HlsEstimator,
+    model: &AccuracyModel,
+    cfg: &ScdConfig,
+) -> Vec<Candidate> {
+    scd_search_with_activation(
+        bundle,
+        estimator,
+        model,
+        cfg,
+        codesign_dnn::quant::Activation::Relu,
+    )
+}
+
+/// Runs the SCD unit with an explicit activation / quantization arm
+/// (the co-design variable `Q` of Table 1).
+pub fn scd_search_with_activation(
+    bundle: &Bundle,
+    estimator: &HlsEstimator,
+    model: &AccuracyModel,
+    cfg: &ScdConfig,
+    activation: codesign_dnn::quant::Activation,
+) -> Vec<Candidate> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let builder = DnnBuilder::new();
+
+    // DNN initialization (Sec. 5.2.1) + maximum-PF selection.
+    let mut point = DesignPoint::initial(bundle.clone(), 3);
+    point.activation = activation;
+    point.parallel_factor = choose_max_parallel_factor(&point, estimator);
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let latency_of = |p: &DesignPoint| -> Option<(Estimate, f64)> {
+        let est = estimator.estimate_point(p).ok()?;
+        let ms = est.latency_ms(cfg.clock_mhz);
+        Some((est, ms))
+    };
+
+    let Some((mut est, mut lat)) = latency_of(&point) else {
+        return candidates;
+    };
+
+    for _iter in 0..cfg.max_iterations {
+        if candidates.len() >= cfg.candidates {
+            break;
+        }
+        let gap = cfg.latency_target_ms - lat;
+        if gap.abs() < cfg.tolerance_ms && estimator.fits(&est) {
+            let dnn = builder.build(&point).expect("estimated points build");
+            let accuracy = model.estimate(&point, &dnn);
+            let candidate = Candidate {
+                point: point.clone(),
+                estimate: est,
+                latency_ms: lat,
+                accuracy,
+            };
+            if !candidates.iter().any(|c| c.point == candidate.point) {
+                candidates.push(candidate);
+            }
+            // Perturb to hunt for the next distinct candidate.
+            let coord = match rng.random_range(0..3u8) {
+                0 => Coordinate::Replications,
+                1 => Coordinate::Expansion,
+                _ => Coordinate::Downsampling,
+            };
+            let dir = if rng.random_bool(0.5) { 1 } else { -1 };
+            let perturbed = apply_move(&point, coord, dir);
+            if let Some((e2, l2)) = latency_of(&perturbed) {
+                point = perturbed;
+                est = e2;
+                lat = l2;
+            }
+            continue;
+        }
+
+        // Unit moves in the direction that closes the gap: positive gap
+        // (target above latency) means the design may grow.
+        let grow = gap > 0.0;
+        let unit: isize = if grow { 1 } else { -1 };
+        // Down-sampling acts inversely: more down-sampling -> faster.
+        let coords = [
+            (Coordinate::Replications, unit),
+            (Coordinate::Expansion, unit),
+            (Coordinate::Downsampling, -unit),
+        ];
+        let mut deltas: Vec<(Coordinate, isize, f64)> = Vec::with_capacity(3);
+        for &(coord, dir) in &coords {
+            let moved = apply_move(&point, coord, dir);
+            if moved == point {
+                continue; // saturated coordinate
+            }
+            if let Some((_, l2)) = latency_of(&moved) {
+                let dlat = l2 - lat;
+                if dlat.abs() > f64::EPSILON {
+                    deltas.push((coord, dir, dlat));
+                }
+            }
+        }
+        if deltas.is_empty() {
+            // No coordinate can move: restart from a fresh random depth.
+            let n = rng.random_range(1..=6);
+            point = DesignPoint::initial(bundle.clone(), n);
+            point.activation = activation;
+            point.parallel_factor = choose_max_parallel_factor(&point, estimator);
+            if let Some((e2, l2)) = latency_of(&point) {
+                est = e2;
+                lat = l2;
+            }
+            continue;
+        }
+
+        // Pick one coordinate uniformly at random (the "stochastic" in
+        // SCD) and scale the move: Δ = ⌊|Lat_targ − Lat| / ΔLat⌋.
+        let (coord, dir, dlat) = deltas[rng.random_range(0..deltas.len())];
+        let steps = ((gap.abs() / dlat.abs()).floor() as isize).clamp(1, 4);
+        let proposed = apply_move(&point, coord, dir * steps);
+        if let Some((e2, l2)) = latency_of(&proposed) {
+            if estimator.fits(&e2) || e2.resources.dsp <= est.resources.dsp {
+                point = proposed;
+                est = e2;
+                lat = l2;
+            }
+        }
+    }
+    candidates
+}
+
+/// Random-search baseline for the SCD ablation: samples design points
+/// uniformly from the coordinate domains (no descent, no latency-scaled
+/// steps) under the same evaluation budget, and keeps those inside the
+/// target window.
+///
+/// Exists to quantify what the SCD unit buys; see the `ablation_scd`
+/// bench. Returns the candidates found and the number of estimator
+/// evaluations spent.
+pub fn random_search(
+    bundle: &Bundle,
+    estimator: &HlsEstimator,
+    model: &AccuracyModel,
+    cfg: &ScdConfig,
+    activation: codesign_dnn::quant::Activation,
+) -> (Vec<Candidate>, usize) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let builder = DnnBuilder::new();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut evaluations = 0usize;
+    for _ in 0..cfg.max_iterations {
+        if candidates.len() >= cfg.candidates {
+            break;
+        }
+        let reps = rng.random_range(1..=8usize);
+        let mut point = DesignPoint::initial(bundle.clone(), reps);
+        point.activation = activation;
+        for slot in 0..reps {
+            point.downsample[slot] = rng.random_bool(0.5);
+            if slot > 0 {
+                let ladder = codesign_dnn::space::CHANNEL_EXPANSION_FACTORS;
+                point.expansion[slot] = ladder[rng.random_range(0..ladder.len())];
+            }
+        }
+        point.parallel_factor = choose_max_parallel_factor(&point, estimator);
+        evaluations += 1;
+        let Ok(est) = estimator.estimate_point(&point) else {
+            continue;
+        };
+        let lat = est.latency_ms(cfg.clock_mhz);
+        if (cfg.latency_target_ms - lat).abs() < cfg.tolerance_ms && estimator.fits(&est) {
+            let Ok(dnn) = builder.build(&point) else {
+                continue;
+            };
+            let accuracy = model.estimate(&point, &dnn);
+            let candidate = Candidate {
+                point,
+                estimate: est,
+                latency_ms: lat,
+                accuracy,
+            };
+            if !candidates.iter().any(|c| c.point == candidate.point) {
+                candidates.push(candidate);
+            }
+        }
+    }
+    (candidates, evaluations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::bundle::{bundle_by_id, BundleId};
+    use codesign_hls::calibrate::calibrate_bundle;
+    use codesign_sim::device::pynq_z1;
+
+    fn estimator(id: usize) -> (Bundle, HlsEstimator) {
+        let b = bundle_by_id(BundleId(id)).unwrap();
+        let params = calibrate_bundle(&b, &pynq_z1()).unwrap();
+        (b, HlsEstimator::new(params, pynq_z1()))
+    }
+
+    #[test]
+    fn scd_hits_latency_target() {
+        let (b, est) = estimator(13);
+        let cfg = ScdConfig {
+            latency_target_ms: 60.0,
+            tolerance_ms: 8.0,
+            candidates: 3,
+            ..ScdConfig::default()
+        };
+        let found = scd_search(&b, &est, &AccuracyModel::paper_calibrated(), &cfg);
+        assert!(!found.is_empty(), "no candidates found");
+        for c in &found {
+            assert!(
+                (c.latency_ms - 60.0).abs() < 8.0,
+                "candidate at {} ms misses the 60±8 ms window",
+                c.latency_ms
+            );
+            assert!(est.fits(&c.estimate), "candidate exceeds the device");
+            assert!(c.point.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn candidates_are_distinct() {
+        let (b, est) = estimator(13);
+        let cfg = ScdConfig {
+            latency_target_ms: 80.0,
+            tolerance_ms: 10.0,
+            candidates: 4,
+            ..ScdConfig::default()
+        };
+        let found = scd_search(&b, &est, &AccuracyModel::paper_calibrated(), &cfg);
+        for i in 0..found.len() {
+            for j in (i + 1)..found.len() {
+                assert_ne!(found[i].point, found[j].point);
+            }
+        }
+    }
+
+    #[test]
+    fn search_is_seed_deterministic() {
+        let (b, est) = estimator(1);
+        let cfg = ScdConfig {
+            latency_target_ms: 70.0,
+            tolerance_ms: 10.0,
+            candidates: 2,
+            seed: 11,
+            ..ScdConfig::default()
+        };
+        let a = scd_search(&b, &est, &AccuracyModel::paper_calibrated(), &cfg);
+        let b2 = scd_search(&b, &est, &AccuracyModel::paper_calibrated(), &cfg);
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn unreachable_target_returns_empty_within_budget() {
+        let (b, est) = estimator(13);
+        let cfg = ScdConfig {
+            latency_target_ms: 0.001, // faster than anything buildable
+            tolerance_ms: 0.0005,
+            candidates: 1,
+            max_iterations: 50,
+            ..ScdConfig::default()
+        };
+        let found = scd_search(&b, &est, &AccuracyModel::paper_calibrated(), &cfg);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn scd_beats_random_search_on_hit_rate() {
+        // The ablation claim: under an equal iteration budget, SCD finds
+        // at least as many in-window candidates as uniform sampling.
+        let (b, est) = estimator(13);
+        let cfg = ScdConfig {
+            latency_target_ms: 60.0,
+            tolerance_ms: 5.0,
+            candidates: 8,
+            max_iterations: 120,
+            ..ScdConfig::default()
+        };
+        let model = AccuracyModel::paper_calibrated();
+        let scd = scd_search(&b, &est, &model, &cfg);
+        let (random, _) = random_search(
+            &b,
+            &est,
+            &model,
+            &cfg,
+            codesign_dnn::quant::Activation::Relu,
+        );
+        assert!(
+            scd.len() >= random.len(),
+            "SCD found {} candidates, random found {}",
+            scd.len(),
+            random.len()
+        );
+        assert!(!scd.is_empty());
+    }
+
+    #[test]
+    fn random_search_candidates_are_valid() {
+        let (b, est) = estimator(13);
+        let cfg = ScdConfig {
+            latency_target_ms: 60.0,
+            tolerance_ms: 10.0,
+            candidates: 3,
+            max_iterations: 150,
+            ..ScdConfig::default()
+        };
+        let (found, evals) = random_search(
+            &b,
+            &est,
+            &AccuracyModel::paper_calibrated(),
+            &cfg,
+            codesign_dnn::quant::Activation::Relu,
+        );
+        assert!(evals > 0);
+        for c in &found {
+            assert!((c.latency_ms - 60.0).abs() < 10.0);
+            assert!(c.point.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn max_pf_fits_device() {
+        let (b, est) = estimator(13);
+        let point = DesignPoint::initial(b, 4);
+        let pf = choose_max_parallel_factor(&point, &est);
+        let mut probe = point;
+        probe.parallel_factor = pf;
+        let e = est.estimate_point(&probe).unwrap();
+        assert!(est.fits(&e), "chosen PF {pf} does not fit");
+        assert!(pf >= 16, "suspiciously small PF {pf}");
+    }
+}

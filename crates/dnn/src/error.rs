@@ -1,0 +1,92 @@
+//! Error type shared across the DNN IR.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating DNN models.
+///
+/// # Example
+///
+/// ```
+/// use codesign_dnn::{DnnError, TensorShape, LayerOp};
+///
+/// let shape = TensorShape::new(3, 7, 7);
+/// // A 2x2 pooling with stride 2 on a 7x7 map is fine, but a conv whose
+/// // kernel exceeds the feature map is not.
+/// let err = LayerOp::conv(9, 16).output_shape(shape).unwrap_err();
+/// assert!(matches!(err, DnnError::ShapeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DnnError {
+    /// A layer cannot be applied to the given input shape.
+    ShapeMismatch {
+        /// Human-readable description of the failing operator.
+        op: String,
+        /// Explanation of the incompatibility.
+        reason: String,
+    },
+    /// A Bundle was constructed with no computational IPs.
+    EmptyBundle,
+    /// A Bundle requested more computational IPs than the template allows.
+    TooManyIps {
+        /// Number of computational IPs requested.
+        requested: usize,
+        /// Maximum allowed by the template (2 for IoT-scale devices).
+        limit: usize,
+    },
+    /// A design-point parameter is outside its legal domain.
+    InvalidParameter {
+        /// Parameter name, e.g. `"channel expansion factor"`.
+        name: String,
+        /// Offending value rendered as text.
+        value: String,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::ShapeMismatch { op, reason } => {
+                write!(f, "shape mismatch in {op}: {reason}")
+            }
+            DnnError::EmptyBundle => write!(f, "bundle contains no computational IPs"),
+            DnnError::TooManyIps { requested, limit } => write!(
+                f,
+                "bundle requests {requested} computational IPs, template limit is {limit}"
+            ),
+            DnnError::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = DnnError::EmptyBundle;
+        let s = e.to_string();
+        assert!(s.starts_with("bundle"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+
+    #[test]
+    fn display_mentions_parameter_name() {
+        let e = DnnError::InvalidParameter {
+            name: "pf".into(),
+            value: "0".into(),
+        };
+        assert!(e.to_string().contains("pf"));
+    }
+}

@@ -1,0 +1,406 @@
+//! The co-design space of Table 1.
+//!
+//! A [`DesignPoint`] fixes every variable the co-design flow searches
+//! over: the Bundle, the number of replications `N`, the down-sampling
+//! vector `X`, the channel-expansion vector `Π`, the shared parallel
+//! factor `PF` and quantization scheme `Q` of the IP instances, and the
+//! activation function. Together these specify both the DNN model and
+//! its accelerator (paper Sec. 3.1).
+
+use crate::bundle::Bundle;
+use crate::error::DnnError;
+use crate::quant::{Activation, Quantization};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Channel-expansion factors available to the SCD unit (paper
+/// Sec. 5.2.2): `{1.2, 1.3, 1.5, 1.75, 2}` plus `1.0` ("do not expand").
+pub const CHANNEL_EXPANSION_FACTORS: [f64; 6] = [1.0, 1.2, 1.3, 1.5, 1.75, 2.0];
+
+/// Canonical parallel factors swept by the coarse evaluation (the paper
+/// sweeps PF = 4/8/16 in Fig. 4 and uses the maximum that fits for the
+/// final designs).
+pub const PARALLEL_FACTORS: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
+
+/// Largest legal parallel factor. Any multiple of
+/// [`PARALLEL_FACTOR_STEP`] up to this bound is a legal `PF`, matching
+/// HLS array-partition factors.
+pub const MAX_PARALLEL_FACTOR: usize = 512;
+
+/// Granularity of legal parallel factors.
+pub const PARALLEL_FACTOR_STEP: usize = 4;
+
+/// True when `pf` is a legal parallel factor: a positive multiple of
+/// [`PARALLEL_FACTOR_STEP`] no larger than [`MAX_PARALLEL_FACTOR`].
+pub fn is_legal_parallel_factor(pf: usize) -> bool {
+    pf >= PARALLEL_FACTOR_STEP && pf <= MAX_PARALLEL_FACTOR && pf % PARALLEL_FACTOR_STEP == 0
+}
+
+/// A fully specified point in the co-design space.
+///
+/// # Example
+///
+/// ```
+/// use codesign_dnn::{bundle, space::DesignPoint};
+///
+/// let bundles = bundle::enumerate_bundles();
+/// let p = DesignPoint::initial(bundles[0].clone(), 3);
+/// assert_eq!(p.replications(), 3);
+/// assert_eq!(p.channel_expansion().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The Bundle replicated to build the DNN.
+    pub bundle: Bundle,
+    /// Number of Bundle replications `N`.
+    pub n_replications: usize,
+    /// Down-sampling vector `X`: `downsample[i]` is true when a 2x2
+    /// down-sampling layer is inserted *after* replication `i`.
+    pub downsample: Vec<bool>,
+    /// Channel-expansion vector `Π`: `expansion[i]` multiplies the
+    /// channel width entering replication `i`. Values are drawn from
+    /// [`CHANNEL_EXPANSION_FACTORS`].
+    pub expansion: Vec<f64>,
+    /// Shared parallel factor `PF` of all IP instances. Kept consistent
+    /// across instances to allow IP reuse across layers (Sec. 5.2.1).
+    pub parallel_factor: usize,
+    /// Activation function; fixes the quantization scheme `Q`.
+    pub activation: Activation,
+    /// Base channel width entering the first replication.
+    pub base_channels: usize,
+    /// Upper bound on channel width anywhere in the DNN (e.g. 512 for
+    /// DNN1 in Fig. 6). Expansion saturates at this cap.
+    pub max_channels: usize,
+}
+
+impl DesignPoint {
+    /// Creates the initial design point used by DNN initialization
+    /// (paper Sec. 5.2.1): `n` replications, down-sampling after every
+    /// replication except the last, expansion factor 2 for
+    /// channel-expanding Bundles and 1 otherwise, PF = 16, `Relu`.
+    pub fn initial(bundle: Bundle, n: usize) -> Self {
+        let n = n.max(1);
+        let expand = if bundle.can_expand_channels() { 2.0 } else { 1.0 };
+        Self {
+            downsample: (0..n).map(|i| i + 1 < n).collect(),
+            expansion: (0..n).map(|i| if i == 0 { 1.0 } else { expand }).collect(),
+            bundle,
+            n_replications: n,
+            parallel_factor: 16,
+            activation: Activation::Relu,
+            base_channels: 32,
+            max_channels: 512,
+        }
+    }
+
+    /// Number of Bundle replications `N`.
+    pub fn replications(&self) -> usize {
+        self.n_replications
+    }
+
+    /// The down-sampling vector `X`.
+    pub fn downsampling(&self) -> &[bool] {
+        &self.downsample
+    }
+
+    /// The channel-expansion vector `Π`.
+    pub fn channel_expansion(&self) -> &[f64] {
+        &self.expansion
+    }
+
+    /// Quantization scheme implied by the activation function.
+    pub fn quantization(&self) -> Quantization {
+        self.activation.quantization()
+    }
+
+    /// Channel width entering replication `i` (0-based), applying the
+    /// expansion vector cumulatively from `base_channels` and saturating
+    /// at `max_channels`. Widths are rounded to the nearest multiple of
+    /// 8 (and at least 8) so that feature maps pack evenly into BRAM
+    /// words.
+    pub fn channels_at(&self, i: usize) -> usize {
+        let mut ch = self.base_channels as f64;
+        for rep in 0..=i.min(self.n_replications.saturating_sub(1)) {
+            let f = self.expansion.get(rep).copied().unwrap_or(1.0);
+            ch = (ch * f).min(self.max_channels as f64);
+        }
+        let rounded = ((ch / 8.0).round() as usize).max(1) * 8;
+        rounded.min(self.max_channels)
+    }
+
+    /// Number of down-sampling layers in the design.
+    pub fn downsample_count(&self) -> usize {
+        self.downsample.iter().filter(|&&d| d).count()
+    }
+
+    /// Validates the point's parameters against their legal domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidParameter`] for a zero replication
+    /// count, vectors whose length disagrees with `N`, an expansion
+    /// factor outside [`CHANNEL_EXPANSION_FACTORS`], an illegal parallel
+    /// factor (see [`is_legal_parallel_factor`]), or zero channel widths.
+    pub fn validate(&self) -> Result<(), DnnError> {
+        if self.n_replications == 0 {
+            return Err(DnnError::InvalidParameter {
+                name: "n_replications".into(),
+                value: "0".into(),
+            });
+        }
+        if self.downsample.len() != self.n_replications {
+            return Err(DnnError::InvalidParameter {
+                name: "downsample vector length".into(),
+                value: self.downsample.len().to_string(),
+            });
+        }
+        if self.expansion.len() != self.n_replications {
+            return Err(DnnError::InvalidParameter {
+                name: "expansion vector length".into(),
+                value: self.expansion.len().to_string(),
+            });
+        }
+        for &f in &self.expansion {
+            if !CHANNEL_EXPANSION_FACTORS.iter().any(|&g| (g - f).abs() < 1e-9) {
+                return Err(DnnError::InvalidParameter {
+                    name: "channel expansion factor".into(),
+                    value: format!("{f}"),
+                });
+            }
+        }
+        if !is_legal_parallel_factor(self.parallel_factor) {
+            return Err(DnnError::InvalidParameter {
+                name: "parallel factor".into(),
+                value: self.parallel_factor.to_string(),
+            });
+        }
+        if self.base_channels == 0 || self.max_channels == 0 {
+            return Err(DnnError::InvalidParameter {
+                name: "channel width".into(),
+                value: "0".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with `delta` added to the replication count
+    /// (saturating at 1 below), resizing the `X` and `Π` vectors to
+    /// match. New entries default to no down-sampling and no expansion.
+    pub fn with_replication_delta(&self, delta: isize) -> Self {
+        let n = (self.n_replications as isize + delta).max(1) as usize;
+        let mut out = self.clone();
+        out.n_replications = n;
+        out.downsample.resize(n, false);
+        out.expansion.resize(n, 1.0);
+        out
+    }
+
+    /// Returns a copy with the expansion vector moved `delta` steps
+    /// through the factor ladder. Positive deltas raise the earliest
+    /// non-maximal entries one rung at a time; negative deltas lower the
+    /// latest non-minimal entries. The first entry (the stem width) is
+    /// never modified.
+    pub fn with_expansion_delta(&self, delta: isize) -> Self {
+        let mut out = self.clone();
+        let steps = delta.unsigned_abs();
+        for _ in 0..steps {
+            if delta > 0 {
+                if let Some(slot) = out
+                    .expansion
+                    .iter()
+                    .skip(1)
+                    .position(|&f| f < 2.0 - 1e-9)
+                    .map(|p| p + 1)
+                {
+                    out.expansion[slot] = next_factor_up(out.expansion[slot]);
+                } else {
+                    break;
+                }
+            } else if let Some(slot) = out.expansion.iter().rposition(|&f| f > 1.0 + 1e-9) {
+                out.expansion[slot] = next_factor_down(out.expansion[slot]);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with the down-sampling vector moved `delta` steps:
+    /// positive deltas set the earliest cleared spot, negative deltas
+    /// clear the latest set spot. More down-sampling shrinks feature maps
+    /// and therefore latency.
+    pub fn with_downsample_delta(&self, delta: isize) -> Self {
+        let mut out = self.clone();
+        let steps = delta.unsigned_abs();
+        for _ in 0..steps {
+            if delta > 0 {
+                if let Some(slot) = out.downsample.iter().position(|&d| !d) {
+                    out.downsample[slot] = true;
+                } else {
+                    break;
+                }
+            } else if let Some(slot) = out.downsample.iter().rposition(|&d| d) {
+                out.downsample[slot] = false;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x{} pf={} {} ch<={}",
+            self.bundle, self.n_replications, self.parallel_factor, self.activation,
+            self.max_channels
+        )
+    }
+}
+
+fn next_factor_up(f: f64) -> f64 {
+    CHANNEL_EXPANSION_FACTORS
+        .iter()
+        .copied()
+        .find(|&g| g > f + 1e-9)
+        .unwrap_or(2.0)
+}
+
+fn next_factor_down(f: f64) -> f64 {
+    CHANNEL_EXPANSION_FACTORS
+        .iter()
+        .rev()
+        .copied()
+        .find(|&g| g < f - 1e-9)
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{bundle_by_id, BundleId};
+    use proptest::prelude::*;
+
+    fn point() -> DesignPoint {
+        DesignPoint::initial(bundle_by_id(BundleId(13)).unwrap(), 4)
+    }
+
+    #[test]
+    fn initial_point_is_valid() {
+        point().validate().unwrap();
+    }
+
+    #[test]
+    fn initial_downsamples_between_bundles() {
+        let p = point();
+        assert_eq!(p.downsample, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn channels_round_to_multiple_of_8() {
+        let p = point();
+        for i in 0..p.replications() {
+            assert_eq!(p.channels_at(i) % 8, 0, "rep {i}");
+        }
+    }
+
+    #[test]
+    fn channels_saturate_at_cap() {
+        let mut p = point();
+        p.max_channels = 64;
+        assert!(p.channels_at(3) <= 64);
+    }
+
+    #[test]
+    fn replication_delta_resizes_vectors() {
+        let p = point().with_replication_delta(2);
+        assert_eq!(p.n_replications, 6);
+        assert_eq!(p.downsample.len(), 6);
+        assert_eq!(p.expansion.len(), 6);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn replication_delta_saturates_at_one() {
+        let p = point().with_replication_delta(-10);
+        assert_eq!(p.n_replications, 1);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn expansion_delta_moves_along_ladder() {
+        let mut p = point();
+        p.expansion = vec![1.0, 1.0, 1.0, 1.0];
+        let up = p.with_expansion_delta(1);
+        assert_eq!(up.expansion, vec![1.0, 1.2, 1.0, 1.0]);
+        let down = up.with_expansion_delta(-1);
+        assert_eq!(down.expansion, vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn expansion_delta_never_touches_stem_entry() {
+        let p = point().with_expansion_delta(20);
+        assert_eq!(p.expansion[0], 1.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn downsample_delta_sets_and_clears() {
+        let mut p = point();
+        p.downsample = vec![false; 4];
+        let set = p.with_downsample_delta(2);
+        assert_eq!(set.downsample, vec![true, true, false, false]);
+        let cleared = set.with_downsample_delta(-1);
+        assert_eq!(cleared.downsample, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_expansion() {
+        let mut p = point();
+        p.expansion[1] = 1.4;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_pf() {
+        let mut p = point();
+        p.parallel_factor = 5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_vectors() {
+        let mut p = point();
+        p.downsample.pop();
+        assert!(p.validate().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_moves_preserve_validity(reps in 1usize..8, up in 0isize..6, ds in -3isize..4) {
+            let p = DesignPoint::initial(bundle_by_id(BundleId(1)).unwrap(), reps)
+                .with_expansion_delta(up)
+                .with_downsample_delta(ds);
+            prop_assert!(p.validate().is_ok());
+        }
+
+        #[test]
+        fn prop_channels_monotone_nondecreasing(reps in 1usize..8) {
+            let p = DesignPoint::initial(bundle_by_id(BundleId(1)).unwrap(), reps);
+            for i in 1..reps {
+                prop_assert!(p.channels_at(i) >= p.channels_at(i - 1));
+            }
+        }
+
+        #[test]
+        fn prop_expansion_round_trip(steps in 1isize..5) {
+            let base = DesignPoint::initial(bundle_by_id(BundleId(13)).unwrap(), 5);
+            let mut flat = base.clone();
+            flat.expansion = vec![1.0; 5];
+            let moved = flat.with_expansion_delta(steps).with_expansion_delta(-steps);
+            prop_assert_eq!(moved.expansion, flat.expansion);
+        }
+    }
+}

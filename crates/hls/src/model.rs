@@ -1,0 +1,336 @@
+//! Analytic latency and resource models (paper Eqs. 1-5).
+//!
+//! The co-design search must evaluate thousands of candidate designs;
+//! running synthesis (here: the Tile-Arch simulator) for each would be
+//! too slow in the paper's setting, so Auto-DNN uses closed-form models
+//! whose per-Bundle coefficients come from Auto-HLS sampling:
+//!
+//! * Eq. 1: `Res^r_bund_i = Σ_j Res^r_j + Γ^r_i` — IP instance
+//!   resources plus fitted overhead `Γ` (buffers, control, muxes).
+//! * Eq. 2: `Lat_bund_i = α_i · Σ_j Comp_j + β_i · Θ(Data_i) / bw` —
+//!   sequential compute shrunk by the pipelining-overlap factor `α`,
+//!   plus the non-hidden fraction `β` of the data movement.
+//! * Eq. 3: `Comp_j = Σ reuse_j · lat_j` — IP invocation latency times
+//!   the number of tile reuses.
+//! * Eq. 4: `Lat_DNN = Σ_i Lat_bund_i + φ · Lat_DM` — Bundle latencies
+//!   plus inter-bundle data-movement latency weighted by `φ`.
+//! * Eq. 5: `Res_DNN = Res_bund + γ · Res_ctl` — accelerator resources
+//!   plus control overhead weighted by `γ`.
+
+use crate::calibrate::CalibratedParams;
+use codesign_dnn::builder::DnnBuilder;
+use codesign_dnn::space::DesignPoint;
+use codesign_dnn::{Dnn, DnnError, LayerInstance};
+use codesign_sim::device::FpgaDevice;
+use codesign_sim::error::SimError;
+use codesign_sim::pipeline::{accelerator_resources, AccelConfig};
+use codesign_sim::report::ResourceUsage;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fast analytic estimate of one design's cost, the quantities
+/// `Est_Lat` and `Est_Res` consumed by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Estimated end-to-end latency in cycles.
+    pub latency_cycles: u64,
+    /// Estimated accelerator resource usage.
+    pub resources: ResourceUsage,
+}
+
+impl Estimate {
+    /// Latency in milliseconds at `clock_mhz`.
+    pub fn latency_ms(&self, clock_mhz: f64) -> f64 {
+        self.latency_cycles as f64 / (clock_mhz * 1e3)
+    }
+
+    /// Frames per second at `clock_mhz`.
+    pub fn fps(&self, clock_mhz: f64) -> f64 {
+        1000.0 / self.latency_ms(clock_mhz)
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "~{} cycles, {}", self.latency_cycles, self.resources)
+    }
+}
+
+/// Errors from the estimator: either the DNN cannot be built or the
+/// accelerator mapping fails.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EstimateError {
+    /// The design point does not elaborate into a DNN.
+    Dnn(DnnError),
+    /// The accelerator mapping failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::Dnn(e) => write!(f, "dnn elaboration failed: {e}"),
+            EstimateError::Sim(e) => write!(f, "accelerator mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstimateError::Dnn(e) => Some(e),
+            EstimateError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<DnnError> for EstimateError {
+    fn from(e: DnnError) -> Self {
+        EstimateError::Dnn(e)
+    }
+}
+
+impl From<SimError> for EstimateError {
+    fn from(e: SimError) -> Self {
+        EstimateError::Sim(e)
+    }
+}
+
+/// Sequential compute cycles of one pipeline group (Eq. 3): each layer's
+/// per-tile invocation latency times its tile reuse count.
+pub(crate) fn group_compute_cycles(
+    group: &[&LayerInstance],
+    cfg: &AccelConfig,
+) -> Result<u64, SimError> {
+    let first = group.first().expect("non-empty group");
+    let tiles_h = first.input.h.div_ceil(cfg.tile_h).max(1);
+    let tiles_w = first.input.w.div_ceil(cfg.tile_w).max(1);
+    let n_tiles = (tiles_h * tiles_w) as u64;
+    let mut cycles = 0u64;
+    for layer in group {
+        let ip = cfg.instance_for(&layer.op)?;
+        let th = layer.output.h.div_ceil(tiles_h).clamp(1, layer.output.h);
+        let tw = layer.output.w.div_ceil(tiles_w).clamp(1, layer.output.w);
+        cycles += ip.invocation_cycles(&layer.op, th, tw, layer.input.c, layer.output.c) * n_tiles;
+    }
+    Ok(cycles)
+}
+
+/// Data volume `Θ(Data_i)` of a group in bytes: Bundle input + output
+/// feature maps plus streamed weights.
+pub(crate) fn group_data_bytes(group: &[&LayerInstance], cfg: &AccelConfig) -> u64 {
+    let first = group.first().expect("non-empty group");
+    let last = group.last().expect("non-empty group");
+    let qbytes = cfg.quant.bytes() as u64;
+    let fm = (first.input.elements() + last.output.elements()) as u64 * qbytes;
+    let weights: u64 = group
+        .iter()
+        .map(|l| l.op.params(l.input) * qbytes)
+        .sum();
+    fm + weights
+}
+
+pub(crate) fn pipeline_groups(dnn: &Dnn) -> Vec<Vec<&LayerInstance>> {
+    let mut groups: Vec<Vec<&LayerInstance>> = Vec::new();
+    let mut current_key: Option<Option<usize>> = None;
+    for layer in dnn.layers() {
+        let key = Some(layer.bundle_rep);
+        if current_key != key {
+            groups.push(Vec::new());
+            current_key = key;
+        }
+        groups.last_mut().expect("pushed above").push(layer);
+    }
+    groups
+}
+
+/// The Auto-HLS analytic estimator: applies the calibrated Eqs. 1-5 to
+/// design points, giving Algorithm 1 its `Est_Lat` / `Est_Res` oracle.
+#[derive(Debug, Clone)]
+pub struct HlsEstimator {
+    params: CalibratedParams,
+    device: FpgaDevice,
+    builder: DnnBuilder,
+}
+
+impl HlsEstimator {
+    /// Creates an estimator from calibrated coefficients and the target
+    /// device.
+    pub fn new(params: CalibratedParams, device: FpgaDevice) -> Self {
+        Self {
+            params,
+            device,
+            builder: DnnBuilder::new(),
+        }
+    }
+
+    /// Replaces the DNN builder (e.g. for a different input resolution).
+    pub fn with_builder(mut self, builder: DnnBuilder) -> Self {
+        self.builder = builder;
+        self
+    }
+
+    /// The calibrated coefficients in use.
+    pub fn params(&self) -> &CalibratedParams {
+        &self.params
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Estimates latency (Eqs. 2-4) and resources (Eqs. 1 and 5) of an
+    /// elaborated DNN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::Sim`] when the DNN contains operators
+    /// outside the IP pool.
+    pub fn estimate_dnn(&self, dnn: &Dnn) -> Result<Estimate, EstimateError> {
+        let cfg = AccelConfig::new(self.params.parallel_factor, dnn.quantization());
+        let bw = self.device.dram_bytes_per_cycle;
+
+        let mut latency = 0.0f64;
+        let mut inter_bundle_bytes = 0u64;
+        for group in pipeline_groups(dnn) {
+            let comp = group_compute_cycles(&group, &cfg)? as f64;
+            let data = group_data_bytes(&group, &cfg) as f64;
+            // Eq. 2 with the Bundle's fitted alpha / beta.
+            latency += self.params.alpha * comp + self.params.beta * data / bw;
+            let last = group.last().expect("non-empty");
+            inter_bundle_bytes += last.output.elements() as u64 * cfg.quant.bytes() as u64;
+        }
+        // Eq. 4: phi-weighted inter-bundle data movement.
+        let lat_dm = inter_bundle_bytes as f64 / bw;
+        latency += self.params.phi * lat_dm;
+
+        // Eqs. 1 and 5: IP instances + buffers, plus gamma-weighted
+        // control overhead.
+        let base = accelerator_resources(dnn, &cfg)?;
+        let resources = ResourceUsage {
+            dsp: base.dsp,
+            lut: (base.lut as f64 * self.params.gamma).round() as u64,
+            ff: (base.ff as f64 * self.params.gamma).round() as u64,
+            bram_18k: base.bram_18k,
+        };
+
+        Ok(Estimate {
+            latency_cycles: latency.max(0.0).round() as u64,
+            resources,
+        })
+    }
+
+    /// Builds the design point's DNN (with the point's own parallel
+    /// factor) and estimates it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DNN elaboration failures (e.g. over-downsampled
+    /// feature maps) as [`EstimateError::Dnn`].
+    pub fn estimate_point(&self, point: &DesignPoint) -> Result<Estimate, EstimateError> {
+        let dnn = self.builder.build(point)?;
+        let mut with_pf = self.clone();
+        with_pf.params.parallel_factor = point.parallel_factor;
+        with_pf.estimate_dnn(&dnn)
+    }
+
+    /// True when the estimate fits the target device.
+    pub fn fits(&self, estimate: &Estimate) -> bool {
+        self.device.check_fit(&estimate.resources).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::bundle::{bundle_by_id, BundleId};
+    use codesign_dnn::quant::Activation;
+    use codesign_sim::device::pynq_z1;
+
+    fn estimator_for(id: usize) -> HlsEstimator {
+        let b = bundle_by_id(BundleId(id)).unwrap();
+        let params = crate::calibrate::calibrate_bundle(&b, &pynq_z1()).unwrap();
+        HlsEstimator::new(params, pynq_z1())
+    }
+
+    #[test]
+    fn estimates_are_positive() {
+        let est = estimator_for(13);
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let e = est.estimate_point(&DesignPoint::initial(b, 3)).unwrap();
+        assert!(e.latency_cycles > 0);
+        assert!(e.resources.dsp > 0);
+    }
+
+    #[test]
+    fn latency_monotone_in_depth() {
+        let est = estimator_for(13);
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let small = est.estimate_point(&DesignPoint::initial(b.clone(), 2)).unwrap();
+        let large = est.estimate_point(&DesignPoint::initial(b, 5)).unwrap();
+        assert!(large.latency_cycles > small.latency_cycles);
+    }
+
+    #[test]
+    fn pf_in_point_overrides_calibration_pf() {
+        let est = estimator_for(1);
+        let b = bundle_by_id(BundleId(1)).unwrap();
+        let mut slow = DesignPoint::initial(b.clone(), 3);
+        slow.parallel_factor = 8;
+        let mut fast = DesignPoint::initial(b, 3);
+        fast.parallel_factor = 64;
+        let e_slow = est.estimate_point(&slow).unwrap();
+        let e_fast = est.estimate_point(&fast).unwrap();
+        assert!(e_fast.latency_cycles < e_slow.latency_cycles);
+        assert!(e_fast.resources.dsp > e_slow.resources.dsp);
+    }
+
+    #[test]
+    fn int16_estimates_cost_more_dsp() {
+        let est = estimator_for(1);
+        let b = bundle_by_id(BundleId(1)).unwrap();
+        let mut p8 = DesignPoint::initial(b.clone(), 3);
+        p8.activation = Activation::Relu4;
+        let mut p16 = DesignPoint::initial(b, 3);
+        p16.activation = Activation::Relu;
+        let e8 = est.estimate_point(&p8).unwrap();
+        let e16 = est.estimate_point(&p16).unwrap();
+        assert!(e16.resources.dsp > e8.resources.dsp);
+    }
+
+    #[test]
+    fn invalid_point_maps_to_dnn_error() {
+        let est = estimator_for(1);
+        let b = bundle_by_id(BundleId(1)).unwrap();
+        let mut p = DesignPoint::initial(b, 3);
+        p.parallel_factor = 3;
+        assert!(matches!(
+            est.estimate_point(&p).unwrap_err(),
+            EstimateError::Dnn(_)
+        ));
+    }
+
+    #[test]
+    fn fits_detects_oversized_designs() {
+        let est = estimator_for(10);
+        let b = bundle_by_id(BundleId(10)).unwrap();
+        let mut p = DesignPoint::initial(b, 4);
+        p.parallel_factor = 512;
+        p.activation = Activation::Relu;
+        let e = est.estimate_point(&p).unwrap();
+        assert!(!est.fits(&e));
+    }
+
+    #[test]
+    fn estimate_display_and_fps() {
+        let e = Estimate {
+            latency_cycles: 5_000_000,
+            resources: ResourceUsage::zero(),
+        };
+        assert!((e.latency_ms(100.0) - 50.0).abs() < 1e-9);
+        assert!((e.fps(100.0) - 20.0).abs() < 1e-9);
+        assert!(e.to_string().contains("5000000"));
+    }
+}

@@ -1,0 +1,649 @@
+//! Forward and backward passes for the co-design layer zoo.
+//!
+//! All spatial operators use the same conventions as the hardware IR in
+//! [`codesign_dnn::layer`]: "same" padding for convolutions (stride 1)
+//! and non-overlapping windows for pooling. Convolution forward passes
+//! parallelize over output channels with `crossbeam` scoped threads.
+
+use crate::tensor::Tensor;
+use codesign_dnn::quant::Activation;
+use serde::{Deserialize, Serialize};
+
+/// Output-channel count above which convolutions fan out across threads.
+const PARALLEL_THRESHOLD: usize = 16;
+
+/// Parameters of a standard convolution: weights `[oc][ic][k][k]`
+/// (flattened) and per-output-channel bias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvParams {
+    /// Kernel size.
+    pub k: usize,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Flattened weights, length `oc * ic * k * k`.
+    pub weights: Vec<f32>,
+    /// Bias, length `oc`.
+    pub bias: Vec<f32>,
+}
+
+impl ConvParams {
+    /// Zero-initialized parameters of the given geometry.
+    pub fn zeros(k: usize, in_ch: usize, out_ch: usize) -> Self {
+        Self {
+            k,
+            in_ch,
+            out_ch,
+            weights: vec![0.0; out_ch * in_ch * k * k],
+            bias: vec![0.0; out_ch],
+        }
+    }
+
+    #[inline]
+    fn w(&self, oc: usize, ic: usize, dy: usize, dx: usize) -> f32 {
+        self.weights[((oc * self.in_ch + ic) * self.k + dy) * self.k + dx]
+    }
+}
+
+/// Parameters of a depth-wise convolution: weights `[c][k][k]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DwConvParams {
+    /// Kernel size.
+    pub k: usize,
+    /// Channel count.
+    pub ch: usize,
+    /// Flattened weights, length `c * k * k`.
+    pub weights: Vec<f32>,
+    /// Bias, length `c`.
+    pub bias: Vec<f32>,
+}
+
+impl DwConvParams {
+    /// Zero-initialized parameters.
+    pub fn zeros(k: usize, ch: usize) -> Self {
+        Self {
+            k,
+            ch,
+            weights: vec![0.0; ch * k * k],
+            bias: vec![0.0; ch],
+        }
+    }
+
+    #[inline]
+    fn w(&self, c: usize, dy: usize, dx: usize) -> f32 {
+        self.weights[(c * self.k + dy) * self.k + dx]
+    }
+}
+
+/// Parameters of a folded batch-norm: per-channel scale and bias.
+///
+/// At inference batch normalization folds into `y = x * scale + bias`;
+/// we train that folded form directly, which keeps the software model
+/// aligned with what the accelerator executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleBiasParams {
+    /// Per-channel scale, initialized to 1.
+    pub scale: Vec<f32>,
+    /// Per-channel bias, initialized to 0.
+    pub bias: Vec<f32>,
+}
+
+impl ScaleBiasParams {
+    /// Identity scale-bias over `ch` channels.
+    pub fn identity(ch: usize) -> Self {
+        Self {
+            scale: vec![1.0; ch],
+            bias: vec![0.0; ch],
+        }
+    }
+}
+
+/// Standard convolution forward pass, same padding, stride 1.
+///
+/// # Panics
+///
+/// Panics when `x` does not match the parameter geometry.
+pub fn conv_forward(x: &Tensor, p: &ConvParams) -> Tensor {
+    assert_eq!(x.channels(), p.in_ch, "conv input channel mismatch");
+    let (h, w) = (x.height(), x.width());
+    let pad = p.k / 2;
+    let mut y = Tensor::zeros(&[p.out_ch, h, w]);
+    let hw = h * w;
+    let run = |oc_range: std::ops::Range<usize>, out: &mut [f32]| {
+        for (slot, oc) in oc_range.enumerate() {
+            for yy in 0..h {
+                for xx in 0..w {
+                    let mut acc = p.bias[oc];
+                    for ic in 0..p.in_ch {
+                        for dy in 0..p.k {
+                            let sy = yy + dy;
+                            if sy < pad || sy - pad >= h {
+                                continue;
+                            }
+                            for dx in 0..p.k {
+                                let sx = xx + dx;
+                                if sx < pad || sx - pad >= w {
+                                    continue;
+                                }
+                                acc += x.at(ic, sy - pad, sx - pad) * p.w(oc, ic, dy, dx);
+                            }
+                        }
+                    }
+                    out[slot * hw + yy * w + xx] = acc;
+                }
+            }
+        }
+    };
+    if p.out_ch >= PARALLEL_THRESHOLD {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(p.out_ch);
+        let chunk = p.out_ch.div_ceil(threads);
+        let data = y.data_mut();
+        crossbeam::thread::scope(|s| {
+            for (i, slice) in data.chunks_mut(chunk * hw).enumerate() {
+                let start = i * chunk;
+                let end = (start + slice.len() / hw).min(p.out_ch);
+                s.spawn(move |_| run(start..end, slice));
+            }
+        })
+        .expect("conv worker panicked");
+    } else {
+        run(0..p.out_ch, y.data_mut());
+    }
+    y
+}
+
+/// Standard convolution backward pass: returns `(dx, dweights, dbias)`.
+pub fn conv_backward(x: &Tensor, p: &ConvParams, dy: &Tensor) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let (h, w) = (x.height(), x.width());
+    let pad = p.k / 2;
+    let mut dx = Tensor::zeros(&[p.in_ch, h, w]);
+    let mut dw = vec![0.0f32; p.weights.len()];
+    let mut db = vec![0.0f32; p.out_ch];
+    for oc in 0..p.out_ch {
+        for yy in 0..h {
+            for xx in 0..w {
+                let g = dy.at(oc, yy, xx);
+                if g == 0.0 {
+                    continue;
+                }
+                db[oc] += g;
+                for ic in 0..p.in_ch {
+                    for ddy in 0..p.k {
+                        let sy = yy + ddy;
+                        if sy < pad || sy - pad >= h {
+                            continue;
+                        }
+                        for ddx in 0..p.k {
+                            let sx = xx + ddx;
+                            if sx < pad || sx - pad >= w {
+                                continue;
+                            }
+                            let xi = x.at(ic, sy - pad, sx - pad);
+                            dw[((oc * p.in_ch + ic) * p.k + ddy) * p.k + ddx] += g * xi;
+                            *dx.at_mut(ic, sy - pad, sx - pad) += g * p.w(oc, ic, ddy, ddx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (dx, dw, db)
+}
+
+/// Depth-wise convolution forward pass, same padding, stride 1.
+pub fn dwconv_forward(x: &Tensor, p: &DwConvParams) -> Tensor {
+    assert_eq!(x.channels(), p.ch, "dwconv channel mismatch");
+    let (h, w) = (x.height(), x.width());
+    let pad = p.k / 2;
+    let mut y = Tensor::zeros(&[p.ch, h, w]);
+    for c in 0..p.ch {
+        for yy in 0..h {
+            for xx in 0..w {
+                let mut acc = p.bias[c];
+                for dy in 0..p.k {
+                    let sy = yy + dy;
+                    if sy < pad || sy - pad >= h {
+                        continue;
+                    }
+                    for dx in 0..p.k {
+                        let sx = xx + dx;
+                        if sx < pad || sx - pad >= w {
+                            continue;
+                        }
+                        acc += x.at(c, sy - pad, sx - pad) * p.w(c, dy, dx);
+                    }
+                }
+                *y.at_mut(c, yy, xx) = acc;
+            }
+        }
+    }
+    y
+}
+
+/// Depth-wise convolution backward pass: `(dx, dweights, dbias)`.
+pub fn dwconv_backward(x: &Tensor, p: &DwConvParams, dy: &Tensor) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let (h, w) = (x.height(), x.width());
+    let pad = p.k / 2;
+    let mut dx = Tensor::zeros(&[p.ch, h, w]);
+    let mut dw = vec![0.0f32; p.weights.len()];
+    let mut db = vec![0.0f32; p.ch];
+    for c in 0..p.ch {
+        for yy in 0..h {
+            for xx in 0..w {
+                let g = dy.at(c, yy, xx);
+                if g == 0.0 {
+                    continue;
+                }
+                db[c] += g;
+                for ddy in 0..p.k {
+                    let sy = yy + ddy;
+                    if sy < pad || sy - pad >= h {
+                        continue;
+                    }
+                    for ddx in 0..p.k {
+                        let sx = xx + ddx;
+                        if sx < pad || sx - pad >= w {
+                            continue;
+                        }
+                        dw[(c * p.k + ddy) * p.k + ddx] += g * x.at(c, sy - pad, sx - pad);
+                        *dx.at_mut(c, sy - pad, sx - pad) += g * p.w(c, ddy, ddx);
+                    }
+                }
+            }
+        }
+    }
+    (dx, dw, db)
+}
+
+/// Max pooling with window `k` and stride `k`.
+pub fn maxpool_forward(x: &Tensor, k: usize) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let (oh, ow) = (h / k, w / k);
+    let mut y = Tensor::zeros(&[c, oh, ow]);
+    for cc in 0..c {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        m = m.max(x.at(cc, yy * k + dy, xx * k + dx));
+                    }
+                }
+                *y.at_mut(cc, yy, xx) = m;
+            }
+        }
+    }
+    y
+}
+
+/// Max pooling backward: gradient routed to the arg-max element.
+pub fn maxpool_backward(x: &Tensor, k: usize, dy: &Tensor) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let (oh, ow) = (h / k, w / k);
+    let mut dx = Tensor::zeros(&[c, h, w]);
+    for cc in 0..c {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let (mut best, mut by, mut bx) = (f32::NEG_INFINITY, 0, 0);
+                for dy_ in 0..k {
+                    for dx_ in 0..k {
+                        let v = x.at(cc, yy * k + dy_, xx * k + dx_);
+                        if v > best {
+                            best = v;
+                            by = yy * k + dy_;
+                            bx = xx * k + dx_;
+                        }
+                    }
+                }
+                *dx.at_mut(cc, by, bx) += dy.at(cc, yy, xx);
+            }
+        }
+    }
+    dx
+}
+
+/// Average pooling with window `k` and stride `k`.
+pub fn avgpool_forward(x: &Tensor, k: usize) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let (oh, ow) = (h / k, w / k);
+    let norm = (k * k) as f32;
+    let mut y = Tensor::zeros(&[c, oh, ow]);
+    for cc in 0..c {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let mut s = 0.0;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        s += x.at(cc, yy * k + dy, xx * k + dx);
+                    }
+                }
+                *y.at_mut(cc, yy, xx) = s / norm;
+            }
+        }
+    }
+    y
+}
+
+/// Average pooling backward: gradient spread uniformly over the window.
+pub fn avgpool_backward(x: &Tensor, k: usize, dy: &Tensor) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let (oh, ow) = (h / k, w / k);
+    let norm = (k * k) as f32;
+    let mut dx = Tensor::zeros(&[c, h, w]);
+    for cc in 0..c {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let g = dy.at(cc, yy, xx) / norm;
+                for dy_ in 0..k {
+                    for dx_ in 0..k {
+                        *dx.at_mut(cc, yy * k + dy_, xx * k + dx_) += g;
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Folded batch-norm forward: `y = x * scale[c] + bias[c]`.
+pub fn scale_bias_forward(x: &Tensor, p: &ScaleBiasParams) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let mut y = Tensor::zeros(&[c, h, w]);
+    for cc in 0..c {
+        for yy in 0..h {
+            for xx in 0..w {
+                *y.at_mut(cc, yy, xx) = x.at(cc, yy, xx) * p.scale[cc] + p.bias[cc];
+            }
+        }
+    }
+    y
+}
+
+/// Folded batch-norm backward: `(dx, dscale, dbias)`.
+pub fn scale_bias_backward(
+    x: &Tensor,
+    p: &ScaleBiasParams,
+    dy: &Tensor,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let mut dx = Tensor::zeros(&[c, h, w]);
+    let mut ds = vec![0.0f32; c];
+    let mut db = vec![0.0f32; c];
+    for cc in 0..c {
+        for yy in 0..h {
+            for xx in 0..w {
+                let g = dy.at(cc, yy, xx);
+                ds[cc] += g * x.at(cc, yy, xx);
+                db[cc] += g;
+                *dx.at_mut(cc, yy, xx) = g * p.scale[cc];
+            }
+        }
+    }
+    (dx, ds, db)
+}
+
+/// Activation forward (element-wise).
+pub fn activation_forward(x: &Tensor, act: Activation) -> Tensor {
+    let mut y = x.clone();
+    for v in y.data_mut() {
+        *v = act.apply(*v);
+    }
+    y
+}
+
+/// Activation backward: the gradient passes where the input was in the
+/// active (non-clipped, positive) region.
+pub fn activation_backward(x: &Tensor, act: Activation, dy: &Tensor) -> Tensor {
+    let mut dx = dy.clone();
+    let clip = act.clip().unwrap_or(f32::INFINITY);
+    for (g, &xi) in dx.data_mut().iter_mut().zip(x.data()) {
+        if xi <= 0.0 || xi >= clip {
+            *g = 0.0;
+        }
+    }
+    dx
+}
+
+/// Global average pooling: `CxHxW -> [C]`.
+pub fn gap_forward(x: &Tensor) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let norm = (h * w) as f32;
+    let mut y = Tensor::zeros(&[c]);
+    for cc in 0..c {
+        let mut s = 0.0;
+        for yy in 0..h {
+            for xx in 0..w {
+                s += x.at(cc, yy, xx);
+            }
+        }
+        y.data_mut()[cc] = s / norm;
+    }
+    y
+}
+
+/// Global average pooling backward.
+pub fn gap_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let norm = (h * w) as f32;
+    let mut dx = Tensor::zeros(&[c, h, w]);
+    for cc in 0..c {
+        let g = dy.data()[cc] / norm;
+        for yy in 0..h {
+            for xx in 0..w {
+                *dx.at_mut(cc, yy, xx) = g;
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn finite_diff_check(
+        f: &dyn Fn(&Tensor) -> f32,
+        grad: &Tensor,
+        x: &Tensor,
+        samples: &[(usize, usize, usize)],
+    ) {
+        let eps = 1e-3;
+        for &(c, y, xx) in samples {
+            let mut xp = x.clone();
+            *xp.at_mut(c, y, xx) += eps;
+            let mut xm = x.clone();
+            *xm.at_mut(c, y, xx) -= eps;
+            let numeric = (f(&xp) - f(&xm)) / (2.0 * eps);
+            let analytic = grad.at(c, y, xx);
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "grad mismatch at ({c},{y},{xx}): numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    fn ramp_tensor(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            shape,
+            (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect(),
+        )
+    }
+
+    fn ramp_params(k: usize, ic: usize, oc: usize) -> ConvParams {
+        let mut p = ConvParams::zeros(k, ic, oc);
+        for (i, w) in p.weights.iter_mut().enumerate() {
+            *w = ((i * 5 % 11) as f32 - 5.0) * 0.05;
+        }
+        for (i, b) in p.bias.iter_mut().enumerate() {
+            *b = i as f32 * 0.01;
+        }
+        p
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 conv with identity weights reproduces the input channel.
+        let x = ramp_tensor(&[2, 4, 4]);
+        let mut p = ConvParams::zeros(1, 2, 2);
+        p.weights[0] = 1.0; // oc0 <- ic0
+        p.weights[3] = 1.0; // oc1 <- ic1
+        let y = conv_forward(&x, &p);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn conv_same_padding_keeps_size() {
+        let x = ramp_tensor(&[3, 5, 7]);
+        let y = conv_forward(&x, &ramp_params(3, 3, 4));
+        assert_eq!(y.shape(), &[4, 5, 7]);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let x = ramp_tensor(&[2, 4, 4]);
+        let p = ramp_params(3, 2, 3);
+        let y = conv_forward(&x, &p);
+        let dy = Tensor::full(y.shape(), 1.0);
+        let (dx, dw, db) = conv_backward(&x, &p, &dy);
+        // d(sum y)/dx via finite differences.
+        let f = |x: &Tensor| conv_forward(x, &p).data().iter().sum::<f32>();
+        finite_diff_check(&f, &dx, &x, &[(0, 0, 0), (1, 2, 3), (0, 3, 1)]);
+        // Bias gradient of sum-loss equals the number of output pixels.
+        for &g in &db {
+            assert!((g - 16.0).abs() < 1e-4);
+        }
+        assert_eq!(dw.len(), p.weights.len());
+    }
+
+    #[test]
+    fn dwconv_gradients_match_finite_differences() {
+        let x = ramp_tensor(&[3, 4, 4]);
+        let mut p = DwConvParams::zeros(3, 3);
+        for (i, w) in p.weights.iter_mut().enumerate() {
+            *w = ((i % 5) as f32 - 2.0) * 0.1;
+        }
+        let y = dwconv_forward(&x, &p);
+        assert_eq!(y.shape(), x.shape());
+        let dy = Tensor::full(y.shape(), 1.0);
+        let (dx, _dw, _db) = dwconv_backward(&x, &p, &dy);
+        let f = |x: &Tensor| dwconv_forward(x, &p).data().iter().sum::<f32>();
+        finite_diff_check(&f, &dx, &x, &[(0, 1, 1), (2, 3, 0)]);
+    }
+
+    #[test]
+    fn maxpool_selects_maximum() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let y = maxpool_forward(&x, 2);
+        assert_eq!(y.data(), &[5.0]);
+        let dy = Tensor::from_vec(&[1, 1, 1], vec![2.0]);
+        let dx = maxpool_backward(&x, 2, &dy);
+        assert_eq!(dx.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]);
+        let y = avgpool_forward(&x, 2);
+        assert_eq!(y.data(), &[3.0]);
+        let dx = avgpool_backward(&x, 2, &Tensor::from_vec(&[1, 1, 1], vec![4.0]));
+        assert!(dx.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn scale_bias_round_trip() {
+        let x = ramp_tensor(&[2, 3, 3]);
+        let p = ScaleBiasParams::identity(2);
+        assert_eq!(scale_bias_forward(&x, &p), x);
+        let mut p2 = ScaleBiasParams::identity(2);
+        p2.scale = vec![2.0, 0.5];
+        p2.bias = vec![1.0, -1.0];
+        let y = scale_bias_forward(&x, &p2);
+        assert!((y.at(0, 1, 1) - (x.at(0, 1, 1) * 2.0 + 1.0)).abs() < 1e-6);
+        let (dx, ds, db) = scale_bias_backward(&x, &p2, &Tensor::full(&[2, 3, 3], 1.0));
+        assert!((dx.at(0, 0, 0) - 2.0).abs() < 1e-6);
+        assert_eq!(db, vec![9.0, 9.0]);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn activation_clips_and_masks_gradient() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, 5.0, 9.0]);
+        let y = activation_forward(&x, Activation::Relu4);
+        assert_eq!(y.data(), &[0.0, 2.0, 4.0, 4.0]);
+        let dx = activation_backward(&x, Activation::Relu4, &Tensor::full(&[4], 1.0));
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_means_and_distributes() {
+        let x = Tensor::from_vec(&[2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let y = gap_forward(&x);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+        let dx = gap_backward(&x, &Tensor::from_vec(&[2], vec![2.0, 4.0]));
+        assert_eq!(dx.data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn parallel_conv_matches_serial() {
+        // 32 output channels crosses the parallel threshold; compare to
+        // an 8-channel-at-a-time serial computation via identical params.
+        let x = ramp_tensor(&[4, 6, 6]);
+        let p = ramp_params(3, 4, 32);
+        let y = conv_forward(&x, &p);
+        // Serial reference: evaluate channel oc with a 1-output-channel
+        // parameter slice.
+        for oc in [0usize, 7, 19, 31] {
+            let mut p1 = ConvParams::zeros(3, 4, 1);
+            let stride = 4 * 9;
+            p1.weights
+                .copy_from_slice(&p.weights[oc * stride..(oc + 1) * stride]);
+            p1.bias[0] = p.bias[oc];
+            let y1 = conv_forward(&x, &p1);
+            for yy in 0..6 {
+                for xx in 0..6 {
+                    assert!((y.at(oc, yy, xx) - y1.at(0, yy, xx)).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_activation_forward_backward_shapes(n in 1usize..32) {
+            let x = Tensor::full(&[n], 0.5);
+            for act in Activation::ALL {
+                let y = activation_forward(&x, act);
+                prop_assert_eq!(y.shape(), x.shape());
+                let dx = activation_backward(&x, act, &y);
+                prop_assert_eq!(dx.shape(), x.shape());
+            }
+        }
+
+        #[test]
+        fn prop_maxpool_output_dominates(h in 2usize..8, w in 2usize..8) {
+            let x = ramp_tensor(&[2, h * 2, w * 2]);
+            let y = maxpool_forward(&x, 2);
+            // Every pooled value appears in the input.
+            for &v in y.data() {
+                prop_assert!(x.data().contains(&v));
+            }
+        }
+
+        #[test]
+        fn prop_gap_mean_matches(h in 1usize..6, w in 1usize..6, v in -5.0f32..5.0) {
+            let x = Tensor::full(&[3, h, w], v);
+            let y = gap_forward(&x);
+            for &m in y.data() {
+                prop_assert!((m - v).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! From-scratch neural-network runtime.
+//!
+//! The co-design flow of the paper trains every candidate DNN to obtain
+//! its accuracy (Fig. 1 includes a "DNN training framework" fed by
+//! Auto-DNN). This crate is that substrate, built from scratch in Rust:
+//!
+//! * [`tensor`] — a dense `f32` tensor in `C x H x W` layout with the
+//!   arithmetic needed by the layer zoo.
+//! * [`layers`] — forward and backward passes for every operator in the
+//!   co-design IP pool: convolution, depth-wise convolution, max / avg
+//!   pooling, folded batch-norm (scale + bias), the `Relu` / `Relu4` /
+//!   `Relu8` activations and global average pooling.
+//! * [`network`] — compiles a [`codesign_dnn::Dnn`] into an executable,
+//!   trainable network; SGD with momentum.
+//! * [`quantized`] — post-training int8 / int16 quantized inference that
+//!   mirrors the accelerator's fixed-point arithmetic, so quantization
+//!   accuracy loss is measurable in software.
+//! * [`train`] — the training loop: mini-batch SGD on a bounding-box
+//!   regression loss, matching the paper's 20-epoch proxy training.
+//!
+//! # Example
+//!
+//! ```
+//! use codesign_dnn::{bundle, builder::DnnBuilder, space::DesignPoint, TensorShape};
+//! use codesign_nn::network::Network;
+//! use codesign_nn::tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let b = bundle::enumerate_bundles()[12].clone();
+//! let dnn = DnnBuilder::new()
+//!     .input(TensorShape::new(3, 32, 64))
+//!     .build(&DesignPoint::initial(b, 2))?;
+//! let mut net = Network::from_dnn(&dnn, 42)?;
+//! let image = Tensor::zeros(&[3, 32, 64]);
+//! let boxes = net.forward(&image);
+//! assert_eq!(boxes.len(), 4); // (cx, cy, w, h)
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layers;
+pub mod network;
+pub mod quantized;
+pub mod tensor;
+pub mod train;
+
+pub use network::Network;
+pub use quantized::QuantizedNetwork;
+pub use tensor::Tensor;
+pub use train::{TrainConfig, Trainer};

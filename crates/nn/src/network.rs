@@ -1,0 +1,376 @@
+//! Executable, trainable networks compiled from the co-design DNN IR.
+
+use crate::layers::{
+    activation_backward, activation_forward, avgpool_backward, avgpool_forward, conv_backward,
+    conv_forward, dwconv_backward, dwconv_forward, gap_backward, gap_forward, maxpool_backward,
+    maxpool_forward, scale_bias_backward, scale_bias_forward, ConvParams, DwConvParams,
+    ScaleBiasParams,
+};
+use crate::tensor::Tensor;
+use codesign_dnn::layer::{LayerOp, PoolKind};
+use codesign_dnn::quant::Activation;
+use codesign_dnn::Dnn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Errors from compiling a DNN into an executable network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// The DNN contains an operator the runtime cannot execute.
+    UnsupportedOp {
+        /// Display form of the operator.
+        op: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::UnsupportedOp { op } => write!(f, "unsupported operator {op}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// One executable layer with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnLayer {
+    /// Standard convolution.
+    Conv(ConvParams),
+    /// Depth-wise convolution.
+    DwConv(DwConvParams),
+    /// Max pooling with window / stride `k`.
+    MaxPool(usize),
+    /// Average pooling with window / stride `k`.
+    AvgPool(usize),
+    /// Folded batch-norm.
+    ScaleBias(ScaleBiasParams),
+    /// Activation.
+    Act(Activation),
+    /// Global average pooling.
+    Gap,
+}
+
+/// Gradient and momentum buffers of one layer (empty for parameter-free
+/// layers).
+#[derive(Debug, Clone, Default)]
+struct LayerState {
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    mom_w: Vec<f32>,
+    mom_b: Vec<f32>,
+}
+
+/// An executable, trainable network.
+///
+/// # Example
+///
+/// ```
+/// use codesign_dnn::{bundle, builder::DnnBuilder, space::DesignPoint, TensorShape};
+/// use codesign_nn::{Network, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let b = bundle::enumerate_bundles()[0].clone();
+/// let dnn = DnnBuilder::new()
+///     .input(TensorShape::new(3, 16, 32))
+///     .build(&DesignPoint::initial(b, 1))?;
+/// let mut net = Network::from_dnn(&dnn, 7)?;
+/// let out = net.forward(&Tensor::zeros(&[3, 16, 32]));
+/// assert_eq!(out.shape(), &[4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    layers: Vec<NnLayer>,
+    state: Vec<LayerState>,
+    input_shape: [usize; 3],
+}
+
+impl Network {
+    /// Compiles `dnn` into an executable network with He-uniform weight
+    /// initialization seeded by `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnsupportedOp`] for operators outside the
+    /// runtime's layer zoo.
+    pub fn from_dnn(dnn: &Dnn, seed: u64) -> Result<Self, NnError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(dnn.layer_count());
+        for inst in dnn.layers() {
+            let layer = match inst.op {
+                LayerOp::Conv { k, out_channels } => {
+                    let mut p = ConvParams::zeros(k, inst.input.c, out_channels);
+                    he_init(&mut p.weights, k * k * inst.input.c, &mut rng);
+                    NnLayer::Conv(p)
+                }
+                LayerOp::DwConv { k } => {
+                    let mut p = DwConvParams::zeros(k, inst.input.c);
+                    he_init(&mut p.weights, k * k, &mut rng);
+                    NnLayer::DwConv(p)
+                }
+                LayerOp::Pool { kind: PoolKind::Max, k } => NnLayer::MaxPool(k),
+                LayerOp::Pool { kind: PoolKind::Avg, k } => NnLayer::AvgPool(k),
+                LayerOp::BatchNorm => NnLayer::ScaleBias(ScaleBiasParams::identity(inst.input.c)),
+                LayerOp::Activation { act } => NnLayer::Act(act),
+                LayerOp::GlobalAvgPool => NnLayer::Gap,
+                ref other => {
+                    return Err(NnError::UnsupportedOp {
+                        op: other.to_string(),
+                    })
+                }
+            };
+            layers.push(layer);
+        }
+        let state = layers.iter().map(|_| LayerState::default()).collect();
+        let s = dnn.input_shape();
+        Ok(Self {
+            layers,
+            state,
+            input_shape: [s.c, s.h, s.w],
+        })
+    }
+
+    /// The expected input shape `[c, h, w]`.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
+    }
+
+    /// The executable layers.
+    pub fn layers(&self) -> &[NnLayer] {
+        &self.layers
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                NnLayer::Conv(p) => p.weights.len() + p.bias.len(),
+                NnLayer::DwConv(p) => p.weights.len() + p.bias.len(),
+                NnLayer::ScaleBias(p) => p.scale.len() + p.bias.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn forward_layer(layer: &NnLayer, x: &Tensor) -> Tensor {
+        match layer {
+            NnLayer::Conv(p) => conv_forward(x, p),
+            NnLayer::DwConv(p) => dwconv_forward(x, p),
+            NnLayer::MaxPool(k) => maxpool_forward(x, *k),
+            NnLayer::AvgPool(k) => avgpool_forward(x, *k),
+            NnLayer::ScaleBias(p) => scale_bias_forward(x, p),
+            NnLayer::Act(a) => activation_forward(x, *a),
+            NnLayer::Gap => gap_forward(x),
+        }
+    }
+
+    /// Inference: runs the network on one image.
+    pub fn forward(&self, image: &Tensor) -> Tensor {
+        let mut x = image.clone();
+        for layer in &self.layers {
+            x = Self::forward_layer(layer, &x);
+        }
+        x
+    }
+
+    /// Training forward pass: returns the output and the per-layer input
+    /// cache required by [`Network::backward`].
+    pub fn forward_train(&self, image: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let mut cache = Vec::with_capacity(self.layers.len());
+        let mut x = image.clone();
+        for layer in &self.layers {
+            cache.push(x.clone());
+            x = Self::forward_layer(layer, &x);
+        }
+        (x, cache)
+    }
+
+    /// Backward pass: accumulates parameter gradients from `grad_out`
+    /// (the loss gradient w.r.t. the network output) using the cache
+    /// from [`Network::forward_train`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cache` does not come from this network's forward
+    /// pass (length mismatch).
+    pub fn backward(&mut self, cache: &[Tensor], grad_out: &Tensor) {
+        assert_eq!(cache.len(), self.layers.len(), "stale training cache");
+        let mut g = grad_out.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let x = &cache[i];
+            g = match layer {
+                NnLayer::Conv(p) => {
+                    let (dx, dw, db) = conv_backward(x, p, &g);
+                    accumulate(&mut self.state[i], &dw, &db);
+                    dx
+                }
+                NnLayer::DwConv(p) => {
+                    let (dx, dw, db) = dwconv_backward(x, p, &g);
+                    accumulate(&mut self.state[i], &dw, &db);
+                    dx
+                }
+                NnLayer::MaxPool(k) => maxpool_backward(x, *k, &g),
+                NnLayer::AvgPool(k) => avgpool_backward(x, *k, &g),
+                NnLayer::ScaleBias(p) => {
+                    let (dx, ds, db) = scale_bias_backward(x, p, &g);
+                    accumulate(&mut self.state[i], &ds, &db);
+                    dx
+                }
+                NnLayer::Act(a) => activation_backward(x, *a, &g),
+                NnLayer::Gap => gap_backward(x, &g),
+            };
+        }
+    }
+
+    /// SGD-with-momentum step; consumes and clears the accumulated
+    /// gradients.
+    pub fn sgd_step(&mut self, lr: f32, momentum: f32) {
+        for (layer, st) in self.layers.iter_mut().zip(&mut self.state) {
+            if st.grad_w.is_empty() && st.grad_b.is_empty() {
+                continue;
+            }
+            let (w, b): (&mut [f32], &mut [f32]) = match layer {
+                NnLayer::Conv(p) => (&mut p.weights, &mut p.bias),
+                NnLayer::DwConv(p) => (&mut p.weights, &mut p.bias),
+                NnLayer::ScaleBias(p) => (&mut p.scale, &mut p.bias),
+                _ => continue,
+            };
+            if st.mom_w.len() != w.len() {
+                st.mom_w = vec![0.0; w.len()];
+            }
+            if st.mom_b.len() != b.len() {
+                st.mom_b = vec![0.0; b.len()];
+            }
+            for ((wi, gi), mi) in w.iter_mut().zip(&st.grad_w).zip(&mut st.mom_w) {
+                *mi = momentum * *mi + gi;
+                *wi -= lr * *mi;
+            }
+            for ((bi, gi), mi) in b.iter_mut().zip(&st.grad_b).zip(&mut st.mom_b) {
+                *mi = momentum * *mi + gi;
+                *bi -= lr * *mi;
+            }
+            st.grad_w.clear();
+            st.grad_b.clear();
+        }
+    }
+}
+
+fn accumulate(state: &mut LayerState, dw: &[f32], db: &[f32]) {
+    if state.grad_w.len() != dw.len() {
+        state.grad_w = vec![0.0; dw.len()];
+    }
+    if state.grad_b.len() != db.len() {
+        state.grad_b = vec![0.0; db.len()];
+    }
+    for (a, g) in state.grad_w.iter_mut().zip(dw) {
+        *a += g;
+    }
+    for (a, g) in state.grad_b.iter_mut().zip(db) {
+        *a += g;
+    }
+}
+
+fn he_init(weights: &mut [f32], fan_in: usize, rng: &mut StdRng) {
+    let limit = (6.0f32 / fan_in.max(1) as f32).sqrt();
+    for w in weights {
+        *w = rng.random_range(-limit..limit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::builder::DnnBuilder;
+    use codesign_dnn::bundle::{bundle_by_id, BundleId};
+    use codesign_dnn::space::DesignPoint;
+    use codesign_dnn::TensorShape;
+
+    fn tiny_net(seed: u64) -> Network {
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let mut p = DesignPoint::initial(b, 1);
+        p.base_channels = 8;
+        let dnn = DnnBuilder::new()
+            .input(TensorShape::new(3, 8, 16))
+            .build(&p)
+            .unwrap();
+        Network::from_dnn(&dnn, seed).unwrap()
+    }
+
+    #[test]
+    fn compiles_and_runs() {
+        let net = tiny_net(1);
+        let out = net.forward(&Tensor::zeros(&[3, 8, 16]));
+        assert_eq!(out.shape(), &[4]);
+        assert!(net.parameter_count() > 0);
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let a = tiny_net(5).forward(&Tensor::full(&[3, 8, 16], 0.3));
+        let b = tiny_net(5).forward(&Tensor::full(&[3, 8, 16], 0.3));
+        let c = tiny_net(6).forward(&Tensor::full(&[3, 8, 16], 0.3));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_target() {
+        let mut net = tiny_net(3);
+        let image = Tensor::full(&[3, 8, 16], 0.5);
+        let target = [0.4f32, 0.6, 0.3, 0.2];
+        let loss = |out: &Tensor| -> f32 {
+            out.data()
+                .iter()
+                .zip(&target)
+                .map(|(o, t)| (o - t) * (o - t))
+                .sum::<f32>()
+                / 4.0
+        };
+        let initial = loss(&net.forward(&image));
+        for _ in 0..60 {
+            let (out, cache) = net.forward_train(&image);
+            let mut grad = Tensor::zeros(&[4]);
+            for i in 0..4 {
+                grad.data_mut()[i] = 2.0 * (out.data()[i] - target[i]) / 4.0;
+            }
+            net.backward(&cache, &grad);
+            net.sgd_step(0.05, 0.9);
+        }
+        let trained = loss(&net.forward(&image));
+        assert!(
+            trained < initial * 0.2,
+            "loss did not drop: {initial} -> {trained}"
+        );
+    }
+
+    #[test]
+    fn forward_train_matches_forward() {
+        let net = tiny_net(9);
+        let image = Tensor::full(&[3, 8, 16], 0.2);
+        let (out, cache) = net.forward_train(&image);
+        assert_eq!(out, net.forward(&image));
+        assert_eq!(cache.len(), net.layers().len());
+    }
+
+    #[test]
+    fn sgd_without_gradients_is_a_no_op() {
+        let mut net = tiny_net(4);
+        let before = net.forward(&Tensor::full(&[3, 8, 16], 0.1));
+        net.sgd_step(0.1, 0.9);
+        let after = net.forward(&Tensor::full(&[3, 8, 16], 0.1));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale training cache")]
+    fn backward_rejects_stale_cache() {
+        let mut net = tiny_net(2);
+        net.backward(&[], &Tensor::zeros(&[4]));
+    }
+}

@@ -1,0 +1,269 @@
+//! Post-training quantized inference.
+//!
+//! The accelerator computes in fixed point: int8 feature maps under
+//! `Relu4` / `Relu8`, int16 under plain `Relu` (Sec. 5.1.2). This module
+//! quantizes a trained [`Network`] per-tensor (symmetric, max-abs
+//! scaling) and executes inference in integer arithmetic with an `i64`
+//! accumulator, mirroring the DSP datapath. Comparing the float and
+//! quantized outputs measures the accuracy cost of a quantization
+//! scheme — the signal behind the paper's fine-grained Bundle
+//! evaluation (Fig. 5).
+
+use crate::network::{Network, NnLayer};
+use crate::tensor::Tensor;
+use codesign_dnn::quant::Quantization;
+
+/// A quantized layer: integer weights plus the scales to reconstruct
+/// real values.
+#[derive(Debug, Clone)]
+enum QLayer {
+    /// Conv / dw-conv style layer stored via its float original plus a
+    /// weight scale; values are re-quantized on the fly during
+    /// execution so one implementation serves every layer shape.
+    Exact {
+        layer: NnLayer,
+        weight_scale: f32,
+    },
+}
+
+/// A network executing in simulated fixed-point arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use codesign_dnn::{bundle, builder::DnnBuilder, space::DesignPoint, TensorShape};
+/// use codesign_dnn::quant::Quantization;
+/// use codesign_nn::{Network, QuantizedNetwork, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let b = bundle::enumerate_bundles()[0].clone();
+/// let dnn = DnnBuilder::new()
+///     .input(TensorShape::new(3, 16, 32))
+///     .build(&DesignPoint::initial(b, 1))?;
+/// let net = Network::from_dnn(&dnn, 11)?;
+/// let qnet = QuantizedNetwork::quantize(&net, Quantization::Int8);
+/// let out = qnet.forward(&Tensor::full(&[3, 16, 32], 0.5));
+/// assert_eq!(out.shape(), &[4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedNetwork {
+    layers: Vec<QLayer>,
+    scheme: Quantization,
+}
+
+impl QuantizedNetwork {
+    /// Quantizes a trained network under `scheme`.
+    pub fn quantize(net: &Network, scheme: Quantization) -> Self {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|layer| {
+                let weight_scale = match layer {
+                    NnLayer::Conv(p) => max_abs(&p.weights),
+                    NnLayer::DwConv(p) => max_abs(&p.weights),
+                    NnLayer::ScaleBias(p) => max_abs(&p.scale),
+                    _ => 1.0,
+                };
+                QLayer::Exact {
+                    layer: layer.clone(),
+                    weight_scale: normalize_scale(weight_scale, scheme),
+                }
+            })
+            .collect();
+        Self { layers, scheme }
+    }
+
+    /// The quantization scheme in use.
+    pub fn scheme(&self) -> Quantization {
+        self.scheme
+    }
+
+    /// Quantized inference: activations are snapped to the scheme's grid
+    /// after every layer, weights are snapped to their per-layer grid
+    /// before use — the round-trip error matches what the fixed-point
+    /// accelerator accumulates.
+    pub fn forward(&self, image: &Tensor) -> Tensor {
+        let act_scale = activation_scale(self.scheme);
+        let mut x = quantize_tensor(image, act_scale, self.scheme);
+        for ql in &self.layers {
+            let QLayer::Exact { layer, weight_scale } = ql;
+            let layer = quantize_layer(layer, *weight_scale, self.scheme);
+            x = Network::forward_layer_public(&layer, &x);
+            x = quantize_tensor(&x, act_scale, self.scheme);
+        }
+        x
+    }
+
+    /// Mean absolute output deviation between the quantized and float
+    /// networks over a set of calibration images.
+    pub fn deviation_from(&self, float_net: &Network, images: &[Tensor]) -> f32 {
+        if images.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for img in images {
+            let qf = self.forward(img);
+            let ff = float_net.forward(img);
+            for (a, b) in qf.data().iter().zip(ff.data()) {
+                total += (a - b).abs();
+                count += 1;
+            }
+        }
+        total / count.max(1) as f32
+    }
+}
+
+impl Network {
+    /// Executes one layer — exposed for the quantized runtime, which
+    /// shares the float kernels and injects rounding between layers.
+    #[doc(hidden)]
+    pub fn forward_layer_public(layer: &NnLayer, x: &Tensor) -> Tensor {
+        use crate::layers::*;
+        match layer {
+            NnLayer::Conv(p) => conv_forward(x, p),
+            NnLayer::DwConv(p) => dwconv_forward(x, p),
+            NnLayer::MaxPool(k) => maxpool_forward(x, *k),
+            NnLayer::AvgPool(k) => avgpool_forward(x, *k),
+            NnLayer::ScaleBias(p) => scale_bias_forward(x, p),
+            NnLayer::Act(a) => activation_forward(x, *a),
+            NnLayer::Gap => gap_forward(x),
+        }
+    }
+}
+
+fn max_abs(v: &[f32]) -> f32 {
+    v.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+fn normalize_scale(max_abs: f32, scheme: Quantization) -> f32 {
+    let (_, hi) = scheme.code_range();
+    if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / hi as f32
+    }
+}
+
+/// Activation grid: `Relu8`-compatible range [−8, 8] mapped onto the
+/// scheme's codes. (The codes below zero are spent on pre-activation
+/// values, matching the accelerator's symmetric datapath.)
+fn activation_scale(scheme: Quantization) -> f32 {
+    let (_, hi) = scheme.code_range();
+    8.0 / hi as f32
+}
+
+fn quantize_tensor(t: &Tensor, scale: f32, scheme: Quantization) -> Tensor {
+    let mut out = t.clone();
+    for v in out.data_mut() {
+        let code = scheme.quantize(*v, scale);
+        *v = scheme.dequantize(code, scale);
+    }
+    out
+}
+
+fn quantize_vec(v: &[f32], scale: f32, scheme: Quantization) -> Vec<f32> {
+    v.iter()
+        .map(|&x| scheme.dequantize(scheme.quantize(x, scale), scale))
+        .collect()
+}
+
+fn quantize_layer(layer: &NnLayer, wscale: f32, scheme: Quantization) -> NnLayer {
+    match layer {
+        NnLayer::Conv(p) => {
+            let mut q = p.clone();
+            q.weights = quantize_vec(&p.weights, wscale, scheme);
+            q.bias = quantize_vec(&p.bias, wscale, scheme);
+            NnLayer::Conv(q)
+        }
+        NnLayer::DwConv(p) => {
+            let mut q = p.clone();
+            q.weights = quantize_vec(&p.weights, wscale, scheme);
+            q.bias = quantize_vec(&p.bias, wscale, scheme);
+            NnLayer::DwConv(q)
+        }
+        NnLayer::ScaleBias(p) => {
+            let mut q = p.clone();
+            q.scale = quantize_vec(&p.scale, wscale, scheme);
+            q.bias = quantize_vec(&p.bias, wscale, scheme);
+            NnLayer::ScaleBias(q)
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::builder::DnnBuilder;
+    use codesign_dnn::bundle::{bundle_by_id, BundleId};
+    use codesign_dnn::space::DesignPoint;
+    use codesign_dnn::TensorShape;
+    use proptest::prelude::*;
+
+    fn tiny_net() -> Network {
+        let b = bundle_by_id(BundleId(1)).unwrap();
+        let mut p = DesignPoint::initial(b, 1);
+        p.base_channels = 8;
+        let dnn = DnnBuilder::new()
+            .input(TensorShape::new(3, 8, 16))
+            .build(&p)
+            .unwrap();
+        Network::from_dnn(&dnn, 21).unwrap()
+    }
+
+    #[test]
+    fn int16_is_closer_to_float_than_int8() {
+        let net = tiny_net();
+        let images: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::full(&[3, 8, 16], 0.1 + 0.2 * i as f32))
+            .collect();
+        let q8 = QuantizedNetwork::quantize(&net, Quantization::Int8);
+        let q16 = QuantizedNetwork::quantize(&net, Quantization::Int16);
+        let d8 = q8.deviation_from(&net, &images);
+        let d16 = q16.deviation_from(&net, &images);
+        assert!(
+            d16 <= d8 + 1e-6,
+            "int16 deviation {d16} should not exceed int8 deviation {d8}"
+        );
+    }
+
+    #[test]
+    fn quantized_output_shape_matches() {
+        let net = tiny_net();
+        let q = QuantizedNetwork::quantize(&net, Quantization::Int8);
+        let out = q.forward(&Tensor::full(&[3, 8, 16], 0.4));
+        assert_eq!(out.shape(), &[4]);
+        assert_eq!(q.scheme(), Quantization::Int8);
+    }
+
+    #[test]
+    fn int16_deviation_is_small() {
+        let net = tiny_net();
+        let q = QuantizedNetwork::quantize(&net, Quantization::Int16);
+        let images = vec![Tensor::full(&[3, 8, 16], 0.5)];
+        let d = q.deviation_from(&net, &images);
+        assert!(d < 0.05, "int16 deviation too large: {d}");
+    }
+
+    #[test]
+    fn empty_calibration_set_gives_zero() {
+        let net = tiny_net();
+        let q = QuantizedNetwork::quantize(&net, Quantization::Int8);
+        assert_eq!(q.deviation_from(&net, &[]), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn prop_quantized_forward_is_deterministic(v in 0.0f32..1.0) {
+            let net = tiny_net();
+            let q = QuantizedNetwork::quantize(&net, Quantization::Int8);
+            let img = Tensor::full(&[3, 8, 16], v);
+            prop_assert_eq!(q.forward(&img), q.forward(&img));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Mini-batch SGD training on the bounding-box regression task.
+//!
+//! Candidate DNNs in the co-design flow are "directly trained on the
+//! target task in a proxyless manner … for a small number of epochs (20
+//! in the experiment)" (Sec. 5.1.1). The trainer reproduces that proxy
+//! training: mean-squared-error regression of the normalized
+//! `(cx, cy, w, h)` box against seeded synthetic data.
+
+use crate::network::Network;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the proxy training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set (the paper uses 20 for
+    /// coarse evaluation).
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Images per gradient step.
+    pub batch_size: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 20,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            batch_size: 8,
+        }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss after each epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Final-epoch loss, or infinity for an empty run.
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::INFINITY)
+    }
+}
+
+/// Runs proxy training of candidate networks.
+///
+/// # Example
+///
+/// ```
+/// use codesign_nn::train::{TrainConfig, Trainer};
+///
+/// let trainer = Trainer::new(TrainConfig { epochs: 5, ..TrainConfig::default() });
+/// assert_eq!(trainer.config().epochs, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given hyper-parameters.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The hyper-parameters in use.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Mean-squared-error loss and its gradient for one sample.
+    pub fn mse_loss(output: &Tensor, target: &[f32; 4]) -> (f32, Tensor) {
+        let n = output.len().min(4);
+        let mut grad = Tensor::zeros(output.shape());
+        let mut loss = 0.0f32;
+        for i in 0..n {
+            let d = output.data()[i] - target[i];
+            loss += d * d;
+            grad.data_mut()[i] = 2.0 * d / n as f32;
+        }
+        (loss / n as f32, grad)
+    }
+
+    /// Trains `net` on `(images, boxes)` pairs and reports the loss
+    /// trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `images` and `boxes` differ in length or the dataset
+    /// is empty.
+    pub fn train(
+        &self,
+        net: &mut Network,
+        images: &[Tensor],
+        boxes: &[[f32; 4]],
+    ) -> TrainReport {
+        assert_eq!(images.len(), boxes.len(), "images / boxes length mismatch");
+        assert!(!images.is_empty(), "empty training set");
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for _epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f32;
+            let bs = self.config.batch_size.max(1);
+            for (batch_images, batch_boxes) in images.chunks(bs).zip(boxes.chunks(bs)) {
+                for (image, target) in batch_images.iter().zip(batch_boxes) {
+                    let (out, cache) = net.forward_train(image);
+                    let (loss, grad) = Self::mse_loss(&out, target);
+                    epoch_loss += loss;
+                    net.backward(&cache, &grad);
+                }
+                net.sgd_step(
+                    self.config.learning_rate / batch_images.len() as f32,
+                    self.config.momentum,
+                );
+            }
+            epoch_losses.push(epoch_loss / images.len() as f32);
+        }
+        TrainReport { epoch_losses }
+    }
+
+    /// Mean IoU-style evaluation hook: average loss of `net` on a
+    /// held-out set (lower is better; IoU proper lives in the dataset
+    /// crate, which owns box geometry).
+    pub fn evaluate_loss(&self, net: &Network, images: &[Tensor], boxes: &[[f32; 4]]) -> f32 {
+        assert_eq!(images.len(), boxes.len());
+        if images.is_empty() {
+            return f32::INFINITY;
+        }
+        let mut total = 0.0f32;
+        for (image, target) in images.iter().zip(boxes) {
+            let out = net.forward(image);
+            total += Self::mse_loss(&out, target).0;
+        }
+        total / images.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::builder::DnnBuilder;
+    use codesign_dnn::bundle::{bundle_by_id, BundleId};
+    use codesign_dnn::space::DesignPoint;
+    use codesign_dnn::TensorShape;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_net(seed: u64) -> Network {
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let mut p = DesignPoint::initial(b, 1);
+        p.base_channels = 8;
+        let dnn = DnnBuilder::new()
+            .input(TensorShape::new(3, 8, 16))
+            .build(&p)
+            .unwrap();
+        Network::from_dnn(&dnn, seed).unwrap()
+    }
+
+    fn synthetic_set(n: usize, seed: u64) -> (Vec<Tensor>, Vec<[f32; 4]>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::new();
+        let mut boxes = Vec::new();
+        for _ in 0..n {
+            let v: f32 = rng.random_range(0.0..1.0);
+            images.push(Tensor::full(&[3, 8, 16], v));
+            // A learnable relation between brightness and the box.
+            boxes.push([v * 0.5 + 0.2, 0.5, 0.3, 0.3]);
+        }
+        (images, boxes)
+    }
+
+    #[test]
+    fn mse_loss_and_grad() {
+        let out = Tensor::from_vec(&[4], vec![0.5, 0.5, 0.5, 0.5]);
+        let target = [0.5, 0.7, 0.5, 0.5];
+        let (loss, grad) = Trainer::mse_loss(&out, &target);
+        assert!((loss - 0.04 / 4.0).abs() < 1e-6);
+        assert!((grad.data()[1] + 0.1).abs() < 1e-6);
+        assert_eq!(grad.data()[0], 0.0);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut net = tiny_net(17);
+        let (images, boxes) = synthetic_set(12, 3);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 12,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            batch_size: 4,
+        });
+        let report = trainer.train(&mut net, &images, &boxes);
+        assert_eq!(report.epoch_losses.len(), 12);
+        assert!(
+            report.final_loss() < report.epoch_losses[0] * 0.7,
+            "loss did not drop: {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn evaluate_loss_matches_training_signal() {
+        let mut net = tiny_net(29);
+        let (images, boxes) = synthetic_set(8, 5);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        });
+        let before = trainer.evaluate_loss(&net, &images, &boxes);
+        trainer.train(&mut net, &images, &boxes);
+        let after = trainer.evaluate_loss(&net, &images, &boxes);
+        assert!(after < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_set_rejected() {
+        let mut net = tiny_net(1);
+        Trainer::new(TrainConfig::default()).train(&mut net, &[], &[]);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        assert_eq!(TrainConfig::default().epochs, 20);
+    }
+}

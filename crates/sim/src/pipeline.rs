@@ -1,0 +1,551 @@
+//! The tile-based pipeline scheduler of Tile-Arch.
+//!
+//! The scheduler reproduces the three architectural features of the
+//! paper's accelerator template (Sec. 4.3):
+//!
+//! * **Layer-level IP reuse** — the accelerator instantiates one IP per
+//!   layer *type* and computes the DNN's layers sequentially on the
+//!   folded structure, so resources are the union of the IP instances,
+//!   not one engine per layer.
+//! * **Tile-level IP reuse** — intermediate feature maps are split into
+//!   tiles of a common size; an IP processes a layer tile by tile, and
+//!   tiles flow between the IPs of consecutive layers through on-chip
+//!   BRAM buffers without DRAM round-trips.
+//! * **Tile-level pipelining** — tiles carry no cross-tile dependencies,
+//!   so the IPs of a Bundle form a pipeline over the tile stream. The
+//!   scheduler computes the pipeline's makespan with the classic
+//!   dependency recurrence
+//!   `finish[s][t] = max(finish[s-1][t], finish[s][t-1]) + cycles[s]`.
+//!
+//! Inter-Bundle traffic (Bundle inputs and outputs) goes through DRAM at
+//! the device's bandwidth; intra-Bundle traffic stays in BRAM. Weights
+//! stream in once per Bundle pass and half of the load is hidden behind
+//! the previous group's compute (double buffering).
+
+use crate::device::FpgaDevice;
+use crate::error::SimError;
+use crate::ip::{IpInstance, IpKind};
+use crate::report::{LayerCycles, ResourceUsage, SimReport};
+use codesign_dnn::layer::LayerOp;
+use codesign_dnn::quant::Quantization;
+use codesign_dnn::space::DesignPoint;
+use codesign_dnn::{Dnn, LayerInstance};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default spatial tile height (on the post-stem 180x320 feature map a
+/// 10x20 tile yields an 18x16 tile grid; the tile is sized so deep,
+/// channel-wide layers still fit the BRAM data buffers).
+pub const DEFAULT_TILE_H: usize = 10;
+/// Default spatial tile width.
+pub const DEFAULT_TILE_W: usize = 20;
+
+/// Lane-balancing divisor for depth-wise engines: a depth-wise layer
+/// performs `~out_channels/k^2` times less work than the point-wise
+/// convolution it feeds, so Tile-Arch provisions the depth-wise engine
+/// with `PF / DW_LANE_DIVISOR` lanes to balance the pipeline stages —
+/// the "DNN-aware" accelerator optimization of the top-down flow.
+pub const DW_LANE_DIVISOR: usize = 8;
+
+/// Accelerator configuration: the hardware-side variables of Table 1
+/// (shared parallel factor, quantization, tile geometry).
+///
+/// # Example
+///
+/// ```
+/// use codesign_sim::pipeline::AccelConfig;
+/// use codesign_dnn::quant::Quantization;
+///
+/// let cfg = AccelConfig::new(64, Quantization::Int8);
+/// assert_eq!(cfg.dw_parallel_factor(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccelConfig {
+    /// Shared parallel factor of the convolution engines.
+    pub pf: usize,
+    /// Quantization scheme of weights and feature maps.
+    pub quant: Quantization,
+    /// Tile height.
+    pub tile_h: usize,
+    /// Tile width.
+    pub tile_w: usize,
+}
+
+impl AccelConfig {
+    /// Creates a configuration with the default tile geometry.
+    pub fn new(pf: usize, quant: Quantization) -> Self {
+        Self {
+            pf,
+            quant,
+            tile_h: DEFAULT_TILE_H,
+            tile_w: DEFAULT_TILE_W,
+        }
+    }
+
+    /// Derives the configuration from a design point (PF and activation
+    /// / quantization are co-design variables).
+    pub fn for_point(point: &DesignPoint) -> Self {
+        Self::new(point.parallel_factor, point.quantization())
+    }
+
+    /// Lane count of the depth-wise engine after pipeline balancing.
+    pub fn dw_parallel_factor(&self) -> usize {
+        (self.pf / DW_LANE_DIVISOR).max(4)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero tile dimensions or a
+    /// zero parallel factor.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.tile_h == 0 || self.tile_w == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "zero tile dimension".into(),
+            });
+        }
+        if self.pf == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "zero parallel factor".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The IP instance serving a layer operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedLayer`] for operators outside the
+    /// IP pool.
+    pub fn instance_for(&self, op: &LayerOp) -> Result<IpInstance, SimError> {
+        let kind = IpKind::for_op(op)?;
+        let pf = match kind {
+            IpKind::Conv { .. } => self.pf,
+            IpKind::DwConv { .. } => self.dw_parallel_factor(),
+            IpKind::Pool | IpKind::Elementwise => 8,
+        };
+        Ok(IpInstance::new(kind, pf, self.quant))
+    }
+}
+
+/// Bytes of one 18 Kbit BRAM block.
+const BRAM_BLOCK_BYTES: u64 = 18 * 1024 / 8;
+
+fn bram_blocks(bytes: u64) -> u64 {
+    bytes.div_ceil(BRAM_BLOCK_BYTES)
+}
+
+/// Groups a DNN's layers into pipeline groups: one group per Bundle
+/// replication, with stem and head layers forming their own groups.
+fn pipeline_groups(dnn: &Dnn) -> Vec<Vec<&LayerInstance>> {
+    let mut groups: Vec<Vec<&LayerInstance>> = Vec::new();
+    let mut current_key: Option<Option<usize>> = None;
+    for layer in dnn.layers() {
+        let key = Some(layer.bundle_rep);
+        if current_key != key {
+            groups.push(Vec::new());
+            current_key = key;
+        }
+        groups
+            .last_mut()
+            .expect("group pushed above")
+            .push(layer);
+    }
+    groups
+}
+
+/// Computes the accelerator's total resource usage for a DNN: the union
+/// of IP instances (layer-level reuse), the shared weight buffer, the
+/// ping-pong tile data buffers and control overhead (the `Γ` term of
+/// Eq. 1).
+pub fn accelerator_resources(
+    dnn: &Dnn,
+    cfg: &AccelConfig,
+) -> Result<ResourceUsage, SimError> {
+    cfg.validate()?;
+    // One instance per distinct IP kind: layer-level IP reuse.
+    let mut instances: BTreeMap<String, IpInstance> = BTreeMap::new();
+    for layer in dnn.layers() {
+        let ip = cfg.instance_for(&layer.op)?;
+        instances.insert(ip.kind.to_string(), ip);
+    }
+    let mut total = ResourceUsage::zero();
+    for ip in instances.values() {
+        total += ip.resources();
+    }
+
+    // Shared weight buffer: sized for the largest layer's weights.
+    let max_weight_bytes = dnn
+        .layers()
+        .iter()
+        .map(|l| l.op.params(l.input) * cfg.quant.bytes() as u64)
+        .max()
+        .unwrap_or(0);
+    total.bram_18k += bram_blocks(max_weight_bytes);
+
+    // Tile data buffers: the largest (input + output) tile footprint
+    // across layers. The next tile's input streams into the half being
+    // drained, so the ping-pong overhead is half a buffer (factor 1.5)
+    // rather than a full second copy.
+    let max_tile_bytes = dnn
+        .layers()
+        .iter()
+        .map(|l| {
+            let th_in = cfg.tile_h.min(l.input.h);
+            let tw_in = cfg.tile_w.min(l.input.w);
+            let th_out = cfg.tile_h.min(l.output.h);
+            let tw_out = cfg.tile_w.min(l.output.w);
+            ((th_in * tw_in * l.input.c + th_out * tw_out * l.output.c)
+                * cfg.quant.bytes()) as u64
+        })
+        .max()
+        .unwrap_or(0);
+    total.bram_18k += bram_blocks(max_tile_bytes + max_tile_bytes / 2);
+
+    // Control logic, DMA descriptors, multiplexers (Γ of Eq. 1).
+    total.lut += 1_800 + 150 * instances.len() as u64;
+    total.ff += 2_500;
+    total.bram_18k += 4;
+    Ok(total)
+}
+
+/// Simulates one inference of `dnn` on the Tile-Arch accelerator.
+///
+/// The report is produced even when the design overflows the device's
+/// resources — the co-design loop needs estimates for infeasible points
+/// too; use [`FpgaDevice::check_fit`] on `report.resources` to test
+/// feasibility.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidDevice`] / [`SimError::InvalidConfig`] for
+/// unusable inputs and [`SimError::UnsupportedLayer`] when the DNN uses
+/// an operator outside the IP pool.
+pub fn simulate(
+    dnn: &Dnn,
+    cfg: &AccelConfig,
+    device: &FpgaDevice,
+) -> Result<SimReport, SimError> {
+    device.validate()?;
+    cfg.validate()?;
+    let resources = accelerator_resources(dnn, cfg)?;
+    let bw = device.dram_bytes_per_cycle;
+    let qbytes = cfg.quant.bytes() as u64;
+
+    let mut total_cycles: u64 = 0;
+    let mut compute_cycles: u64 = 0;
+    let mut exposed_memory: u64 = 0;
+    let mut dram_bytes: u64 = 0;
+    let mut ideal_mac_cycles: u64 = 0;
+    let mut layer_cycles = Vec::new();
+    let mut prev_group_compute: u64 = 0;
+
+    for group in pipeline_groups(dnn) {
+        let first = group.first().expect("groups are non-empty");
+        let last = group.last().expect("groups are non-empty");
+
+        // Tile grid from the group's input feature map.
+        let in_shape = first.input;
+        let out_shape = last.output;
+        let tiles_h = in_shape.h.div_ceil(cfg.tile_h).max(1);
+        let tiles_w = in_shape.w.div_ceil(cfg.tile_w).max(1);
+        let n_tiles = (tiles_h * tiles_w) as u64;
+
+        // Per-stage per-tile cycle cost. Stage 0 loads the input tile
+        // from DRAM, the final stage writes the output tile back:
+        // inter-Bundle traffic through DRAM, intra-Bundle through BRAM.
+        let in_tile_bytes =
+            (in_shape.elements() as u64 * qbytes).div_ceil(n_tiles);
+        let out_tile_bytes =
+            (out_shape.elements() as u64 * qbytes).div_ceil(n_tiles);
+        let mut stage_cycles: Vec<u64> = Vec::with_capacity(group.len() + 2);
+        stage_cycles.push((in_tile_bytes as f64 / bw).ceil() as u64);
+        let mut group_weight_load: u64 = 0;
+        let mut group_compute_per_tile: u64 = 0;
+        for layer in &group {
+            let ip = cfg.instance_for(&layer.op)?;
+            // Effective tile dims on this layer's (possibly smaller) map.
+            let th = layer
+                .output
+                .h
+                .div_ceil(tiles_h)
+                .clamp(1, layer.output.h);
+            let tw = layer
+                .output
+                .w
+                .div_ceil(tiles_w)
+                .clamp(1, layer.output.w);
+            let cycles =
+                ip.invocation_cycles(&layer.op, th, tw, layer.input.c, layer.output.c);
+            stage_cycles.push(cycles);
+            group_compute_per_tile += cycles;
+            group_weight_load += ip.weight_load_cycles(&layer.op, layer.input, bw);
+            // Ideal MAC-bound cycles, for DSP activity accounting.
+            let lanes = match ip.kind {
+                IpKind::Conv { .. } | IpKind::DwConv { .. } => ip.pf as u64,
+                _ => 0,
+            };
+            if lanes > 0 {
+                ideal_mac_cycles += layer.macs().div_ceil(lanes);
+            }
+        }
+        stage_cycles.push((out_tile_bytes as f64 / bw).ceil() as u64);
+
+        // Tile pipeline makespan:
+        // finish[s][t] = max(finish[s-1][t], finish[s][t-1]) + c[s].
+        let mut finish = vec![0u64; stage_cycles.len()];
+        for _tile in 0..n_tiles {
+            let mut prev_stage_finish = 0u64;
+            for (s, &c) in stage_cycles.iter().enumerate() {
+                let start = prev_stage_finish.max(finish[s]);
+                finish[s] = start + c;
+                prev_stage_finish = finish[s];
+            }
+        }
+        let pipeline_cycles = *finish.last().expect("at least the DMA stages exist");
+
+        // Weight streaming: double-buffered, half hidden behind the
+        // previous group's compute.
+        let visible_weight_load =
+            group_weight_load.saturating_sub(prev_group_compute / 2).max(group_weight_load / 2);
+
+        let group_total = pipeline_cycles + visible_weight_load;
+        total_cycles += group_total;
+        let group_compute = group_compute_per_tile * n_tiles;
+        compute_cycles += group_compute;
+        exposed_memory += group_total.saturating_sub(group_compute.min(group_total));
+        dram_bytes += in_tile_bytes * n_tiles
+            + out_tile_bytes * n_tiles
+            + group_weight_load as u64 * bw as u64;
+        prev_group_compute = group_compute;
+
+        layer_cycles.push(LayerCycles {
+            layer: layer_cycles.len(),
+            op: group
+                .iter()
+                .map(|l| l.op.to_string())
+                .collect::<Vec<_>>()
+                .join(" + "),
+            compute_cycles: group_compute,
+            memory_cycles: group_total.saturating_sub(group_compute.min(group_total)),
+            total_cycles: group_total,
+        });
+    }
+
+    let dsp_activity = if total_cycles == 0 {
+        0.0
+    } else {
+        (ideal_mac_cycles as f64 / total_cycles as f64).min(1.0)
+    };
+
+    Ok(SimReport {
+        total_cycles,
+        compute_cycles,
+        exposed_memory_cycles: exposed_memory,
+        dram_bytes,
+        resources,
+        layer_cycles,
+        dsp_activity,
+    })
+}
+
+/// Simulates and additionally checks the design fits the device.
+///
+/// # Errors
+///
+/// In addition to [`simulate`]'s errors, returns
+/// [`SimError::ResourceOverflow`] when the accelerator exceeds the
+/// device budget.
+pub fn synthesize(
+    dnn: &Dnn,
+    cfg: &AccelConfig,
+    device: &FpgaDevice,
+) -> Result<SimReport, SimError> {
+    let report = simulate(dnn, cfg, device)?;
+    device.check_fit(&report.resources)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{pynq_z1, ultra96};
+    use codesign_dnn::builder::DnnBuilder;
+    use codesign_dnn::bundle::{bundle_by_id, BundleId};
+    use codesign_dnn::quant::Activation;
+    use proptest::prelude::*;
+
+    fn dnn_for(id: usize, reps: usize, pf: usize, act: Activation) -> Dnn {
+        let b = bundle_by_id(BundleId(id)).unwrap();
+        let mut p = DesignPoint::initial(b, reps);
+        p.parallel_factor = pf;
+        p.activation = act;
+        DnnBuilder::new().build(&p).unwrap()
+    }
+
+    #[test]
+    fn simulation_produces_positive_latency() {
+        let dnn = dnn_for(13, 4, 64, Activation::Relu4);
+        let cfg = AccelConfig::new(64, Quantization::Int8);
+        let r = simulate(&dnn, &cfg, &pynq_z1()).unwrap();
+        assert!(r.total_cycles > 0);
+        assert!(r.latency_ms(100.0) > 0.0);
+        assert!(r.dram_bytes > 0);
+    }
+
+    #[test]
+    fn higher_pf_is_faster_and_bigger() {
+        let slow_dnn = dnn_for(13, 4, 16, Activation::Relu4);
+        let fast_dnn = dnn_for(13, 4, 128, Activation::Relu4);
+        let slow = simulate(
+            &slow_dnn,
+            &AccelConfig::new(16, Quantization::Int8),
+            &pynq_z1(),
+        )
+        .unwrap();
+        let fast = simulate(
+            &fast_dnn,
+            &AccelConfig::new(128, Quantization::Int8),
+            &pynq_z1(),
+        )
+        .unwrap();
+        assert!(fast.total_cycles < slow.total_cycles);
+        assert!(fast.resources.dsp > slow.resources.dsp);
+    }
+
+    #[test]
+    fn int16_doubles_dsp_pressure() {
+        let dnn8 = dnn_for(1, 3, 64, Activation::Relu4);
+        let dnn16 = dnn_for(1, 3, 64, Activation::Relu);
+        let r8 = simulate(&dnn8, &AccelConfig::new(64, Quantization::Int8), &pynq_z1()).unwrap();
+        let r16 =
+            simulate(&dnn16, &AccelConfig::new(64, Quantization::Int16), &pynq_z1()).unwrap();
+        assert!(r16.resources.dsp > r8.resources.dsp);
+        assert!(r16.dram_bytes > r8.dram_bytes);
+    }
+
+    #[test]
+    fn deeper_dnn_takes_longer() {
+        let cfg = AccelConfig::new(64, Quantization::Int8);
+        let short = simulate(&dnn_for(13, 2, 64, Activation::Relu4), &cfg, &pynq_z1()).unwrap();
+        let long = simulate(&dnn_for(13, 5, 64, Activation::Relu4), &cfg, &pynq_z1()).unwrap();
+        assert!(long.total_cycles > short.total_cycles);
+    }
+
+    #[test]
+    fn pipelining_beats_sequential_execution() {
+        // The pipelined makespan must be below the sum of all stage
+        // costs over all tiles (which is what a non-pipelined folded
+        // design would pay).
+        let dnn = dnn_for(13, 3, 64, Activation::Relu4);
+        let cfg = AccelConfig::new(64, Quantization::Int8);
+        let r = simulate(&dnn, &cfg, &pynq_z1()).unwrap();
+        assert!(r.total_cycles < r.compute_cycles + r.dram_bytes as u64);
+    }
+
+    #[test]
+    fn zero_bandwidth_device_rejected() {
+        let mut dev = pynq_z1();
+        dev.dram_bytes_per_cycle = 0.0;
+        let dnn = dnn_for(1, 2, 16, Activation::Relu);
+        let err = simulate(&dnn, &AccelConfig::new(16, Quantization::Int16), &dev).unwrap_err();
+        assert!(matches!(err, SimError::InvalidDevice { .. }));
+    }
+
+    #[test]
+    fn invalid_tile_rejected() {
+        let dnn = dnn_for(1, 2, 16, Activation::Relu);
+        let mut cfg = AccelConfig::new(16, Quantization::Int16);
+        cfg.tile_h = 0;
+        assert!(matches!(
+            simulate(&dnn, &cfg, &pynq_z1()),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn synthesize_rejects_oversized_designs() {
+        // PF 512 in int16 wants ~512 DSPs for the conv engine alone.
+        let dnn = dnn_for(10, 4, 512, Activation::Relu);
+        let cfg = AccelConfig::new(512, Quantization::Int16);
+        let err = synthesize(&dnn, &cfg, &pynq_z1()).unwrap_err();
+        assert!(matches!(err, SimError::ResourceOverflow { .. }));
+    }
+
+    #[test]
+    fn bigger_device_fits_what_pynq_cannot() {
+        let dnn = dnn_for(10, 2, 128, Activation::Relu);
+        let cfg = AccelConfig::new(128, Quantization::Int16);
+        assert!(synthesize(&dnn, &cfg, &pynq_z1()).is_err());
+        assert!(synthesize(&dnn, &cfg, &ultra96()).is_ok());
+    }
+
+    #[test]
+    fn dsp_activity_is_a_fraction() {
+        let dnn = dnn_for(13, 4, 64, Activation::Relu4);
+        let r = simulate(&dnn, &AccelConfig::new(64, Quantization::Int8), &pynq_z1()).unwrap();
+        assert!(r.dsp_activity > 0.0 && r.dsp_activity <= 1.0);
+    }
+
+    #[test]
+    fn group_breakdown_covers_model() {
+        let dnn = dnn_for(13, 3, 64, Activation::Relu4);
+        let r = simulate(&dnn, &AccelConfig::new(64, Quantization::Int8), &pynq_z1()).unwrap();
+        // stem group + 3 bundle groups + head group.
+        assert_eq!(r.layer_cycles.len(), 5);
+    }
+
+    #[test]
+    fn gantt_renders_one_bar_per_group() {
+        let dnn = dnn_for(13, 3, 64, Activation::Relu4);
+        let r = simulate(&dnn, &AccelConfig::new(64, Quantization::Int8), &pynq_z1()).unwrap();
+        let chart = r.gantt(60);
+        assert_eq!(chart.lines().count(), r.layer_cycles.len());
+        assert!(chart.contains('#'));
+        // Bars sum (approximately) to the requested width.
+        let bar_cells: usize = chart.matches(['#', '-']).count();
+        assert!(bar_cells >= 55 && bar_cells <= 70, "bar cells {bar_cells}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_all_bundles_simulate(id in 1usize..=18, reps in 1usize..4) {
+            let dnn = dnn_for(id, reps, 32, Activation::Relu4);
+            let cfg = AccelConfig::new(32, Quantization::Int8);
+            let r = simulate(&dnn, &cfg, &pynq_z1()).unwrap();
+            prop_assert!(r.total_cycles > 0);
+            prop_assert!(r.resources.dsp > 0);
+        }
+
+        #[test]
+        fn prop_latency_monotone_in_bandwidth(id in 1usize..=18) {
+            let dnn = dnn_for(id, 2, 32, Activation::Relu4);
+            let cfg = AccelConfig::new(32, Quantization::Int8);
+            let mut fast_dev = pynq_z1();
+            fast_dev.dram_bytes_per_cycle *= 4.0;
+            let slow = simulate(&dnn, &cfg, &pynq_z1()).unwrap();
+            let fast = simulate(&dnn, &cfg, &fast_dev).unwrap();
+            prop_assert!(fast.total_cycles <= slow.total_cycles);
+        }
+
+        #[test]
+        fn prop_resources_independent_of_reps_weights_aside(reps in 1usize..5) {
+            // Layer-level IP reuse: adding replications must not add IP
+            // instances (only buffers may grow with wider layers).
+            let a = accelerator_resources(
+                &dnn_for(13, reps, 64, Activation::Relu4),
+                &AccelConfig::new(64, Quantization::Int8),
+            ).unwrap();
+            let b = accelerator_resources(
+                &dnn_for(13, reps + 1, 64, Activation::Relu4),
+                &AccelConfig::new(64, Quantization::Int8),
+            ).unwrap();
+            prop_assert_eq!(a.dsp, b.dsp);
+            prop_assert!(b.bram_18k >= a.bram_18k);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end detection demo (the reproducible part of paper Fig. 7).
+//!
+//! Trains a small Bundle-13 network on the synthetic single-object
+//! dataset (with CoordConv-style coordinate channels so the global-
+//! average-pooled head can regress positions), runs float and quantized inference, and renders ground
+//! truth (`#`) against detections (`o`) as ASCII — the stand-in for the
+//! paper's photo of the board drawing ground-truth and detected boxes.
+//!
+//! Run with: `cargo run --release --example detect_demo`
+
+use fpga_dnn_codesign::dataset::{mean_iou, BoundingBox, SyntheticDataset};
+use fpga_dnn_codesign::dnn::builder::DnnBuilder;
+use fpga_dnn_codesign::dnn::bundle::{bundle_by_id, BundleId};
+use fpga_dnn_codesign::dnn::quant::Quantization;
+use fpga_dnn_codesign::dnn::space::DesignPoint;
+use fpga_dnn_codesign::dnn::TensorShape;
+use fpga_dnn_codesign::nn::network::Network;
+use fpga_dnn_codesign::nn::quantized::QuantizedNetwork;
+use fpga_dnn_codesign::nn::train::{TrainConfig, Trainer};
+
+const H: usize = 24;
+const W: usize = 48;
+
+fn render(truth: &BoundingBox, detected: &BoundingBox) {
+    let cell = |x: f64, y: f64, b: &BoundingBox| {
+        let (x0, y0, x1, y1) = b.corners();
+        x >= x0 && x <= x1 && y >= y0 && y <= y1
+    };
+    for row in 0..12 {
+        let y = (row as f64 + 0.5) / 12.0;
+        let line: String = (0..32)
+            .map(|col| {
+                let x = (col as f64 + 0.5) / 32.0;
+                match (cell(x, y, truth), cell(x, y, detected)) {
+                    (true, true) => '@',
+                    (true, false) => '#',
+                    (false, true) => 'o',
+                    (false, false) => '.',
+                }
+            })
+            .collect();
+        println!("    {line}");
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small Bundle-13 detector at proxy resolution.
+    let mut point = DesignPoint::initial(bundle_by_id(BundleId(13)).expect("bundle 13"), 2);
+    point.base_channels = 12;
+    point.max_channels = 24;
+    let dnn = DnnBuilder::new()
+        .input(TensorShape::new(5, H, W))
+        .build(&point)?;
+    let mut net = Network::from_dnn(&dnn, 42)?;
+    println!(
+        "network: {} ({} parameters)",
+        dnn.name(),
+        net.parameter_count()
+    );
+
+    // Train on the synthetic task (the paper's proxy training protocol).
+    let dataset = SyntheticDataset::new(H, W, 7).with_coord_channels();
+    let (images, boxes) = dataset.training_pairs(96);
+    let (train_x, test_x) = images.split_at(80);
+    let (train_y, test_y) = boxes.split_at(80);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 40,
+        learning_rate: 0.10,
+        momentum: 0.9,
+        batch_size: 8,
+    });
+    println!("training 40 epochs on {} synthetic images...", train_x.len());
+    let report = trainer.train(&mut net, train_x, &train_y.to_vec());
+    println!(
+        "loss: {:.4} -> {:.4}",
+        report.epoch_losses[0],
+        report.final_loss()
+    );
+
+    // Held-out evaluation: float and accelerator-style int8 inference.
+    let predictions: Vec<BoundingBox> = test_x
+        .iter()
+        .map(|img| BoundingBox::from_prediction(net.forward(img).data()))
+        .collect();
+    let truths: Vec<BoundingBox> = test_y
+        .iter()
+        .map(|b| BoundingBox::new(b[0] as f64, b[1] as f64, b[2] as f64, b[3] as f64))
+        .collect();
+    // Context: a predictor that always outputs the dataset's mean box.
+    let mean_box = {
+        let n = train_y.len() as f64;
+        let sum = train_y.iter().fold([0.0f64; 4], |mut acc, b| {
+            for i in 0..4 {
+                acc[i] += b[i] as f64;
+            }
+            acc
+        });
+        BoundingBox::new(sum[0] / n, sum[1] / n, sum[2] / n, sum[3] / n)
+    };
+    let mean_baseline: Vec<BoundingBox> = truths.iter().map(|_| mean_box).collect();
+    println!("mean-box baseline IoU:          {:.3}", mean_iou(&mean_baseline, &truths));
+    println!("float mean IoU on held-out set: {:.3}", mean_iou(&predictions, &truths));
+
+    let qnet = QuantizedNetwork::quantize(&net, Quantization::Int8);
+    let qpredictions: Vec<BoundingBox> = test_x
+        .iter()
+        .map(|img| BoundingBox::from_prediction(qnet.forward(img).data()))
+        .collect();
+    println!("int8  mean IoU on held-out set: {:.3}", mean_iou(&qpredictions, &truths));
+
+    // Fig. 7-style visualization: ground truth (#) vs detection (o),
+    // overlap (@).
+    for (i, (truth, det)) in truths.iter().zip(&predictions).take(2).enumerate() {
+        println!("\nexample {}: truth {truth} / detected {det}", i + 1);
+        render(truth, det);
+    }
+    Ok(())
+}

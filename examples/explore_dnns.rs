@@ -1,0 +1,56 @@
+//! Full co-design exploration: the paper's headline use case.
+//!
+//! Runs the automatic flow of Fig. 1 end to end on a PYNQ-Z1 — coarse
+//! Bundle evaluation, Pareto selection, SCD search per FPS target —
+//! and prints the explored candidates and the winning design per
+//! target, like Fig. 6.
+//!
+//! Run with: `cargo run --release --example explore_dnns`
+
+use fpga_dnn_codesign::core::flow::{CoDesignFlow, FlowConfig};
+use fpga_dnn_codesign::sim::device::pynq_z1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = CoDesignFlow::new(FlowConfig {
+        targets_fps: vec![10.0, 15.0, 20.0],
+        candidates_per_bundle: 3,
+        coarse_pf_sweep: vec![16],
+        ..FlowConfig::for_device(pynq_z1())
+    });
+    println!(
+        "exploring DNNs for {:?} FPS targets at {} MHz on {}",
+        flow.config().targets_fps,
+        flow.config().clock_mhz,
+        flow.config().device
+    );
+
+    let out = flow.run()?;
+    let ids: Vec<usize> = out.selected_bundles.iter().map(|b| b.0).collect();
+    println!("\nbundles selected by coarse evaluation: {ids:?}");
+    println!("candidates meeting a target band: {}", out.candidates.len());
+
+    println!("\n{:>9} {:>20} {:>8} {:>9}", "target", "design", "FPS", "IoU(est)");
+    for (target, c) in &out.candidates {
+        println!(
+            "{:>9.0} {:>20} {:>8.1} {:>9.3}",
+            target,
+            format!("{} x{}", c.point.bundle.id(), c.point.n_replications),
+            1000.0 / c.latency_ms,
+            c.accuracy
+        );
+    }
+
+    println!("\nwinning design per target:");
+    for d in &out.designs {
+        println!(
+            "  {:>4.0} FPS target -> {}: IoU {:.3}, {:.1} ms ({:.1} FPS), {}",
+            d.target_fps,
+            d.point,
+            d.accuracy,
+            d.latency_ms,
+            d.fps,
+            d.report.utilization(&flow.config().device.budget()),
+        );
+    }
+    Ok(())
+}

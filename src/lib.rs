@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the FPGA/DNN co-design workspace.
+pub use codesign_baselines as baselines;
+pub use codesign_core as core;
+pub use codesign_dataset as dataset;
+pub use codesign_dnn as dnn;
+pub use codesign_hls as hls;
+pub use codesign_nn as nn;
+pub use codesign_sim as sim;

@@ -1,0 +1,103 @@
+//! End-to-end integration: the full co-design flow of Fig. 1, from
+//! Bundle enumeration to generated C, on the PYNQ-Z1 device model.
+
+use codesign_core::flow::{CoDesignFlow, FlowConfig};
+use codesign_dnn::bundle::BundleId;
+use codesign_sim::device::pynq_z1;
+
+fn small_flow() -> CoDesignFlow {
+    CoDesignFlow::new(FlowConfig {
+        targets_fps: vec![15.0, 20.0],
+        candidates_per_bundle: 2,
+        coarse_pf_sweep: vec![16],
+        ..FlowConfig::for_device(pynq_z1())
+    })
+}
+
+#[test]
+fn flow_reproduces_paper_bundle_selection() {
+    let out = small_flow().run().expect("flow runs");
+    assert_eq!(
+        out.selected_bundles,
+        [1, 3, 13, 15, 17].map(BundleId).to_vec(),
+        "coarse evaluation must select the paper's Pareto bundles"
+    );
+}
+
+#[test]
+fn every_published_design_fits_and_has_code() {
+    let out = small_flow().run().expect("flow runs");
+    assert!(!out.designs.is_empty());
+    let device = pynq_z1();
+    for d in &out.designs {
+        device
+            .check_fit(&d.report.resources)
+            .unwrap_or_else(|e| panic!("design for {} FPS overflows: {e}", d.target_fps));
+        // Generated C is structurally sound: balanced braces, a top
+        // function, one bundle marker per replication.
+        let balance: i64 = d
+            .code
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(balance, 0, "unbalanced braces in generated C");
+        assert!(d.code.contains("top_dnn"));
+        for rep in 0..d.point.n_replications {
+            assert!(
+                d.code.contains(&format!("bundle replication {rep}")),
+                "missing replication {rep} in generated C"
+            );
+        }
+    }
+}
+
+#[test]
+fn designs_get_more_accurate_with_looser_targets() {
+    let out = small_flow().run().expect("flow runs");
+    if out.designs.len() == 2 {
+        let slow = &out.designs[0]; // 15 FPS target
+        let fast = &out.designs[1]; // 20 FPS target
+        assert!(
+            slow.accuracy >= fast.accuracy,
+            "looser target should afford at least as much accuracy: {} vs {}",
+            slow.accuracy,
+            fast.accuracy
+        );
+    }
+}
+
+#[test]
+fn flow_candidates_cover_multiple_bundles() {
+    let out = small_flow().run().expect("flow runs");
+    let distinct: std::collections::BTreeSet<usize> = out
+        .candidates
+        .iter()
+        .map(|(_, c)| c.point.bundle.id().0)
+        .collect();
+    assert!(
+        distinct.len() >= 2,
+        "search collapsed to a single bundle: {distinct:?}"
+    );
+}
+
+#[test]
+fn candidate_estimates_agree_with_simulation() {
+    // The analytic estimates steering the search must track the full
+    // simulator within a factor of two on the winning designs.
+    let out = small_flow().run().expect("flow runs");
+    for d in &out.designs {
+        let (analytic, simulated) = (
+            1000.0 / d.target_fps, // the target the estimate satisfied
+            d.latency_ms,
+        );
+        let ratio = simulated / analytic;
+        assert!(
+            (0.4..2.0).contains(&ratio),
+            "sim {simulated} ms vs target {analytic} ms (ratio {ratio})"
+        );
+    }
+}
