@@ -97,10 +97,7 @@ mod tests {
         let tx2 = GpuModel::tx2();
         for (name, macs, bytes, _) in contest_gpu_workloads() {
             let jpp = tx2.joules_per_image(macs, bytes);
-            assert!(
-                (0.2..0.9).contains(&jpp),
-                "{name}: {jpp} J/pic out of band"
-            );
+            assert!((0.2..0.9).contains(&jpp), "{name}: {jpp} J/pic out of band");
         }
     }
 

@@ -154,8 +154,14 @@ mod tests {
     fn six_rows_three_per_category() {
         let rows = dac_sdc_2018_results();
         assert_eq!(rows.len(), 6);
-        assert_eq!(rows.iter().filter(|r| r.category == Category::Fpga).count(), 3);
-        assert_eq!(rows.iter().filter(|r| r.category == Category::Gpu).count(), 3);
+        assert_eq!(
+            rows.iter().filter(|r| r.category == Category::Fpga).count(),
+            3
+        );
+        assert_eq!(
+            rows.iter().filter(|r| r.category == Category::Gpu).count(),
+            3
+        );
     }
 
     #[test]

@@ -134,10 +134,8 @@ impl TopDownFlow {
             }
             // Prune: shrink every channel cap by 25% and pay the
             // compression penalty.
-            point.max_channels =
-                ((point.max_channels as f64 * PRUNE_FACTOR) as usize).max(32);
-            point.base_channels =
-                ((point.base_channels as f64 * PRUNE_FACTOR) as usize).max(16);
+            point.max_channels = ((point.max_channels as f64 * PRUNE_FACTOR) as usize).max(32);
+            point.base_channels = ((point.base_channels as f64 * PRUNE_FACTOR) as usize).max(16);
             iou -= PRUNE_ROUND_PENALTY;
         }
         Err(SimError::InvalidConfig {
@@ -155,7 +153,11 @@ mod tests {
     fn ssd_needs_compression_to_fit() {
         let flow = TopDownFlow::new(pynq_z1());
         let result = flow.run(100.0, 90.0).unwrap();
-        assert!(result.prune_rounds >= 2, "only {} rounds", result.prune_rounds);
+        assert!(
+            result.prune_rounds >= 2,
+            "only {} rounds",
+            result.prune_rounds
+        );
         assert!(result.max_channels < 512);
         assert!(result.iou < flow.uncompressed_iou);
     }

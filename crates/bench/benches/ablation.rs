@@ -8,7 +8,9 @@ fn bench_ablation(c: &mut Criterion) {
     let dev = default_device();
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
-    group.bench_function("codesign_vs_topdown", |b| b.iter(|| ablation(&dev).unwrap()));
+    group.bench_function("codesign_vs_topdown", |b| {
+        b.iter(|| ablation(&dev).unwrap())
+    });
     group.finish();
 
     let out = ablation(&dev).unwrap();

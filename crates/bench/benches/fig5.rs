@@ -8,11 +8,16 @@ fn bench_fig5(c: &mut Criterion) {
     let dev = default_device();
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
-    group.bench_function("fine_grained_evaluation", |b| b.iter(|| fig5(&dev).unwrap()));
+    group.bench_function("fine_grained_evaluation", |b| {
+        b.iter(|| fig5(&dev).unwrap())
+    });
     group.finish();
 
     let rows = fig5(&dev).unwrap();
-    println!("fig5: {} (bundle, activation, reps) evaluations", rows.len());
+    println!(
+        "fig5: {} (bundle, activation, reps) evaluations",
+        rows.len()
+    );
 }
 
 criterion_group!(benches, bench_fig5);

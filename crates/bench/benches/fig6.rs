@@ -15,7 +15,10 @@ fn bench_fig6(c: &mut Criterion) {
     println!(
         "fig6: {} candidates across 3 targets (paper: 68); best IoUs: {:?}",
         out.explored.len(),
-        out.best.iter().map(|d| (d.target_fps, d.accuracy)).collect::<Vec<_>>()
+        out.best
+            .iter()
+            .map(|d| (d.target_fps, d.accuracy))
+            .collect::<Vec<_>>()
     );
 }
 

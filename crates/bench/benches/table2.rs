@@ -8,7 +8,9 @@ fn bench_table2(c: &mut Criterion) {
     let dev = default_device();
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
-    group.bench_function("dnn1_3_full_evaluation", |b| b.iter(|| table2(&dev).unwrap()));
+    group.bench_function("dnn1_3_full_evaluation", |b| {
+        b.iter(|| table2(&dev).unwrap())
+    });
     group.finish();
 
     let (ours, _) = table2(&dev).unwrap();

@@ -5,7 +5,10 @@ use codesign_bench::experiments::{ablation, default_device};
 
 fn main() {
     let out = ablation(&default_device()).expect("ablation run");
-    println!("== Ablation - co-design vs. top-down at {:.0} ms @100 MHz ==", out.latency_target_ms);
+    println!(
+        "== Ablation - co-design vs. top-down at {:.0} ms @100 MHz ==",
+        out.latency_target_ms
+    );
     println!(
         "  bottom-up co-design : IoU {:.3} at {:.1} ms",
         out.codesign_iou, out.codesign_latency_ms

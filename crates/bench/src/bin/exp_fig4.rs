@@ -6,16 +6,30 @@ use codesign_core::evaluate::EvalMethod;
 fn main() {
     let dev = default_device();
     for (label, method) in [
-        ("Fig. 4(a) - method#1 (fixed head/tail)", EvalMethod::FixedHeadTail),
-        ("Fig. 4(b) - method#2 (bundle replicated n=3)", EvalMethod::Replicated { n: 3 }),
+        (
+            "Fig. 4(a) - method#1 (fixed head/tail)",
+            EvalMethod::FixedHeadTail,
+        ),
+        (
+            "Fig. 4(b) - method#2 (bundle replicated n=3)",
+            EvalMethod::Replicated { n: 3 },
+        ),
     ] {
         let (evals, selected) = fig4(method, &dev).expect("fig4 evaluation");
         println!("== {label} ==");
-        println!("{:>6} {:>4} {:>12} {:>10} {:>8} {:>6}", "bundle", "PF", "latency(ms)", "IoU(est)", "DSP", "group");
+        println!(
+            "{:>6} {:>4} {:>12} {:>10} {:>8} {:>6}",
+            "bundle", "PF", "latency(ms)", "IoU(est)", "DSP", "group"
+        );
         for e in &evals {
             println!(
                 "{:>6} {:>4} {:>12.1} {:>10.3} {:>8} {:>6}",
-                e.bundle_id.0, e.parallel_factor, e.latency_ms, e.accuracy, e.resources.dsp, e.dsp_group
+                e.bundle_id.0,
+                e.parallel_factor,
+                e.latency_ms,
+                e.accuracy,
+                e.resources.dsp,
+                e.dsp_group
             );
         }
         let ids: Vec<usize> = selected.iter().map(|b| b.0).collect();

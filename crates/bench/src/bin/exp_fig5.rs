@@ -6,11 +6,19 @@ use codesign_bench::experiments::{default_device, fig5};
 fn main() {
     let rows = fig5(&default_device()).expect("fig5 evaluation");
     println!("== Fig. 5 - fine-grained evaluation of bundles {{1, 3, 13, 15, 17}} ==");
-    println!("{:>6} {:>6} {:>5} {:>12} {:>10} {:>8}", "bundle", "act", "reps", "latency(ms)", "IoU(est)", "DSP");
+    println!(
+        "{:>6} {:>6} {:>5} {:>12} {:>10} {:>8}",
+        "bundle", "act", "reps", "latency(ms)", "IoU(est)", "DSP"
+    );
     for r in &rows {
         println!(
             "{:>6} {:>6} {:>5} {:>12.1} {:>10.3} {:>8}",
-            r.bundle_id.0, r.activation.to_string(), r.n_replications, r.latency_ms, r.accuracy, r.resources.dsp
+            r.bundle_id.0,
+            r.activation.to_string(),
+            r.n_replications,
+            r.latency_ms,
+            r.accuracy,
+            r.resources.dsp
         );
     }
     println!();

@@ -7,9 +7,15 @@ fn main() {
     let out = fig6(&default_device()).expect("fig6 search");
     let ids: Vec<usize> = out.selected_bundles.iter().map(|b| b.0).collect();
     println!("== Fig. 6 - DNN exploration (selected bundles {ids:?}) ==");
-    println!("{} candidate DNNs met a target band (paper: 68)", out.explored.len());
+    println!(
+        "{} candidate DNNs met a target band (paper: 68)",
+        out.explored.len()
+    );
     println!();
-    println!("{:>9} {:>6} {:>5} {:>7} {:>7} {:>8} {:>9}", "target", "bundle", "reps", "max_ch", "act", "FPS@100", "IoU(est)");
+    println!(
+        "{:>9} {:>6} {:>5} {:>7} {:>7} {:>8} {:>9}",
+        "target", "bundle", "reps", "max_ch", "act", "FPS@100", "IoU(est)"
+    );
     for d in &out.explored {
         println!(
             "{:>9.0} {:>6} {:>5} {:>7} {:>7} {:>8.1} {:>9.3}",

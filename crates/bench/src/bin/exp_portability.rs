@@ -6,9 +6,15 @@ use codesign_bench::experiments::portability;
 fn main() {
     let rows = portability().expect("portability study");
     println!("== device portability (15 FPS target @100 MHz) ==");
-    println!("{:<24} {:>8} {:>9} {:>7}", "device", "FPS", "IoU(est)", "DSP%");
+    println!(
+        "{:<24} {:>8} {:>9} {:>7}",
+        "device", "FPS", "IoU(est)", "DSP%"
+    );
     for r in &rows {
-        println!("{:<24} {:>8.1} {:>9.3} {:>7.1}", r.device, r.fps, r.best_iou, r.dsp_pct);
+        println!(
+            "{:<24} {:>8.1} {:>9.3} {:>7.1}",
+            r.device, r.fps, r.best_iou, r.dsp_pct
+        );
     }
     if rows.len() == 2 {
         println!();

@@ -5,9 +5,18 @@ use codesign_bench::experiments::{default_device, scd_ablation};
 
 fn main() {
     let out = scd_ablation(&default_device()).expect("ablation run");
-    println!("== SCD vs random search (bundle 13, 60 +/- 4 ms window, {} evaluations) ==", out.budget);
-    println!("  SCD (Algorithm 1): {} candidates, best IoU {:.3}", out.scd_found, out.scd_best_iou);
-    println!("  uniform random:    {} candidates, best IoU {:.3}", out.random_found, out.random_best_iou);
+    println!(
+        "== SCD vs random search (bundle 13, 60 +/- 4 ms window, {} evaluations) ==",
+        out.budget
+    );
+    println!(
+        "  SCD (Algorithm 1): {} candidates, best IoU {:.3}",
+        out.scd_found, out.scd_best_iou
+    );
+    println!(
+        "  uniform random:    {} candidates, best IoU {:.3}",
+        out.random_found, out.random_best_iou
+    );
     println!();
     println!("The latency-scaled coordinate steps of Algorithm 1 concentrate the");
     println!("budget inside the feasible window instead of spraying the space.");

@@ -20,7 +20,12 @@ fn main() {
     for r in &published {
         let util = r
             .utilization
-            .map(|u| format!("{:>6.1} {:>6.1} {:>6.1} {:>6.1}", u.lut, u.dsp, u.bram, u.ff))
+            .map(|u| {
+                format!(
+                    "{:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+                    u.lut, u.dsp, u.bram, u.ff
+                )
+            })
             .unwrap_or_else(|| format!("{:>6} {:>6} {:>6} {:>6}", "-", "-", "-", "-"));
         println!(
             "{:<14} {:>6.3} {:>6.1}@{:<3.0} {:>7.1} {:>7.2} {:>9.2} {:>8.3} | {util}",

@@ -135,11 +135,7 @@ pub fn fig6(device: &FpgaDevice) -> Result<Fig6Output, codesign_core::flow::Flow
         fps: 1000.0 / c.latency_ms,
         accuracy: c.accuracy,
     };
-    let explored: Vec<ExploredDesign> = out
-        .candidates
-        .iter()
-        .map(|(t, c)| to_row(*t, c))
-        .collect();
+    let explored: Vec<ExploredDesign> = out.candidates.iter().map(|(t, c)| to_row(*t, c)).collect();
     let mut best = Vec::new();
     for &t in &flow.config().targets_fps {
         if let Some(b) = out
@@ -202,11 +198,11 @@ pub fn table2(device: &FpgaDevice) -> Result<(Vec<OursRow>, Vec<PublishedResult>
         ("DNN2", crate::designs::dnn2_point()),
         ("DNN3", crate::designs::dnn3_point()),
     ] {
-        let dnn = DnnBuilder::new().build(&point).map_err(|e| {
-            SimError::InvalidConfig {
+        let dnn = DnnBuilder::new()
+            .build(&point)
+            .map_err(|e| SimError::InvalidConfig {
                 reason: format!("{name} failed to elaborate: {e}"),
-            }
-        })?;
+            })?;
         let report = simulate(&dnn, &AccelConfig::for_point(&point), device)?;
         device.check_fit(&report.resources)?;
         let iou = model.estimate(&point, &dnn);

@@ -1,0 +1,148 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The container image has no registry access, so this crate provides the
+//! subset of the criterion 0.5 API the workspace benches use:
+//! [`Criterion::benchmark_group`] / `bench_function`, per-group
+//! `sample_size`, [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros. It measures wall-clock medians and prints
+//! one line per benchmark — no statistics engine, plots, or HTML
+//! reports. Swapping back to crates.io criterion is a one-line change in
+//! the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion's own is deprecated in
+/// favor of the std one, but callers may still import it from here).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One untimed warm-up run.
+        std_black_box(routine());
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        target_samples: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {name}: no samples collected");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let best = b.samples[0];
+    println!(
+        "bench {name}: median {median:?}, best {best:?} ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! forward-compatible annotation — nothing in the tree serializes through
+//! serde's data model yet (the container image has no registry access, so
+//! the real crate cannot be fetched). These derives therefore accept the
+//! same attribute grammar but emit no code; swapping the `[patch]`-style
+//! path dependency back to crates.io serde is a one-line change in the
+//! workspace manifest once the registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (trait + derive macro)
+//! that the workspace imports, without implementing serde's data model.
+//! The container image has no registry access, so the real crate cannot
+//! be fetched; the derives emit no code and the traits carry no methods.
+//! Replacing this with crates.io serde is a one-line swap of the path
+//! dependency in the workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no data model here).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no data model here).
+pub trait Deserialize<'de>: Sized {}

@@ -233,7 +233,13 @@ mod tests {
         let selected = select_bundles(&evals);
         assert_eq!(
             selected,
-            vec![BundleId(1), BundleId(3), BundleId(13), BundleId(15), BundleId(17)],
+            vec![
+                BundleId(1),
+                BundleId(3),
+                BundleId(13),
+                BundleId(15),
+                BundleId(17)
+            ],
             "evals: {:?}",
             evals
                 .iter()
@@ -250,7 +256,13 @@ mod tests {
         let selected = select_bundles(&evals);
         assert_eq!(
             selected,
-            vec![BundleId(1), BundleId(3), BundleId(13), BundleId(15), BundleId(17)],
+            vec![
+                BundleId(1),
+                BundleId(3),
+                BundleId(13),
+                BundleId(15),
+                BundleId(17)
+            ],
             "evals: {:?}",
             evals
                 .iter()
@@ -273,7 +285,10 @@ mod tests {
         assert_eq!(evals.len(), 3);
         assert_eq!(evals[0].accuracy, evals[1].accuracy);
         assert_eq!(evals[1].accuracy, evals[2].accuracy);
-        assert!(evals[0].latency_ms > evals[2].latency_ms, "PF16 faster than PF4");
+        assert!(
+            evals[0].latency_ms > evals[2].latency_ms,
+            "PF16 faster than PF4"
+        );
         assert!(evals[0].resources.dsp < evals[2].resources.dsp);
     }
 
@@ -302,7 +317,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(fines.len(), 9); // 3 replication counts x 3 activations
-        // Relu (16-bit) trades latency for accuracy against Relu4 (8-bit).
+                                    // Relu (16-bit) trades latency for accuracy against Relu4 (8-bit).
         let relu = fines
             .iter()
             .find(|f| f.activation == Activation::Relu && f.n_replications == 3)

@@ -12,8 +12,8 @@ use crate::accuracy::AccuracyModel;
 use crate::evaluate::{coarse_evaluate, select_bundles, BundleEvaluation, EvalMethod};
 use crate::search::{scd_search_with_activation, Candidate, ScdConfig};
 use codesign_dnn::builder::DnnBuilder;
-use codesign_dnn::quant::Activation;
 use codesign_dnn::bundle::{enumerate_bundles, BundleId};
+use codesign_dnn::quant::Activation;
 use codesign_dnn::space::DesignPoint;
 use codesign_dnn::Dnn;
 use codesign_hls::calibrate::calibrate_bundle_with;
@@ -214,13 +214,15 @@ impl CoDesignFlow {
                 // Calibrate in the deployment PF regime: the overlap
                 // factors fitted at tiny PFs do not transfer to the
                 // near-full-DSP designs the search emits.
-                let params =
-                    calibrate_bundle_with(&bundle, &cfg.device, &[1, 2, 3, 4], 96)?;
+                let params = calibrate_bundle_with(&bundle, &cfg.device, &[1, 2, 3, 4], 96)?;
                 let estimator = HlsEstimator::new(params, cfg.device.clone());
                 // The quantization scheme Q is a co-design variable
                 // (Table 1): search both the 16-bit (Relu) and 8-bit
                 // (Relu4) arms and let accuracy arbitrate.
-                for (ai, act) in [Activation::Relu, Activation::Relu4].into_iter().enumerate() {
+                for (ai, act) in [Activation::Relu, Activation::Relu4]
+                    .into_iter()
+                    .enumerate()
+                {
                     let scd = ScdConfig {
                         latency_target_ms: target_ms,
                         tolerance_ms,
@@ -295,7 +297,13 @@ mod tests {
         let out = small_flow().run().unwrap();
         assert_eq!(
             out.selected_bundles,
-            vec![BundleId(1), BundleId(3), BundleId(13), BundleId(15), BundleId(17)]
+            vec![
+                BundleId(1),
+                BundleId(3),
+                BundleId(13),
+                BundleId(15),
+                BundleId(17)
+            ]
         );
         assert!(!out.candidates.is_empty());
         assert_eq!(out.designs.len(), 1);

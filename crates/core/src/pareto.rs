@@ -17,8 +17,7 @@ impl ParetoPoint {
     /// objectives and strictly better in one.
     pub fn dominates(&self, other: &ParetoPoint) -> bool {
         let no_worse = self.latency_ms <= other.latency_ms && self.accuracy >= other.accuracy;
-        let strictly_better =
-            self.latency_ms < other.latency_ms || self.accuracy > other.accuracy;
+        let strictly_better = self.latency_ms < other.latency_ms || self.accuracy > other.accuracy;
         no_worse && strictly_better
     }
 }

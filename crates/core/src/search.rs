@@ -11,8 +11,8 @@
 //! within `ε` of the target are collected as candidates.
 
 use crate::accuracy::AccuracyModel;
-use codesign_dnn::bundle::Bundle;
 use codesign_dnn::builder::DnnBuilder;
+use codesign_dnn::bundle::Bundle;
 use codesign_dnn::space::{DesignPoint, MAX_PARALLEL_FACTOR};
 use codesign_hls::model::{Estimate, HlsEstimator};
 use rand::rngs::StdRng;

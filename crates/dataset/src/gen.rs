@@ -114,13 +114,13 @@ impl SyntheticDataset {
         ];
         let slope_y: f32 = rng.random_range(-0.3..0.3);
         let slope_x: f32 = rng.random_range(-0.3..0.3);
-        for c in 0..3 {
+        for (c, &b) in base.iter().enumerate() {
             for y in 0..h {
                 for x in 0..w {
-                    let g = base[c]
+                    let g: f32 = b
                         + slope_y * y as f32 / h as f32
                         + slope_x * x as f32 / w as f32
-                        + rng.random_range(-0.05..0.05);
+                        + rng.random_range(-0.05f32..0.05);
                     *image.at_mut(c, y, x) = g.clamp(0.0, 1.0);
                 }
             }
@@ -137,11 +137,11 @@ impl SyntheticDataset {
             rng.random_range(0.6..1.0),
             rng.random_range(0.6..1.0),
         ];
-        for c in 0..3 {
+        for (c, &o) in obj.iter().enumerate() {
             for y in y0..y0 + oh {
                 for x in x0..x0 + ow {
                     let checker = if (x / 2 + y / 2) % 2 == 0 { 1.0 } else { 0.8 };
-                    *image.at_mut(c, y, x) = (obj[c] * checker).clamp(0.0, 1.0);
+                    *image.at_mut(c, y, x) = (o * checker).clamp(0.0, 1.0);
                 }
             }
         }

@@ -111,7 +111,11 @@ impl DnnBuilder {
         )?;
         shape = push(&mut layers, LayerOp::max_pool(2), shape, None)?;
 
-        let reps = if self.method1_body { 1 } else { point.replications() };
+        let reps = if self.method1_body {
+            1
+        } else {
+            point.replications()
+        };
         for rep in 0..reps {
             let width = point.channels_at(rep);
             for op in point.bundle.elaborate(width, point.activation) {
@@ -208,11 +212,8 @@ mod tests {
         let m1 = DnnBuilder::new().method1(true).build(&point).unwrap();
         let m2 = DnnBuilder::new().build(&point).unwrap();
         assert!(m1.layer_count() < m2.layer_count());
-        let reps_in_m1: std::collections::HashSet<_> = m1
-            .layers()
-            .iter()
-            .filter_map(|l| l.bundle_rep)
-            .collect();
+        let reps_in_m1: std::collections::HashSet<_> =
+            m1.layers().iter().filter_map(|l| l.bundle_rep).collect();
         assert_eq!(reps_in_m1.len(), 1);
     }
 

@@ -75,9 +75,7 @@ impl Dnn {
         quantization: Quantization,
         layers: Vec<LayerInstance>,
     ) -> Self {
-        debug_assert!(layers
-            .windows(2)
-            .all(|w| w[0].output == w[1].input));
+        debug_assert!(layers.windows(2).all(|w| w[0].output == w[1].input));
         Self {
             layers,
             input,
@@ -98,10 +96,7 @@ impl Dnn {
 
     /// Output shape of the final layer.
     pub fn output_shape(&self) -> TensorShape {
-        self.layers
-            .last()
-            .map(|l| l.output)
-            .unwrap_or(self.input)
+        self.layers.last().map(|l| l.output).unwrap_or(self.input)
     }
 
     /// Quantization scheme of weights and feature maps.

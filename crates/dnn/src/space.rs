@@ -33,7 +33,8 @@ pub const PARALLEL_FACTOR_STEP: usize = 4;
 /// True when `pf` is a legal parallel factor: a positive multiple of
 /// [`PARALLEL_FACTOR_STEP`] no larger than [`MAX_PARALLEL_FACTOR`].
 pub fn is_legal_parallel_factor(pf: usize) -> bool {
-    pf >= PARALLEL_FACTOR_STEP && pf <= MAX_PARALLEL_FACTOR && pf % PARALLEL_FACTOR_STEP == 0
+    (PARALLEL_FACTOR_STEP..=MAX_PARALLEL_FACTOR).contains(&pf)
+        && pf.is_multiple_of(PARALLEL_FACTOR_STEP)
 }
 
 /// A fully specified point in the co-design space.
@@ -80,7 +81,11 @@ impl DesignPoint {
     /// channel-expanding Bundles and 1 otherwise, PF = 16, `Relu`.
     pub fn initial(bundle: Bundle, n: usize) -> Self {
         let n = n.max(1);
-        let expand = if bundle.can_expand_channels() { 2.0 } else { 1.0 };
+        let expand = if bundle.can_expand_channels() {
+            2.0
+        } else {
+            1.0
+        };
         Self {
             downsample: (0..n).map(|i| i + 1 < n).collect(),
             expansion: (0..n).map(|i| if i == 0 { 1.0 } else { expand }).collect(),
@@ -161,7 +166,10 @@ impl DesignPoint {
             });
         }
         for &f in &self.expansion {
-            if !CHANNEL_EXPANSION_FACTORS.iter().any(|&g| (g - f).abs() < 1e-9) {
+            if !CHANNEL_EXPANSION_FACTORS
+                .iter()
+                .any(|&g| (g - f).abs() < 1e-9)
+            {
                 return Err(DnnError::InvalidParameter {
                     name: "channel expansion factor".into(),
                     value: format!("{f}"),
@@ -254,7 +262,10 @@ impl fmt::Display for DesignPoint {
         write!(
             f,
             "{} x{} pf={} {} ch<={}",
-            self.bundle, self.n_replications, self.parallel_factor, self.activation,
+            self.bundle,
+            self.n_replications,
+            self.parallel_factor,
+            self.activation,
             self.max_channels
         )
     }

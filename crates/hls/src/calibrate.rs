@@ -146,7 +146,11 @@ pub fn calibrate_bundle_with(
     }
 
     let (alpha, beta) = fit_two_term(&comp_obs);
-    let phi = if phi_den > 0.0 { phi_num / phi_den } else { 1.0 };
+    let phi = if phi_den > 0.0 {
+        phi_num / phi_den
+    } else {
+        1.0
+    };
     let gamma = if gamma_count > 0 {
         gamma_sum / gamma_count as f64
     } else {

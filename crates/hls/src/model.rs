@@ -124,10 +124,7 @@ pub(crate) fn group_data_bytes(group: &[&LayerInstance], cfg: &AccelConfig) -> u
     let last = group.last().expect("non-empty group");
     let qbytes = cfg.quant.bytes() as u64;
     let fm = (first.input.elements() + last.output.elements()) as u64 * qbytes;
-    let weights: u64 = group
-        .iter()
-        .map(|l| l.op.params(l.input) * qbytes)
-        .sum();
+    let weights: u64 = group.iter().map(|l| l.op.params(l.input) * qbytes).sum();
     fm + weights
 }
 
@@ -268,7 +265,9 @@ mod tests {
     fn latency_monotone_in_depth() {
         let est = estimator_for(13);
         let b = bundle_by_id(BundleId(13)).unwrap();
-        let small = est.estimate_point(&DesignPoint::initial(b.clone(), 2)).unwrap();
+        let small = est
+            .estimate_point(&DesignPoint::initial(b.clone(), 2))
+            .unwrap();
         let large = est.estimate_point(&DesignPoint::initial(b, 5)).unwrap();
         assert!(large.latency_cycles > small.latency_cycles);
     }

@@ -3,7 +3,7 @@
 //! All spatial operators use the same conventions as the hardware IR in
 //! [`codesign_dnn::layer`]: "same" padding for convolutions (stride 1)
 //! and non-overlapping windows for pooling. Convolution forward passes
-//! parallelize over output channels with `crossbeam` scoped threads.
+//! parallelize over output channels with `std::thread::scope`.
 
 use crate::tensor::Tensor;
 use codesign_dnn::quant::Activation;
@@ -142,14 +142,13 @@ pub fn conv_forward(x: &Tensor, p: &ConvParams) -> Tensor {
             .min(p.out_ch);
         let chunk = p.out_ch.div_ceil(threads);
         let data = y.data_mut();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (i, slice) in data.chunks_mut(chunk * hw).enumerate() {
                 let start = i * chunk;
                 let end = (start + slice.len() / hw).min(p.out_ch);
-                s.spawn(move |_| run(start..end, slice));
+                s.spawn(move || run(start..end, slice));
             }
-        })
-        .expect("conv worker panicked");
+        });
     } else {
         run(0..p.out_ch, y.data_mut());
     }

@@ -113,8 +113,14 @@ impl Network {
                     he_init(&mut p.weights, k * k, &mut rng);
                     NnLayer::DwConv(p)
                 }
-                LayerOp::Pool { kind: PoolKind::Max, k } => NnLayer::MaxPool(k),
-                LayerOp::Pool { kind: PoolKind::Avg, k } => NnLayer::AvgPool(k),
+                LayerOp::Pool {
+                    kind: PoolKind::Max,
+                    k,
+                } => NnLayer::MaxPool(k),
+                LayerOp::Pool {
+                    kind: PoolKind::Avg,
+                    k,
+                } => NnLayer::AvgPool(k),
                 LayerOp::BatchNorm => NnLayer::ScaleBias(ScaleBiasParams::identity(inst.input.c)),
                 LayerOp::Activation { act } => NnLayer::Act(act),
                 LayerOp::GlobalAvgPool => NnLayer::Gap,
@@ -336,8 +342,8 @@ mod tests {
         for _ in 0..60 {
             let (out, cache) = net.forward_train(&image);
             let mut grad = Tensor::zeros(&[4]);
-            for i in 0..4 {
-                grad.data_mut()[i] = 2.0 * (out.data()[i] - target[i]) / 4.0;
+            for (i, t) in target.iter().enumerate() {
+                grad.data_mut()[i] = 2.0 * (out.data()[i] - t) / 4.0;
             }
             net.backward(&cache, &grad);
             net.sgd_step(0.05, 0.9);

@@ -20,10 +20,7 @@ enum QLayer {
     /// Conv / dw-conv style layer stored via its float original plus a
     /// weight scale; values are re-quantized on the fly during
     /// execution so one implementation serves every layer shape.
-    Exact {
-        layer: NnLayer,
-        weight_scale: f32,
-    },
+    Exact { layer: NnLayer, weight_scale: f32 },
 }
 
 /// A network executing in simulated fixed-point arithmetic.
@@ -88,7 +85,10 @@ impl QuantizedNetwork {
         let act_scale = activation_scale(self.scheme);
         let mut x = quantize_tensor(image, act_scale, self.scheme);
         for ql in &self.layers {
-            let QLayer::Exact { layer, weight_scale } = ql;
+            let QLayer::Exact {
+                layer,
+                weight_scale,
+            } = ql;
             let layer = quantize_layer(layer, *weight_scale, self.scheme);
             x = Network::forward_layer_public(&layer, &x);
             x = quantize_tensor(&x, act_scale, self.scheme);

@@ -80,8 +80,8 @@ impl Trainer {
         let n = output.len().min(4);
         let mut grad = Tensor::zeros(output.shape());
         let mut loss = 0.0f32;
-        for i in 0..n {
-            let d = output.data()[i] - target[i];
+        for (i, t) in target.iter().enumerate().take(n) {
+            let d = output.data()[i] - t;
             loss += d * d;
             grad.data_mut()[i] = 2.0 * d / n as f32;
         }
@@ -95,12 +95,7 @@ impl Trainer {
     ///
     /// Panics when `images` and `boxes` differ in length or the dataset
     /// is empty.
-    pub fn train(
-        &self,
-        net: &mut Network,
-        images: &[Tensor],
-        boxes: &[[f32; 4]],
-    ) -> TrainReport {
+    pub fn train(&self, net: &mut Network, images: &[Tensor], boxes: &[[f32; 4]]) -> TrainReport {
         assert_eq!(images.len(), boxes.len(), "images / boxes length mismatch");
         assert!(!images.is_empty(), "empty training set");
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);

@@ -177,7 +177,9 @@ mod tests {
         d.check_fit(&usage).unwrap();
         usage.dsp += 1;
         let err = d.check_fit(&usage).unwrap_err();
-        assert!(matches!(err, SimError::ResourceOverflow { ref resource, .. } if resource == "DSP"));
+        assert!(
+            matches!(err, SimError::ResourceOverflow { ref resource, .. } if resource == "DSP")
+        );
     }
 
     #[test]

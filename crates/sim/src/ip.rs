@@ -11,10 +11,10 @@
 //! its inner loop: one invocation processes one tile of one layer and
 //! takes `ceil(work / PF)` cycles plus a fixed pipeline ramp.
 
-use codesign_dnn::layer::{LayerOp, PoolKind, TensorShape};
-use codesign_dnn::quant::Quantization;
 use crate::error::SimError;
 use crate::report::ResourceUsage;
+use codesign_dnn::layer::{LayerOp, PoolKind, TensorShape};
+use codesign_dnn::quant::Quantization;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -170,8 +170,7 @@ impl IpInstance {
                     PoolKind::Max => 1,
                     PoolKind::Avg => 2, // running sum + final divide
                 };
-                (k * k) as u64 * window_cost * in_ch as u64 * pixels
-                    / ((k * k) as u64).max(1)
+                (k * k) as u64 * window_cost * in_ch as u64 * pixels / ((k * k) as u64).max(1)
             }
             (LayerOp::GlobalAvgPool, IpKind::Pool) => in_ch as u64 * pixels,
             (LayerOp::BatchNorm, IpKind::Elementwise)
@@ -191,7 +190,12 @@ impl IpInstance {
     /// Cycles to stream one layer's weights into the on-chip weight
     /// buffer, assuming the full DRAM bandwidth `bytes_per_cycle` is
     /// available to the loader.
-    pub fn weight_load_cycles(&self, op: &LayerOp, input: TensorShape, bytes_per_cycle: f64) -> u64 {
+    pub fn weight_load_cycles(
+        &self,
+        op: &LayerOp,
+        input: TensorShape,
+        bytes_per_cycle: f64,
+    ) -> u64 {
         let bytes = op.params(input) * self.quant.bytes() as u64;
         if bytes == 0 {
             0
@@ -228,7 +232,10 @@ mod tests {
             IpKind::for_op(&LayerOp::activation(Activation::Relu)).unwrap(),
             IpKind::Elementwise
         );
-        assert_eq!(IpKind::for_op(&LayerOp::GlobalAvgPool).unwrap(), IpKind::Pool);
+        assert_eq!(
+            IpKind::for_op(&LayerOp::GlobalAvgPool).unwrap(),
+            IpKind::Pool
+        );
     }
 
     #[test]

@@ -148,10 +148,7 @@ fn pipeline_groups(dnn: &Dnn) -> Vec<Vec<&LayerInstance>> {
             groups.push(Vec::new());
             current_key = key;
         }
-        groups
-            .last_mut()
-            .expect("group pushed above")
-            .push(layer);
+        groups.last_mut().expect("group pushed above").push(layer);
     }
     groups
 }
@@ -160,10 +157,7 @@ fn pipeline_groups(dnn: &Dnn) -> Vec<Vec<&LayerInstance>> {
 /// of IP instances (layer-level reuse), the shared weight buffer, the
 /// ping-pong tile data buffers and control overhead (the `Γ` term of
 /// Eq. 1).
-pub fn accelerator_resources(
-    dnn: &Dnn,
-    cfg: &AccelConfig,
-) -> Result<ResourceUsage, SimError> {
+pub fn accelerator_resources(dnn: &Dnn, cfg: &AccelConfig) -> Result<ResourceUsage, SimError> {
     cfg.validate()?;
     // One instance per distinct IP kind: layer-level IP reuse.
     let mut instances: BTreeMap<String, IpInstance> = BTreeMap::new();
@@ -197,8 +191,7 @@ pub fn accelerator_resources(
             let tw_in = cfg.tile_w.min(l.input.w);
             let th_out = cfg.tile_h.min(l.output.h);
             let tw_out = cfg.tile_w.min(l.output.w);
-            ((th_in * tw_in * l.input.c + th_out * tw_out * l.output.c)
-                * cfg.quant.bytes()) as u64
+            ((th_in * tw_in * l.input.c + th_out * tw_out * l.output.c) * cfg.quant.bytes()) as u64
         })
         .max()
         .unwrap_or(0);
@@ -223,11 +216,7 @@ pub fn accelerator_resources(
 /// Returns [`SimError::InvalidDevice`] / [`SimError::InvalidConfig`] for
 /// unusable inputs and [`SimError::UnsupportedLayer`] when the DNN uses
 /// an operator outside the IP pool.
-pub fn simulate(
-    dnn: &Dnn,
-    cfg: &AccelConfig,
-    device: &FpgaDevice,
-) -> Result<SimReport, SimError> {
+pub fn simulate(dnn: &Dnn, cfg: &AccelConfig, device: &FpgaDevice) -> Result<SimReport, SimError> {
     device.validate()?;
     cfg.validate()?;
     let resources = accelerator_resources(dnn, cfg)?;
@@ -256,10 +245,8 @@ pub fn simulate(
         // Per-stage per-tile cycle cost. Stage 0 loads the input tile
         // from DRAM, the final stage writes the output tile back:
         // inter-Bundle traffic through DRAM, intra-Bundle through BRAM.
-        let in_tile_bytes =
-            (in_shape.elements() as u64 * qbytes).div_ceil(n_tiles);
-        let out_tile_bytes =
-            (out_shape.elements() as u64 * qbytes).div_ceil(n_tiles);
+        let in_tile_bytes = (in_shape.elements() as u64 * qbytes).div_ceil(n_tiles);
+        let out_tile_bytes = (out_shape.elements() as u64 * qbytes).div_ceil(n_tiles);
         let mut stage_cycles: Vec<u64> = Vec::with_capacity(group.len() + 2);
         stage_cycles.push((in_tile_bytes as f64 / bw).ceil() as u64);
         let mut group_weight_load: u64 = 0;
@@ -267,18 +254,9 @@ pub fn simulate(
         for layer in &group {
             let ip = cfg.instance_for(&layer.op)?;
             // Effective tile dims on this layer's (possibly smaller) map.
-            let th = layer
-                .output
-                .h
-                .div_ceil(tiles_h)
-                .clamp(1, layer.output.h);
-            let tw = layer
-                .output
-                .w
-                .div_ceil(tiles_w)
-                .clamp(1, layer.output.w);
-            let cycles =
-                ip.invocation_cycles(&layer.op, th, tw, layer.input.c, layer.output.c);
+            let th = layer.output.h.div_ceil(tiles_h).clamp(1, layer.output.h);
+            let tw = layer.output.w.div_ceil(tiles_w).clamp(1, layer.output.w);
+            let cycles = ip.invocation_cycles(&layer.op, th, tw, layer.input.c, layer.output.c);
             stage_cycles.push(cycles);
             group_compute_per_tile += cycles;
             group_weight_load += ip.weight_load_cycles(&layer.op, layer.input, bw);
@@ -308,17 +286,17 @@ pub fn simulate(
 
         // Weight streaming: double-buffered, half hidden behind the
         // previous group's compute.
-        let visible_weight_load =
-            group_weight_load.saturating_sub(prev_group_compute / 2).max(group_weight_load / 2);
+        let visible_weight_load = group_weight_load
+            .saturating_sub(prev_group_compute / 2)
+            .max(group_weight_load / 2);
 
         let group_total = pipeline_cycles + visible_weight_load;
         total_cycles += group_total;
         let group_compute = group_compute_per_tile * n_tiles;
         compute_cycles += group_compute;
         exposed_memory += group_total.saturating_sub(group_compute.min(group_total));
-        dram_bytes += in_tile_bytes * n_tiles
-            + out_tile_bytes * n_tiles
-            + group_weight_load as u64 * bw as u64;
+        dram_bytes +=
+            in_tile_bytes * n_tiles + out_tile_bytes * n_tiles + group_weight_load * bw as u64;
         prev_group_compute = group_compute;
 
         layer_cycles.push(LayerCycles {
@@ -420,8 +398,12 @@ mod tests {
         let dnn8 = dnn_for(1, 3, 64, Activation::Relu4);
         let dnn16 = dnn_for(1, 3, 64, Activation::Relu);
         let r8 = simulate(&dnn8, &AccelConfig::new(64, Quantization::Int8), &pynq_z1()).unwrap();
-        let r16 =
-            simulate(&dnn16, &AccelConfig::new(64, Quantization::Int16), &pynq_z1()).unwrap();
+        let r16 = simulate(
+            &dnn16,
+            &AccelConfig::new(64, Quantization::Int16),
+            &pynq_z1(),
+        )
+        .unwrap();
         assert!(r16.resources.dsp > r8.resources.dsp);
         assert!(r16.dram_bytes > r8.dram_bytes);
     }
@@ -442,7 +424,7 @@ mod tests {
         let dnn = dnn_for(13, 3, 64, Activation::Relu4);
         let cfg = AccelConfig::new(64, Quantization::Int8);
         let r = simulate(&dnn, &cfg, &pynq_z1()).unwrap();
-        assert!(r.total_cycles < r.compute_cycles + r.dram_bytes as u64);
+        assert!(r.total_cycles < r.compute_cycles + r.dram_bytes);
     }
 
     #[test]
@@ -506,7 +488,7 @@ mod tests {
         assert!(chart.contains('#'));
         // Bars sum (approximately) to the requested width.
         let bar_cells: usize = chart.matches(['#', '-']).count();
-        assert!(bar_cells >= 55 && bar_cells <= 70, "bar cells {bar_cells}");
+        assert!((55..=70).contains(&bar_cells), "bar cells {bar_cells}");
     }
 
     proptest! {

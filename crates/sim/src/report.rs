@@ -100,7 +100,13 @@ pub struct Utilization {
 impl Utilization {
     /// Computes utilization of `usage` against `budget`.
     pub fn of(usage: &ResourceUsage, budget: &ResourceUsage) -> Self {
-        let frac = |u: u64, b: u64| if b == 0 { f64::INFINITY } else { u as f64 / b as f64 };
+        let frac = |u: u64, b: u64| {
+            if b == 0 {
+                f64::INFINITY
+            } else {
+                u as f64 / b as f64
+            }
+        };
         Self {
             dsp: frac(usage.dsp, budget.dsp),
             lut: frac(usage.lut, budget.lut),
@@ -223,8 +229,7 @@ impl SimReport {
             let comp_cols = if group.total_cycles == 0 {
                 0
             } else {
-                ((group.compute_cycles.min(group.total_cycles) as f64
-                    / group.total_cycles as f64)
+                ((group.compute_cycles.min(group.total_cycles) as f64 / group.total_cycles as f64)
                     * cols as f64)
                     .round() as usize
             }
@@ -264,15 +269,43 @@ mod tests {
 
     #[test]
     fn addition_is_fieldwise() {
-        let a = ResourceUsage { dsp: 1, lut: 2, ff: 3, bram_18k: 4 };
-        let b = ResourceUsage { dsp: 10, lut: 20, ff: 30, bram_18k: 40 };
-        assert_eq!(a + b, ResourceUsage { dsp: 11, lut: 22, ff: 33, bram_18k: 44 });
+        let a = ResourceUsage {
+            dsp: 1,
+            lut: 2,
+            ff: 3,
+            bram_18k: 4,
+        };
+        let b = ResourceUsage {
+            dsp: 10,
+            lut: 20,
+            ff: 30,
+            bram_18k: 40,
+        };
+        assert_eq!(
+            a + b,
+            ResourceUsage {
+                dsp: 11,
+                lut: 22,
+                ff: 33,
+                bram_18k: 44
+            }
+        );
     }
 
     #[test]
     fn utilization_fraction() {
-        let usage = ResourceUsage { dsp: 110, lut: 26_600, ff: 0, bram_18k: 140 };
-        let budget = ResourceUsage { dsp: 220, lut: 53_200, ff: 106_400, bram_18k: 280 };
+        let usage = ResourceUsage {
+            dsp: 110,
+            lut: 26_600,
+            ff: 0,
+            bram_18k: 140,
+        };
+        let budget = ResourceUsage {
+            dsp: 220,
+            lut: 53_200,
+            ff: 106_400,
+            bram_18k: 280,
+        };
         let u = Utilization::of(&usage, &budget);
         assert!((u.dsp - 0.5).abs() < 1e-9);
         assert!((u.lut - 0.5).abs() < 1e-9);
@@ -282,7 +315,10 @@ mod tests {
 
     #[test]
     fn zero_budget_gives_infinite_utilization() {
-        let usage = ResourceUsage { dsp: 1, ..ResourceUsage::zero() };
+        let usage = ResourceUsage {
+            dsp: 1,
+            ..ResourceUsage::zero()
+        };
         let u = Utilization::of(&usage, &ResourceUsage::zero());
         assert!(u.dsp.is_infinite());
     }

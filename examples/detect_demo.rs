@@ -69,8 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         momentum: 0.9,
         batch_size: 8,
     });
-    println!("training 40 epochs on {} synthetic images...", train_x.len());
-    let report = trainer.train(&mut net, train_x, &train_y.to_vec());
+    println!(
+        "training 40 epochs on {} synthetic images...",
+        train_x.len()
+    );
+    let report = trainer.train(&mut net, train_x, train_y);
     println!(
         "loss: {:.4} -> {:.4}",
         report.epoch_losses[0],
@@ -98,15 +101,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BoundingBox::new(sum[0] / n, sum[1] / n, sum[2] / n, sum[3] / n)
     };
     let mean_baseline: Vec<BoundingBox> = truths.iter().map(|_| mean_box).collect();
-    println!("mean-box baseline IoU:          {:.3}", mean_iou(&mean_baseline, &truths));
-    println!("float mean IoU on held-out set: {:.3}", mean_iou(&predictions, &truths));
+    println!(
+        "mean-box baseline IoU:          {:.3}",
+        mean_iou(&mean_baseline, &truths)
+    );
+    println!(
+        "float mean IoU on held-out set: {:.3}",
+        mean_iou(&predictions, &truths)
+    );
 
     let qnet = QuantizedNetwork::quantize(&net, Quantization::Int8);
     let qpredictions: Vec<BoundingBox> = test_x
         .iter()
         .map(|img| BoundingBox::from_prediction(qnet.forward(img).data()))
         .collect();
-    println!("int8  mean IoU on held-out set: {:.3}", mean_iou(&qpredictions, &truths));
+    println!(
+        "int8  mean IoU on held-out set: {:.3}",
+        mean_iou(&qpredictions, &truths)
+    );
 
     // Fig. 7-style visualization: ground truth (#) vs detection (o),
     // overlap (@).

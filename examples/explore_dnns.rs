@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nbundles selected by coarse evaluation: {ids:?}");
     println!("candidates meeting a target band: {}", out.candidates.len());
 
-    println!("\n{:>9} {:>20} {:>8} {:>9}", "target", "design", "FPS", "IoU(est)");
+    println!(
+        "\n{:>9} {:>20} {:>8} {:>9}",
+        "target", "design", "FPS", "IoU(est)"
+    );
     for (target, c) in &out.candidates {
         println!(
             "{:>9.0} {:>20} {:>8.1} {:>9.3}",

@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.latency_ms(150.0)
     );
     println!("resources: {}", report.resources);
-    println!("utilization on {}: {}", device, report.utilization(&device.budget()));
+    println!(
+        "utilization on {}: {}",
+        device,
+        report.utilization(&device.budget())
+    );
     println!();
     println!(
         "wrote {} ({} lines), {} ({} lines) and {} ({} lines)",

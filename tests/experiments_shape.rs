@@ -50,7 +50,9 @@ fn fig5_reproduces_bundle_characteristics() {
     let rows = fig5(&default_device()).unwrap();
     let pick = |id: usize, act: codesign_dnn::quant::Activation, reps: usize| {
         rows.iter()
-            .find(|r| r.bundle_id == BundleId(id) && r.activation == act && r.n_replications == reps)
+            .find(|r| {
+                r.bundle_id == BundleId(id) && r.activation == act && r.n_replications == reps
+            })
             .unwrap()
     };
     use codesign_dnn::quant::Activation::{Relu, Relu4};
@@ -131,5 +133,8 @@ fn ablation_reproduces_methodology_gap() {
         out.codesign_iou - out.topdown.iou > 0.02,
         "bottom-up co-design must beat top-down compress-then-map"
     );
-    assert!(out.topdown.prune_rounds >= 2, "SSD must need real compression");
+    assert!(
+        out.topdown.prune_rounds >= 2,
+        "SSD must need real compression"
+    );
 }

@@ -1,0 +1,37 @@
+//! Workspace smoke test: the tier-1 guard that the whole co-design
+//! pipeline — Bundle enumeration, coarse evaluation, SCD search,
+//! Auto-HLS generation, simulation — stays wired together. Runs the
+//! smallest useful `FlowConfig` and asserts the flow yields a non-empty
+//! Pareto set over its candidates.
+
+use fpga_dnn_codesign::core::flow::{CoDesignFlow, FlowConfig};
+use fpga_dnn_codesign::core::pareto::{pareto_front, ParetoPoint};
+use fpga_dnn_codesign::sim::device::pynq_z1;
+
+#[test]
+fn tiny_flow_yields_nonempty_pareto_set() {
+    let flow = CoDesignFlow::new(FlowConfig {
+        targets_fps: vec![20.0],
+        candidates_per_bundle: 1,
+        coarse_pf_sweep: vec![16],
+        ..FlowConfig::for_device(pynq_z1())
+    });
+    let out = flow.run().expect("tiny co-design flow must run end-to-end");
+
+    assert!(!out.selected_bundles.is_empty(), "no bundles selected");
+    assert!(!out.candidates.is_empty(), "search produced no candidates");
+    assert!(!out.designs.is_empty(), "no design met the FPS target");
+
+    let points: Vec<ParetoPoint> = out
+        .candidates
+        .iter()
+        .map(|(_, c)| ParetoPoint {
+            latency_ms: c.latency_ms,
+            accuracy: c.accuracy,
+        })
+        .collect();
+    let front = pareto_front(&points);
+    assert!(!front.is_empty(), "Pareto front over candidates is empty");
+    // Every front member must actually be a candidate index.
+    assert!(front.iter().all(|&i| i < points.len()));
+}

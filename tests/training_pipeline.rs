@@ -36,7 +36,7 @@ fn train_small(bundle: usize, epochs: usize) -> (Network, Vec<[f32; 4]>, Vec<cod
         momentum: 0.9,
         batch_size: 8,
     })
-    .train(&mut net, &images[..32], &boxes[..32].to_vec());
+    .train(&mut net, &images[..32], &boxes[..32]);
     (net, boxes[32..].to_vec(), images[32..].to_vec())
 }
 
