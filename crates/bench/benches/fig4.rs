@@ -2,26 +2,34 @@
 //! evaluation for both DNN-construction methods and reports the
 //! selected Pareto set.
 
-use codesign_bench::experiments::{default_device, fig4};
+use codesign_bench::experiments::{default_device, fig4, parallelism_from_env};
 use codesign_core::evaluate::EvalMethod;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_fig4(c: &mut Criterion) {
     let dev = default_device();
+    let parallelism = parallelism_from_env();
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
     group.bench_function("method1_fixed_head_tail", |b| {
-        b.iter(|| fig4(black_box(EvalMethod::FixedHeadTail), &dev).unwrap())
+        b.iter(|| fig4(black_box(EvalMethod::FixedHeadTail), &dev, parallelism).unwrap())
     });
     group.bench_function("method2_replicated", |b| {
-        b.iter(|| fig4(black_box(EvalMethod::Replicated { n: 3 }), &dev).unwrap())
+        b.iter(|| {
+            fig4(
+                black_box(EvalMethod::Replicated { n: 3 }),
+                &dev,
+                parallelism,
+            )
+            .unwrap()
+        })
     });
     group.finish();
 
     // Regenerate and print the artifact once so `cargo bench` output
     // carries the paper comparison.
-    let (_, selected) = fig4(EvalMethod::Replicated { n: 3 }, &dev).unwrap();
+    let (_, selected) = fig4(EvalMethod::Replicated { n: 3 }, &dev, parallelism).unwrap();
     let ids: Vec<usize> = selected.iter().map(|b| b.0).collect();
     println!("fig4: selected bundles {ids:?} (paper: [1, 3, 13, 15, 17])");
 }

@@ -1,0 +1,81 @@
+//! Parallel-scaling bench: the Fig. 4 coarse-evaluation workload at 1
+//! vs N worker threads, plus a co-design flow run reporting the shared
+//! estimate-cache hit rate and cross-thread-count determinism.
+
+use codesign_bench::experiments::{default_device, fig4};
+use codesign_core::evaluate::EvalMethod;
+use codesign_core::flow::{CoDesignFlow, FlowConfig};
+use codesign_core::parallel::Parallelism;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// Worker counts compared; 4 matches the acceptance target (≥ 2×
+/// speedup at 4 threads on a ≥ 4-core host).
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn small_flow(threads: usize) -> CoDesignFlow {
+    CoDesignFlow::new(FlowConfig {
+        targets_fps: vec![15.0],
+        candidates_per_bundle: 3,
+        coarse_pf_sweep: vec![16],
+        parallelism: Parallelism::Fixed(threads),
+        ..FlowConfig::for_device(default_device())
+    })
+}
+
+fn bench_fig4_parallel(c: &mut Criterion) {
+    let dev = default_device();
+    let mut group = c.benchmark_group("fig4_parallel");
+    group.sample_size(5);
+    for threads in THREAD_COUNTS {
+        group.bench_function(&format!("coarse/threads{threads}"), |b| {
+            b.iter(|| {
+                fig4(
+                    EvalMethod::Replicated { n: 3 },
+                    &dev,
+                    Parallelism::Fixed(threads),
+                )
+                .unwrap()
+            })
+        });
+    }
+    for threads in THREAD_COUNTS {
+        group.bench_function(&format!("flow/threads{threads}"), |b| {
+            b.iter(|| small_flow(threads).run().unwrap())
+        });
+    }
+    group.finish();
+
+    // One timed head-to-head run: wall clock, cache hit rate, and the
+    // byte-stability guarantee across thread counts.
+    let t0 = Instant::now();
+    let seq = small_flow(1).run().unwrap();
+    let t_seq = t0.elapsed();
+    let t1 = Instant::now();
+    let par = small_flow(4).run().unwrap();
+    let t_par = t1.elapsed();
+    println!(
+        "fig4_parallel: flow 1 thread {t_seq:?}, 4 threads {t_par:?} ({:.2}x), \
+         estimate cache: {}",
+        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+        par.cache_stats,
+    );
+    let identical = seq.candidates == par.candidates
+        && seq.coarse == par.coarse
+        && seq
+            .designs
+            .iter()
+            .zip(&par.designs)
+            .all(|(a, b)| a.point == b.point && a.code == b.code);
+    println!(
+        "fig4_parallel: 1-thread and 4-thread outputs {}",
+        if identical {
+            "are bit-identical"
+        } else {
+            "DIVERGED — determinism bug!"
+        }
+    );
+}
+
+criterion_group!(benches, bench_fig4_parallel);
+criterion_main!(benches);

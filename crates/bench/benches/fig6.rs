@@ -1,17 +1,20 @@
 //! Criterion bench for Fig. 6: the full hardware-aware DNN search at
 //! the 10 / 15 / 20 FPS targets.
 
-use codesign_bench::experiments::{default_device, fig6};
+use codesign_bench::experiments::{default_device, fig6, parallelism_from_env};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_fig6(c: &mut Criterion) {
     let dev = default_device();
+    let parallelism = parallelism_from_env();
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
-    group.bench_function("scd_search_all_targets", |b| b.iter(|| fig6(&dev).unwrap()));
+    group.bench_function("scd_search_all_targets", |b| {
+        b.iter(|| fig6(&dev, parallelism).unwrap())
+    });
     group.finish();
 
-    let out = fig6(&dev).unwrap();
+    let out = fig6(&dev, parallelism).unwrap();
     println!(
         "fig6: {} candidates across 3 targets (paper: 68); best IoUs: {:?}",
         out.explored.len(),

@@ -1,10 +1,12 @@
 //! Regenerates Fig. 4: coarse-grained Bundle evaluation (both methods).
 
-use codesign_bench::experiments::{default_device, fig4};
+use codesign_bench::experiments::{default_device, fig4, parallelism_from_env};
 use codesign_core::evaluate::EvalMethod;
 
 fn main() {
     let dev = default_device();
+    let parallelism = parallelism_from_env();
+    println!("parallelism: {parallelism} workers (set CODESIGN_PARALLELISM to override)");
     for (label, method) in [
         (
             "Fig. 4(a) - method#1 (fixed head/tail)",
@@ -15,7 +17,7 @@ fn main() {
             EvalMethod::Replicated { n: 3 },
         ),
     ] {
-        let (evals, selected) = fig4(method, &dev).expect("fig4 evaluation");
+        let (evals, selected) = fig4(method, &dev, parallelism).expect("fig4 evaluation");
         println!("== {label} ==");
         println!(
             "{:>6} {:>4} {:>12} {:>10} {:>8} {:>6}",

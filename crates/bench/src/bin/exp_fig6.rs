@@ -1,10 +1,12 @@
 //! Regenerates Fig. 6: hardware-aware DNN search targeting 10 / 15 / 20
 //! FPS at 100 MHz on the PYNQ-Z1.
 
-use codesign_bench::experiments::{default_device, fig6};
+use codesign_bench::experiments::{default_device, fig6, parallelism_from_env};
 
 fn main() {
-    let out = fig6(&default_device()).expect("fig6 search");
+    let parallelism = parallelism_from_env();
+    println!("parallelism: {parallelism} workers (set CODESIGN_PARALLELISM to override)");
+    let out = fig6(&default_device(), parallelism).expect("fig6 search");
     let ids: Vec<usize> = out.selected_bundles.iter().map(|b| b.0).collect();
     println!("== Fig. 6 - DNN exploration (selected bundles {ids:?}) ==");
     println!(

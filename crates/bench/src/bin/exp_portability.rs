@@ -1,10 +1,10 @@
 //! Extension experiment: the co-design flow ported to a larger edge
 //! device (Ultra96) — same task, same targets, bigger budget.
 
-use codesign_bench::experiments::portability;
+use codesign_bench::experiments::{parallelism_from_env, portability};
 
 fn main() {
-    let rows = portability().expect("portability study");
+    let rows = portability(parallelism_from_env()).expect("portability study");
     println!("== device portability (15 FPS target @100 MHz) ==");
     println!(
         "{:<24} {:>8} {:>9} {:>7}",

@@ -8,9 +8,11 @@ use codesign_baselines::published::{dac_sdc_2018_results, PublishedResult};
 use codesign_baselines::topdown::{TopDownFlow, TopDownResult};
 use codesign_core::accuracy::AccuracyModel;
 use codesign_core::evaluate::{
-    coarse_evaluate, fine_evaluate, select_bundles, BundleEvaluation, EvalMethod, FineEvaluation,
+    coarse_evaluate_parallel, fine_evaluate, select_bundles, BundleEvaluation, EvalMethod,
+    FineEvaluation,
 };
 use codesign_core::flow::{CoDesignFlow, FlowConfig};
+use codesign_core::parallel::Parallelism;
 use codesign_dnn::builder::DnnBuilder;
 use codesign_dnn::bundle::{enumerate_bundles, BundleId};
 use codesign_sim::device::{pynq_z1, FpgaDevice};
@@ -22,11 +24,22 @@ use serde::{Deserialize, Serialize};
 /// Images in the official DAC-SDC evaluation set.
 pub const EVAL_IMAGES: u64 = 50_000;
 
+/// Environment variable the `exp_*` binaries and benches read for the
+/// worker-thread knob: a positive integer pins the count, anything else
+/// means one worker per core.
+pub const PARALLELISM_ENV: &str = "CODESIGN_PARALLELISM";
+
+/// The [`Parallelism`] knob from [`PARALLELISM_ENV`].
+pub fn parallelism_from_env() -> Parallelism {
+    Parallelism::from_env(PARALLELISM_ENV)
+}
+
 /// Figure 4: coarse-grained Bundle evaluation.
 ///
 /// Returns the bubble-chart data (one record per Bundle per parallel
 /// factor) and the selected Pareto Bundle set, for the given DNN
-/// construction method.
+/// construction method. The evaluation fans out one work item per
+/// Bundle; results are byte-identical for any `parallelism`.
 ///
 /// # Errors
 ///
@@ -34,15 +47,17 @@ pub const EVAL_IMAGES: u64 = 50_000;
 pub fn fig4(
     method: EvalMethod,
     device: &FpgaDevice,
+    parallelism: Parallelism,
 ) -> Result<(Vec<BundleEvaluation>, Vec<BundleId>), SimError> {
     let model = AccuracyModel::paper_calibrated();
-    let evals = coarse_evaluate(
+    let evals = coarse_evaluate_parallel(
         &enumerate_bundles(),
         device,
         &[4, 8, 16],
         method,
         &model,
         100.0,
+        parallelism.threads(),
     )?;
     let at_pf16: Vec<BundleEvaluation> = evals
         .iter()
@@ -113,10 +128,14 @@ pub struct Fig6Output {
 /// # Errors
 ///
 /// Propagates flow failures.
-pub fn fig6(device: &FpgaDevice) -> Result<Fig6Output, codesign_core::flow::FlowError> {
+pub fn fig6(
+    device: &FpgaDevice,
+    parallelism: Parallelism,
+) -> Result<Fig6Output, codesign_core::flow::FlowError> {
     let flow = CoDesignFlow::new(FlowConfig {
         candidates_per_bundle: 5,
         coarse_pf_sweep: vec![16],
+        parallelism,
         ..FlowConfig::for_device(device.clone())
     });
     let out = flow.run()?;
@@ -286,8 +305,8 @@ mod tests {
     #[test]
     fn fig4_selects_paper_bundles_both_methods() {
         let dev = default_device();
-        let (_, sel1) = fig4(EvalMethod::FixedHeadTail, &dev).unwrap();
-        let (_, sel2) = fig4(EvalMethod::Replicated { n: 3 }, &dev).unwrap();
+        let (_, sel1) = fig4(EvalMethod::FixedHeadTail, &dev, Parallelism::Auto).unwrap();
+        let (_, sel2) = fig4(EvalMethod::Replicated { n: 3 }, &dev, Parallelism::Auto).unwrap();
         let expected: Vec<BundleId> = [1, 3, 13, 15, 17].map(BundleId).to_vec();
         assert_eq!(sel1, expected);
         assert_eq!(sel2, expected);
@@ -439,7 +458,9 @@ pub struct PortabilityRow {
 /// # Errors
 ///
 /// Propagates flow failures.
-pub fn portability() -> Result<Vec<PortabilityRow>, codesign_core::flow::FlowError> {
+pub fn portability(
+    parallelism: Parallelism,
+) -> Result<Vec<PortabilityRow>, codesign_core::flow::FlowError> {
     use codesign_sim::device::ultra96;
     let mut rows = Vec::new();
     for device in [pynq_z1(), ultra96()] {
@@ -447,6 +468,7 @@ pub fn portability() -> Result<Vec<PortabilityRow>, codesign_core::flow::FlowErr
             targets_fps: vec![15.0],
             candidates_per_bundle: 2,
             coarse_pf_sweep: vec![16],
+            parallelism,
             ..FlowConfig::for_device(device.clone())
         });
         let out = flow.run()?;

@@ -12,6 +12,12 @@
 //! | Fig. 6 | [`experiments::fig6`] | `exp_fig6` | `fig6` |
 //! | Table 2 | [`experiments::table2`] | `exp_table2` | `table2` |
 //! | Sec. 6 ablation | [`experiments::ablation`] | `exp_ablation` | `ablation` |
+//! | parallel scaling | [`experiments::fig4`] at 1 vs N workers | — | `fig4_parallel` |
+//!
+//! The binaries and benches read the worker-thread knob from the
+//! `CODESIGN_PARALLELISM` environment variable (see
+//! [`experiments::parallelism_from_env`]); flow results are
+//! bit-identical for any setting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

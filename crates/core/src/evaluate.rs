@@ -94,9 +94,28 @@ pub fn coarse_evaluate(
     model: &AccuracyModel,
     clock_mhz: f64,
 ) -> Result<Vec<BundleEvaluation>, SimError> {
+    coarse_evaluate_parallel(bundles, device, pf_sweep, method, model, clock_mhz, 1)
+}
+
+/// [`coarse_evaluate`] fanned out over a scoped-thread work queue: each
+/// Bundle is one work item, results are merged in Bundle order, so the
+/// output is byte-identical to the sequential run for any `threads`.
+///
+/// # Errors
+///
+/// Propagates the first simulator failure in Bundle order.
+pub fn coarse_evaluate_parallel(
+    bundles: &[Bundle],
+    device: &FpgaDevice,
+    pf_sweep: &[usize],
+    method: EvalMethod,
+    model: &AccuracyModel,
+    clock_mhz: f64,
+    threads: usize,
+) -> Result<Vec<BundleEvaluation>, SimError> {
     let builder = DnnBuilder::new().method1(matches!(method, EvalMethod::FixedHeadTail));
-    let mut out = Vec::new();
-    for bundle in bundles {
+    let per_bundle = crate::parallel::try_parallel_map(bundles, threads, |_, bundle| {
+        let mut rows = Vec::with_capacity(pf_sweep.len());
         for &pf in pf_sweep {
             let point = evaluation_point(bundle, method, pf);
             let Ok(dnn) = builder.build(&point) else {
@@ -106,7 +125,7 @@ pub fn coarse_evaluate(
             let report = simulate(&dnn, &cfg, device)?;
             let engine_dsp = (pf.div_ceil(point.quantization().macs_per_dsp()) + 2) as f64;
             let dsp_group = (report.resources.dsp as f64 / engine_dsp).round() as usize;
-            out.push(BundleEvaluation {
+            rows.push(BundleEvaluation {
                 bundle_id: bundle.id(),
                 parallel_factor: pf,
                 latency_ms: report.latency_ms(clock_mhz),
@@ -115,8 +134,9 @@ pub fn coarse_evaluate(
                 dsp_group,
             });
         }
-    }
-    Ok(out)
+        Ok(rows)
+    })?;
+    Ok(per_bundle.into_iter().flatten().collect())
 }
 
 /// Selects the promising Bundles from a coarse evaluation: records are
@@ -328,6 +348,24 @@ mod tests {
             .unwrap();
         assert!(relu.accuracy > relu4.accuracy);
         assert!(relu.latency_ms > relu4.latency_ms);
+    }
+
+    #[test]
+    fn parallel_coarse_evaluation_is_byte_identical() {
+        let sequential = run_coarse(EvalMethod::Replicated { n: 3 });
+        for threads in [2usize, 4] {
+            let parallel = coarse_evaluate_parallel(
+                &enumerate_bundles(),
+                &pynq_z1(),
+                &[16],
+                EvalMethod::Replicated { n: 3 },
+                &AccuracyModel::paper_calibrated(),
+                100.0,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
     }
 
     #[test]

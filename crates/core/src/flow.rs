@@ -9,22 +9,25 @@
 //! report).
 
 use crate::accuracy::AccuracyModel;
-use crate::evaluate::{coarse_evaluate, select_bundles, BundleEvaluation, EvalMethod};
+use crate::evaluate::{coarse_evaluate_parallel, select_bundles, BundleEvaluation, EvalMethod};
+use crate::parallel::{derive_seed, parallel_map, try_parallel_map, Parallelism};
 use crate::search::{scd_search_with_activation, Candidate, ScdConfig};
 use codesign_dnn::builder::DnnBuilder;
-use codesign_dnn::bundle::{enumerate_bundles, BundleId};
+use codesign_dnn::bundle::{enumerate_bundles, Bundle, BundleId};
 use codesign_dnn::quant::Activation;
 use codesign_dnn::space::DesignPoint;
 use codesign_dnn::Dnn;
+use codesign_hls::cache::EstimateCache;
 use codesign_hls::calibrate::calibrate_bundle_with;
 use codesign_hls::codegen::CodeGenerator;
 use codesign_hls::model::HlsEstimator;
 use codesign_sim::device::FpgaDevice;
 use codesign_sim::error::SimError;
 use codesign_sim::pipeline::{simulate, AccelConfig};
-use codesign_sim::report::SimReport;
+use codesign_sim::report::{CacheStats, SimReport};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of a full co-design run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +50,11 @@ pub struct FlowConfig {
     pub eval_replications: usize,
     /// Seed of the stochastic search.
     pub seed: u64,
+    /// Worker-thread knob: Bundle evaluations, calibrations and SCD
+    /// searches fan out across scoped threads, each work item with a
+    /// private SplitMix64-derived seed. `Fixed(1)` is the sequential
+    /// legacy path; results are bit-identical for any setting.
+    pub parallelism: Parallelism,
 }
 
 impl FlowConfig {
@@ -63,6 +71,7 @@ impl FlowConfig {
             coarse_pf_sweep: vec![4, 8, 16],
             eval_replications: 3,
             seed: 2019,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -100,6 +109,14 @@ pub struct FlowOutput {
     pub candidates: Vec<(f64, Candidate)>,
     /// Best design per FPS target (the paper's DNN1-3).
     pub designs: Vec<DesignOutcome>,
+    /// Hit/miss counters of the shared analytic-estimate cache: how
+    /// much of the search's modeling work was memoized.
+    ///
+    /// The bit-identical-output guarantee covers the search results
+    /// (coarse records, selection, candidates, designs) and the *total*
+    /// lookup count here; the hit/miss split may shift by a few counts
+    /// between runs when workers race to compute the same key.
+    pub cache_stats: CacheStats,
 }
 
 /// Errors of the co-design flow.
@@ -171,6 +188,16 @@ impl CoDesignFlow {
 
     /// Runs the three co-design steps end to end.
     ///
+    /// With `parallelism > 1` the independent stages — coarse Bundle
+    /// evaluation, per-Bundle calibration, and the per-(Bundle,
+    /// FPS-target, quantization-arm) SCD searches — fan out over a
+    /// scoped-thread work queue. Every work item draws a private seed
+    /// derived from [`FlowConfig::seed`] via SplitMix64 and results are
+    /// merged in work-item order, so the output is **bit-identical** to
+    /// a sequential run and independent of thread interleaving. One
+    /// [`EstimateCache`] is shared by all SCD searches; its counters are
+    /// reported in [`FlowOutput::cache_stats`].
+    ///
     /// # Errors
     ///
     /// Returns [`FlowError::NoTargets`] for an empty target list and
@@ -180,10 +207,13 @@ impl CoDesignFlow {
             return Err(FlowError::NoTargets);
         }
         let cfg = &self.config;
+        let threads = cfg.parallelism.threads();
+        let cache = Arc::new(EstimateCache::new());
 
-        // Step 2: coarse evaluation + Bundle selection. (Step 1, the
-        // analytic modeling, happens inside calibrate_bundle below.)
-        let coarse = coarse_evaluate(
+        // Step 2: coarse evaluation (one work item per Bundle) + Bundle
+        // selection. (Step 1, the analytic modeling, happens inside
+        // calibrate_bundle_with below.)
+        let coarse = coarse_evaluate_parallel(
             &enumerate_bundles(),
             &cfg.device,
             &cfg.coarse_pf_sweep,
@@ -192,6 +222,7 @@ impl CoDesignFlow {
             },
             &self.model,
             cfg.clock_mhz,
+            threads,
         )?;
         let max_pf = cfg.coarse_pf_sweep.iter().copied().max().unwrap_or(16);
         let at_max_pf: Vec<BundleEvaluation> = coarse
@@ -201,42 +232,85 @@ impl CoDesignFlow {
             .collect();
         let selected = select_bundles(&at_max_pf);
 
-        // Step 3: SCD search per selected Bundle per FPS target.
+        // Step 1: analytic-model calibration, once per selected Bundle
+        // (shared across every FPS target) in the deployment PF regime —
+        // the overlap factors fitted at tiny PFs do not transfer to the
+        // near-full-DSP designs the search emits. All estimators share
+        // one estimate cache.
         let bundles = enumerate_bundles();
-        let mut candidates: Vec<(f64, Candidate)> = Vec::new();
-        let mut designs: Vec<DesignOutcome> = Vec::new();
-        for (ti, &fps) in cfg.targets_fps.iter().enumerate() {
-            let target_ms = 1000.0 / fps;
-            let tolerance_ms = target_ms - 1000.0 / (fps + cfg.fps_tolerance);
-            let mut target_candidates: Vec<Candidate> = Vec::new();
-            for id in &selected {
+        let estimators: Vec<(Bundle, HlsEstimator)> =
+            try_parallel_map(&selected, threads, |_, id| {
                 let bundle = bundles[id.0 - 1].clone();
-                // Calibrate in the deployment PF regime: the overlap
-                // factors fitted at tiny PFs do not transfer to the
-                // near-full-DSP designs the search emits.
                 let params = calibrate_bundle_with(&bundle, &cfg.device, &[1, 2, 3, 4], 96)?;
-                let estimator = HlsEstimator::new(params, cfg.device.clone());
-                // The quantization scheme Q is a co-design variable
-                // (Table 1): search both the 16-bit (Relu) and 8-bit
-                // (Relu4) arms and let accuracy arbitrate.
-                for (ai, act) in [Activation::Relu, Activation::Relu4]
+                let estimator =
+                    HlsEstimator::new(params, cfg.device.clone()).with_cache(Arc::clone(&cache));
+                Ok::<_, SimError>((bundle, estimator))
+            })?;
+
+        // Step 3: SCD searches, one work item per (FPS target, Bundle,
+        // quantization arm). The scheme Q is a co-design variable
+        // (Table 1): both the 16-bit (Relu) and 8-bit (Relu4) arms are
+        // searched and accuracy arbitrates.
+        struct ScdItem<'a> {
+            ti: usize,
+            fps: f64,
+            bundle: &'a Bundle,
+            estimator: &'a HlsEstimator,
+            arm: u64,
+            activation: Activation,
+        }
+        let mut items: Vec<ScdItem<'_>> = Vec::new();
+        for (ti, &fps) in cfg.targets_fps.iter().enumerate() {
+            for (bundle, estimator) in &estimators {
+                for (arm, activation) in [Activation::Relu, Activation::Relu4]
                     .into_iter()
                     .enumerate()
                 {
-                    let scd = ScdConfig {
-                        latency_target_ms: target_ms,
-                        tolerance_ms,
-                        clock_mhz: cfg.clock_mhz,
-                        candidates: cfg.candidates_per_bundle,
-                        max_iterations: 400,
-                        seed: cfg.seed ^ ((ti as u64) << 32) ^ ((ai as u64) << 16) ^ id.0 as u64,
-                    };
-                    for c in scd_search_with_activation(&bundle, &estimator, &self.model, &scd, act)
-                    {
-                        target_candidates.push(c);
-                    }
+                    items.push(ScdItem {
+                        ti,
+                        fps,
+                        bundle,
+                        estimator,
+                        arm: arm as u64,
+                        activation,
+                    });
                 }
             }
+        }
+        let found: Vec<Vec<Candidate>> = parallel_map(&items, threads, |_, item| {
+            let target_ms = 1000.0 / item.fps;
+            let tolerance_ms = target_ms - 1000.0 / (item.fps + cfg.fps_tolerance);
+            // The stream id depends only on what the item *is* (target,
+            // Bundle, arm), never on scheduling.
+            let stream = ((item.ti as u64) << 32) | ((item.bundle.id().0 as u64) << 8) | item.arm;
+            let scd = ScdConfig {
+                latency_target_ms: target_ms,
+                tolerance_ms,
+                clock_mhz: cfg.clock_mhz,
+                candidates: cfg.candidates_per_bundle,
+                max_iterations: 400,
+                seed: derive_seed(cfg.seed, stream),
+            };
+            scd_search_with_activation(
+                item.bundle,
+                item.estimator,
+                &self.model,
+                &scd,
+                item.activation,
+            )
+        });
+
+        // Deterministic merge: item order reproduces the legacy nested
+        // target → Bundle → arm loop exactly.
+        let mut candidates: Vec<(f64, Candidate)> = Vec::new();
+        let mut designs: Vec<DesignOutcome> = Vec::new();
+        for (ti, &fps) in cfg.targets_fps.iter().enumerate() {
+            let target_candidates: Vec<Candidate> = items
+                .iter()
+                .zip(&found)
+                .filter(|(item, _)| item.ti == ti)
+                .flat_map(|(_, cs)| cs.iter().cloned())
+                .collect();
             // Best accuracy per target becomes the published design.
             if let Some(best) = target_candidates
                 .iter()
@@ -253,6 +327,7 @@ impl CoDesignFlow {
             selected_bundles: selected,
             candidates,
             designs,
+            cache_stats: cache.stats(),
         })
     }
 
@@ -346,5 +421,43 @@ mod tests {
         assert_eq!(a.selected_bundles, b.selected_bundles);
         assert_eq!(a.candidates.len(), b.candidates.len());
         assert_eq!(a.designs[0].point, b.designs[0].point);
+    }
+
+    #[test]
+    fn parallel_flow_is_bit_identical_to_sequential() {
+        let run_with = |threads: usize| {
+            CoDesignFlow::new(FlowConfig {
+                targets_fps: vec![15.0],
+                candidates_per_bundle: 2,
+                coarse_pf_sweep: vec![16],
+                parallelism: Parallelism::Fixed(threads),
+                ..FlowConfig::for_device(pynq_z1())
+            })
+            .run()
+            .unwrap()
+        };
+        let seq = run_with(1);
+        let par = run_with(4);
+        assert_eq!(seq.coarse, par.coarse);
+        assert_eq!(seq.selected_bundles, par.selected_bundles);
+        assert_eq!(seq.candidates, par.candidates);
+        assert_eq!(seq.designs.len(), par.designs.len());
+        for (a, b) in seq.designs.iter().zip(&par.designs) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.report, b.report);
+            assert_eq!(a.code, b.code, "generated C must be byte-stable");
+        }
+    }
+
+    #[test]
+    fn flow_reports_estimate_cache_hits() {
+        let out = small_flow().run().unwrap();
+        let stats = out.cache_stats;
+        assert!(stats.total() > 0, "SCD never consulted the cache");
+        assert!(
+            stats.hit_rate() > 0.5,
+            "estimate-cache hit rate {:.1}% too low ({stats})",
+            stats.hit_rate() * 100.0
+        );
     }
 }

@@ -21,6 +21,9 @@
 //! * [`flow`] — the overall co-design flow of Fig. 1 wiring Bundle
 //!   modeling, Bundle selection, SCD search, Auto-HLS generation and
 //!   final simulation together.
+//! * [`parallel`] — the deterministic scoped-thread work queue and
+//!   SplitMix64 seed-splitting that let the flow fan out across cores
+//!   while staying bit-identical to a sequential run.
 //!
 //! # Example
 //!
@@ -48,11 +51,13 @@
 pub mod accuracy;
 pub mod evaluate;
 pub mod flow;
+pub mod parallel;
 pub mod pareto;
 pub mod search;
 
 pub use accuracy::{AccuracyModel, ProxyEvaluator};
-pub use evaluate::{coarse_evaluate, select_bundles, BundleEvaluation};
+pub use evaluate::{coarse_evaluate, coarse_evaluate_parallel, select_bundles, BundleEvaluation};
 pub use flow::{CoDesignFlow, FlowConfig, FlowOutput};
+pub use parallel::{derive_seed, parallel_map, Parallelism};
 pub use pareto::pareto_front;
 pub use search::{random_search, scd_search, scd_search_with_activation, Candidate, ScdConfig};

@@ -139,5 +139,50 @@ mod tests {
                 }
             }
         }
+
+        #[test]
+        fn prop_front_sorted_by_latency(
+            lats in prop::collection::vec(1.0f64..100.0, 1..20),
+            accs in prop::collection::vec(0.0f64..1.0, 1..20),
+        ) {
+            let n = lats.len().min(accs.len());
+            let pts: Vec<ParetoPoint> = (0..n).map(|i| p(lats[i], accs[i])).collect();
+            let front = pareto_front(&pts);
+            for w in front.windows(2) {
+                prop_assert!(
+                    pts[w[0]].latency_ms <= pts[w[1]].latency_ms,
+                    "front not in ascending latency order: {} then {}",
+                    pts[w[0]].latency_ms, pts[w[1]].latency_ms
+                );
+            }
+        }
+
+        #[test]
+        fn prop_front_invariant_under_permutation(
+            lats in prop::collection::vec(1.0f64..100.0, 1..20),
+            accs in prop::collection::vec(0.0f64..1.0, 1..20),
+            rot in 0usize..20,
+        ) {
+            let n = lats.len().min(accs.len());
+            let pts: Vec<ParetoPoint> = (0..n).map(|i| p(lats[i], accs[i])).collect();
+            // Rotate as the permutation (every rotation is reachable,
+            // and composing cases covers the permutation group).
+            let mut rotated = pts.clone();
+            rotated.rotate_left(rot % n);
+            // Compare the *selected points* (not indices) as sorted
+            // multisets of bit patterns.
+            let canon = |pts: &[ParetoPoint], front: &[usize]| {
+                let mut v: Vec<(u64, u64)> = front
+                    .iter()
+                    .map(|&i| (pts[i].latency_ms.to_bits(), pts[i].accuracy.to_bits()))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            prop_assert_eq!(
+                canon(&pts, &pareto_front(&pts)),
+                canon(&rotated, &pareto_front(&rotated))
+            );
+        }
     }
 }

@@ -13,7 +13,7 @@
 use crate::accuracy::AccuracyModel;
 use codesign_dnn::builder::DnnBuilder;
 use codesign_dnn::bundle::Bundle;
-use codesign_dnn::space::{DesignPoint, MAX_PARALLEL_FACTOR};
+use codesign_dnn::space::{DesignPoint, MAX_PARALLEL_FACTOR, PARALLEL_FACTOR_STEP};
 use codesign_hls::model::{Estimate, HlsEstimator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,18 +68,32 @@ pub struct Candidate {
 /// fits the estimator's device (Sec. 5.2.1: "PF is set as the maximum
 /// value that can fully utilize available resources").
 pub fn choose_max_parallel_factor(point: &DesignPoint, estimator: &HlsEstimator) -> usize {
-    let mut pf = MAX_PARALLEL_FACTOR;
-    while pf > 4 {
+    let fits_at = |pf: usize| -> bool {
         let mut probe = point.clone();
         probe.parallel_factor = pf;
-        if let Ok(est) = estimator.estimate_point(&probe) {
-            if estimator.fits(&est) {
-                return pf;
-            }
-        }
-        pf -= 16;
+        estimator
+            .estimate_point(&probe)
+            .map(|est| estimator.fits(&est))
+            .unwrap_or(false)
+    };
+    // Legal PFs form the ladder STEP, 2·STEP, …, MAX (HLS
+    // array-partition factors). Resource usage is monotone
+    // non-decreasing in PF, so binary-search the largest rung that
+    // fits — probing every rung, unlike the old fixed `-16` stride
+    // that skipped values such as 8 between its probes.
+    let (mut lo, mut hi) = (1usize, MAX_PARALLEL_FACTOR / PARALLEL_FACTOR_STEP);
+    if !fits_at(lo * PARALLEL_FACTOR_STEP) {
+        return PARALLEL_FACTOR_STEP;
     }
-    4
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if fits_at(mid * PARALLEL_FACTOR_STEP) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo * PARALLEL_FACTOR_STEP
 }
 
 /// The three SCD coordinates.
@@ -438,5 +452,35 @@ mod tests {
         let e = est.estimate_point(&probe).unwrap();
         assert!(est.fits(&e), "chosen PF {pf} does not fit");
         assert!(pf >= 16, "suspiciously small PF {pf}");
+    }
+
+    #[test]
+    fn max_pf_is_tight_on_the_legal_ladder() {
+        // The chosen PF must be *maximal*: the next legal rung (a
+        // multiple of PARALLEL_FACTOR_STEP, not of some larger stride)
+        // must not fit. The old `pf -= 16` probe could neither return
+        // nor rule out intermediate rungs like 8.
+        let (b, est) = estimator(13);
+        let point = DesignPoint::initial(b, 4);
+        let pf = choose_max_parallel_factor(&point, &est);
+        assert_eq!(pf % PARALLEL_FACTOR_STEP, 0);
+        if pf < MAX_PARALLEL_FACTOR {
+            let mut next = point.clone();
+            next.parallel_factor = pf + PARALLEL_FACTOR_STEP;
+            let fits_next = est
+                .estimate_point(&next)
+                .map(|e| est.fits(&e))
+                .unwrap_or(false);
+            assert!(!fits_next, "PF {pf} is not maximal: {} also fits", pf + 4);
+        }
+    }
+
+    #[test]
+    fn max_pf_pinned_for_pynq_z1() {
+        // Pin the exact PF the ladder probe picks for a known device and
+        // design, so regressions in the estimator or the probe are loud.
+        let (b, est) = estimator(13);
+        let pf = choose_max_parallel_factor(&DesignPoint::initial(b, 4), &est);
+        assert_eq!(pf, 100, "PF choice drifted for PYNQ-Z1 / Bundle 13 / N=4");
     }
 }

@@ -82,6 +82,28 @@ impl DnnBuilder {
         self
     }
 
+    /// A stable fingerprint of the builder configuration (input shape,
+    /// stem kernel, construction method), FNV-1a folded. Estimate
+    /// caches salt their keys with it so estimators configured for
+    /// different input resolutions or construction methods never share
+    /// entries.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for v in [
+            self.input.c as u64,
+            self.input.h as u64,
+            self.input.w as u64,
+            self.stem_kernel as u64,
+            self.method1_body as u64,
+        ] {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
     /// Elaborates `point` into a concrete DNN.
     ///
     /// # Errors

@@ -1,0 +1,280 @@
+//! A shared, interior-mutable cache of analytic HLS estimates.
+//!
+//! The co-design search is embarrassingly parallel but extremely
+//! repetitive: every SCD run probes unit moves around its current
+//! design point, restarts revisit the same initial designs, and the
+//! per-(Bundle, target) searches all start from the same few points.
+//! Re-deriving the closed-form Eqs. 1-5 for each probe wastes most of
+//! the flow's wall clock, so [`EstimateCache`] memoizes
+//! [`HlsEstimator::estimate_point`](crate::model::HlsEstimator::estimate_point)
+//! results behind an [`Arc`]-shareable, thread-safe map.
+//!
+//! # The canonical-hash key
+//!
+//! Two design points must share a cache entry exactly when the analytic
+//! model is guaranteed to produce the same estimate for both. The key is
+//! therefore a *canonical byte encoding* of everything the model reads:
+//!
+//! * an **estimator salt** — the calibrated coefficients (`α`, `β`, `φ`,
+//!   `γ` as IEEE-754 bit patterns; the calibration-time sampling PF is
+//!   omitted because estimation always substitutes the design point's
+//!   own PF), the device's DRAM bandwidth and resource budget, and the
+//!   DNN builder's fingerprint (input resolution, stem kernel,
+//!   construction method). Two estimators with different calibrations
+//!   never alias.
+//! * the **design point** — Bundle skeleton hash, replication count `N`,
+//!   the down-sampling vector `X` bit-packed, the channel-expansion
+//!   vector `Π` as f64 bit patterns (values come from the fixed
+//!   [`CHANNEL_EXPANSION_FACTORS`](codesign_dnn::space::CHANNEL_EXPANSION_FACTORS)
+//!   ladder, so bit patterns are exact), parallel factor `PF`,
+//!   activation / quantization arm `Q`, and the base / max channel
+//!   widths.
+//!
+//! Keys are full encodings rather than 64-bit digests so hash collisions
+//! cannot silently return the wrong estimate. Determinism does not
+//! depend on the cache at all — a hit returns byte-identical data to
+//! what the analytic model would recompute — which is why the flow can
+//! share one cache across any number of worker threads and still produce
+//! bit-identical Pareto fronts.
+//!
+//! # Why seeds are split per work item
+//!
+//! Memoization alone does not make a parallel search reproducible: if
+//! work items drew from one shared RNG, thread interleaving would decide
+//! which item sees which random values. The flow therefore derives an
+//! independent seed per (Bundle, FPS-target, activation) work item from
+//! `FlowConfig::seed` with a SplitMix64 mix (see
+//! `codesign_core::parallel::derive_seed`), so every item owns a private
+//! deterministic stream and results are independent of scheduling.
+
+use crate::model::{Estimate, EstimateError};
+use codesign_sim::report::CacheStats;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A thread-safe memo table for analytic estimates, with hit/miss
+/// counters.
+///
+/// Attach one to an estimator via
+/// [`HlsEstimator::with_cache`](crate::model::HlsEstimator::with_cache);
+/// clone the [`Arc`](std::sync::Arc) to share it across estimators and
+/// threads.
+///
+/// # Example
+///
+/// ```
+/// use codesign_dnn::{bundle, space::DesignPoint};
+/// use codesign_hls::cache::EstimateCache;
+/// use codesign_hls::calibrate::calibrate_bundle;
+/// use codesign_hls::model::HlsEstimator;
+/// use codesign_sim::device::pynq_z1;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bundle = bundle::enumerate_bundles()[12].clone();
+/// let params = calibrate_bundle(&bundle, &pynq_z1())?;
+/// let cache = Arc::new(EstimateCache::new());
+/// let est = HlsEstimator::new(params, pynq_z1()).with_cache(cache.clone());
+/// let point = DesignPoint::initial(bundle, 3);
+/// let a = est.estimate_point(&point)?;
+/// let b = est.estimate_point(&point)?; // served from the cache
+/// assert_eq!(a, b);
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct EstimateCache {
+    map: Mutex<HashMap<Vec<u8>, Result<Estimate, EstimateError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EstimateCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current hit/miss counters and entry count.
+    ///
+    /// The *total* lookup count is deterministic (one hit or miss per
+    /// query); the hit/miss split can shift by a few counts between
+    /// multi-threaded runs when two workers race to compute the same
+    /// key (both count a miss, the insert is idempotent).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock").len() as u64,
+        }
+    }
+
+    /// Number of distinct entries resident.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// True when no entry has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns the cached result for `key`, computing and inserting it
+    /// with `compute` on a miss.
+    ///
+    /// The lock is *not* held while `compute` runs, so concurrent
+    /// estimates proceed in parallel; two threads racing on the same key
+    /// both compute the (deterministic) value and the insert is
+    /// idempotent.
+    pub(crate) fn get_or_insert_with(
+        &self,
+        key: Vec<u8>,
+        compute: impl FnOnce() -> Result<Estimate, EstimateError>,
+    ) -> Result<Estimate, EstimateError> {
+        if let Some(cached) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        let value = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("cache lock")
+            .entry(key)
+            .or_insert_with(|| value.clone());
+        value
+    }
+}
+
+/// A deterministic FNV-1a [`std::hash::Hasher`] used to fold `Hash`
+/// types (the Bundle skeleton) into canonical cache keys. The std
+/// `DefaultHasher` is randomly keyed per process and therefore unusable
+/// for a canonical encoding.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+
+    pub(crate) fn finish64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_sim::report::ResourceUsage;
+
+    fn estimate(cycles: u64) -> Result<Estimate, EstimateError> {
+        Ok(Estimate {
+            latency_cycles: cycles,
+            resources: ResourceUsage::zero(),
+        })
+    }
+
+    #[test]
+    fn hit_returns_first_inserted_value() {
+        let cache = EstimateCache::new();
+        let a = cache.get_or_insert_with(vec![1, 2], || estimate(10));
+        let b = cache.get_or_insert_with(vec![1, 2], || estimate(99));
+        assert_eq!(a, b, "second lookup must be served from the cache");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let cache = EstimateCache::new();
+        let a = cache.get_or_insert_with(vec![1], || estimate(10)).unwrap();
+        let b = cache.get_or_insert_with(vec![2], || estimate(20)).unwrap();
+        assert_ne!(a.latency_cycles, b.latency_cycles);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let cache = EstimateCache::new();
+        let err = || {
+            Err(EstimateError::Sim(
+                codesign_sim::error::SimError::InvalidConfig {
+                    reason: "test".into(),
+                },
+            ))
+        };
+        assert!(cache.get_or_insert_with(vec![7], err).is_err());
+        assert!(cache.get_or_insert_with(vec![7], || estimate(1)).is_err());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_resets_counters_and_entries() {
+        let cache = EstimateCache::new();
+        cache.get_or_insert_with(vec![1], || estimate(1)).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().total(), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let cache = Arc::new(EstimateCache::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for k in 0u8..16 {
+                        cache
+                            .get_or_insert_with(vec![k], || estimate(k as u64))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 16);
+        let stats = cache.stats();
+        assert_eq!(stats.total(), 64);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        use std::hash::Hasher as _;
+        let mut h = Fnv1a::new();
+        h.write(b"bundle13");
+        // FNV-1a is a fixed function: pin the digest so key layout
+        // changes are caught.
+        assert_eq!(h.finish64(), {
+            let mut h2 = Fnv1a::new();
+            h2.write(b"bundle13");
+            h2.finish64()
+        });
+        assert_ne!(h.finish64(), Fnv1a::new().finish64());
+    }
+}

@@ -40,10 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calibrate;
 pub mod codegen;
 pub mod model;
 
+pub use cache::EstimateCache;
 pub use calibrate::{calibrate_bundle, CalibratedParams};
 pub use codegen::CodeGenerator;
 pub use model::{Estimate, HlsEstimator};

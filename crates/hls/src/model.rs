@@ -17,6 +17,7 @@
 //! * Eq. 5: `Res_DNN = Res_bund + γ · Res_ctl` — accelerator resources
 //!   plus control overhead weighted by `γ`.
 
+use crate::cache::{EstimateCache, Fnv1a};
 use crate::calibrate::CalibratedParams;
 use codesign_dnn::builder::DnnBuilder;
 use codesign_dnn::space::DesignPoint;
@@ -27,6 +28,8 @@ use codesign_sim::pipeline::{accelerator_resources, AccelConfig};
 use codesign_sim::report::ResourceUsage;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::Hash as _;
+use std::sync::Arc;
 
 /// A fast analytic estimate of one design's cost, the quantities
 /// `Est_Lat` and `Est_Res` consumed by Algorithm 1.
@@ -149,6 +152,7 @@ pub struct HlsEstimator {
     params: CalibratedParams,
     device: FpgaDevice,
     builder: DnnBuilder,
+    cache: Option<Arc<EstimateCache>>,
 }
 
 impl HlsEstimator {
@@ -159,6 +163,7 @@ impl HlsEstimator {
             params,
             device,
             builder: DnnBuilder::new(),
+            cache: None,
         }
     }
 
@@ -166,6 +171,21 @@ impl HlsEstimator {
     pub fn with_builder(mut self, builder: DnnBuilder) -> Self {
         self.builder = builder;
         self
+    }
+
+    /// Attaches a shared [`EstimateCache`]; subsequent
+    /// [`estimate_point`](Self::estimate_point) calls are memoized.
+    /// Clone the `Arc` to share one cache across estimators and worker
+    /// threads — keys are salted with this estimator's calibration,
+    /// device and builder configuration, so estimators never alias.
+    pub fn with_cache(mut self, cache: Arc<EstimateCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached estimate cache, if any.
+    pub fn cache(&self) -> Option<&Arc<EstimateCache>> {
+        self.cache.as_ref()
     }
 
     /// The calibrated coefficients in use.
@@ -227,10 +247,63 @@ impl HlsEstimator {
     /// Propagates DNN elaboration failures (e.g. over-downsampled
     /// feature maps) as [`EstimateError::Dnn`].
     pub fn estimate_point(&self, point: &DesignPoint) -> Result<Estimate, EstimateError> {
+        match &self.cache {
+            Some(cache) => cache.get_or_insert_with(self.cache_key(point), || {
+                self.estimate_point_uncached(point)
+            }),
+            None => self.estimate_point_uncached(point),
+        }
+    }
+
+    fn estimate_point_uncached(&self, point: &DesignPoint) -> Result<Estimate, EstimateError> {
         let dnn = self.builder.build(point)?;
         let mut with_pf = self.clone();
         with_pf.params.parallel_factor = point.parallel_factor;
         with_pf.estimate_dnn(&dnn)
+    }
+
+    /// Canonical cache key: an estimator salt (calibration coefficients,
+    /// device bandwidth and budget, builder fingerprint) followed by a
+    /// canonical encoding of every design-point field the analytic model
+    /// reads. Full encodings, not digests — collisions cannot return a
+    /// wrong estimate.
+    fn cache_key(&self, point: &DesignPoint) -> Vec<u8> {
+        let mut key = Vec::with_capacity(128);
+        let push = |key: &mut Vec<u8>, v: u64| key.extend_from_slice(&v.to_le_bytes());
+        // Estimator salt.
+        push(&mut key, self.params.alpha.to_bits());
+        push(&mut key, self.params.beta.to_bits());
+        push(&mut key, self.params.phi.to_bits());
+        push(&mut key, self.params.gamma.to_bits());
+        // params.parallel_factor is deliberately omitted: estimation
+        // always substitutes the design point's own PF, so the
+        // calibration-time PF never influences the cached value.
+        push(&mut key, self.device.dram_bytes_per_cycle.to_bits());
+        push(&mut key, self.device.dsp);
+        push(&mut key, self.device.lut);
+        push(&mut key, self.device.ff);
+        push(&mut key, self.device.bram_18k);
+        push(&mut key, self.builder.fingerprint());
+        // Design point.
+        let mut bundle_hash = Fnv1a::new();
+        point.bundle.hash(&mut bundle_hash);
+        push(&mut key, bundle_hash.finish64());
+        push(&mut key, point.n_replications as u64);
+        let mut ds_bits = 0u64;
+        for (i, &d) in point.downsample.iter().enumerate() {
+            ds_bits |= (d as u64) << (i % 64);
+        }
+        push(&mut key, ds_bits);
+        for &f in &point.expansion {
+            push(&mut key, f.to_bits());
+        }
+        push(&mut key, point.parallel_factor as u64);
+        let mut act_hash = Fnv1a::new();
+        point.activation.hash(&mut act_hash);
+        push(&mut key, act_hash.finish64());
+        push(&mut key, point.base_channels as u64);
+        push(&mut key, point.max_channels as u64);
+        key
     }
 
     /// True when the estimate fits the target device.
@@ -320,6 +393,59 @@ mod tests {
         p.activation = Activation::Relu;
         let e = est.estimate_point(&p).unwrap();
         assert!(!est.fits(&e));
+    }
+
+    #[test]
+    fn cached_estimates_match_uncached() {
+        let plain = estimator_for(13);
+        let cache = Arc::new(EstimateCache::new());
+        let cached = estimator_for(13).with_cache(cache.clone());
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        for reps in 1..=4 {
+            let p = DesignPoint::initial(b.clone(), reps);
+            assert_eq!(
+                plain.estimate_point(&p).unwrap(),
+                cached.estimate_point(&p).unwrap()
+            );
+            // Second query hits.
+            cached.estimate_point(&p).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 4);
+        assert!(stats.hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn cache_salt_separates_estimators() {
+        // Same design point, different calibrations: the shared cache
+        // must keep the entries apart.
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let cache = Arc::new(EstimateCache::new());
+        let p32 =
+            crate::calibrate::calibrate_bundle_with(&b, &pynq_z1(), &[1, 2, 3, 4], 32).unwrap();
+        let p96 =
+            crate::calibrate::calibrate_bundle_with(&b, &pynq_z1(), &[1, 2, 3, 4], 96).unwrap();
+        let est32 = HlsEstimator::new(p32, pynq_z1()).with_cache(cache.clone());
+        let est96 = HlsEstimator::new(p96, pynq_z1()).with_cache(cache.clone());
+        let point = DesignPoint::initial(b, 3);
+        let a = est32.estimate_point(&point).unwrap();
+        let bst = est96.estimate_point(&point).unwrap();
+        assert_eq!(cache.stats().misses, 2, "salts must not alias");
+        assert_eq!(a, est32.estimate_point(&point).unwrap());
+        assert_eq!(bst, est96.estimate_point(&point).unwrap());
+    }
+
+    #[test]
+    fn cached_errors_replay() {
+        let cache = Arc::new(EstimateCache::new());
+        let est = estimator_for(1).with_cache(cache.clone());
+        let b = bundle_by_id(BundleId(1)).unwrap();
+        let mut p = DesignPoint::initial(b, 3);
+        p.parallel_factor = 3; // illegal
+        assert!(est.estimate_point(&p).is_err());
+        assert!(est.estimate_point(&p).is_err());
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

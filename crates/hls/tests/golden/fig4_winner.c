@@ -1,0 +1,268 @@
+// ============================================================
+// Auto-HLS generated accelerator
+// model: bundle-13 x5 pf176 relu4
+// template: Tile-Arch (folded, tile-pipelined)
+// quantization: int8, PF: 176, tile: 10x20
+// layers: 39, MACs/frame: 842493440
+// ============================================================
+#include <stdint.h>
+#include "tile_arch.h"
+
+typedef int8_t data_t;
+
+#define TILE_H 10
+#define TILE_W 20
+
+void load_tile(volatile data_t *dram, data_t *bram, int bytes);
+void store_tile(data_t *bram, volatile data_t *dram, int bytes);
+void load_weights(volatile data_t *dram, data_t *wbuf, int bytes);
+void conv1x1_ip(data_t *in, data_t *w, int32_t *bias, data_t *out, int ci, int co, int th, int tw);
+void conv3x3_ip(data_t *in, data_t *w, int32_t *bias, data_t *out, int ci, int co, int th, int tw);
+void conv5x5_ip(data_t *in, data_t *w, int32_t *bias, data_t *out, int ci, int co, int th, int tw);
+void dwconv3x3_ip(data_t *in, data_t *w, int32_t *bias, data_t *out, int ci, int th, int tw);
+void dwconv5x5_ip(data_t *in, data_t *w, int32_t *bias, data_t *out, int ci, int th, int tw);
+void dwconv7x7_ip(data_t *in, data_t *w, int32_t *bias, data_t *out, int ci, int th, int tw);
+void pool_ip(data_t *in, data_t *out, int c, int th, int tw, int k, int is_max);
+void bnorm_ip(data_t *buf, int32_t *scale, int32_t *shift, int c, int th, int tw);
+void act_ip(data_t *buf, int c, int th, int tw, int clip);
+void gap_ip(data_t *in, data_t *out, int c, int th, int tw);
+
+void top_dnn(volatile data_t *dram_fm,
+             volatile data_t *dram_weights) {
+#pragma HLS INTERFACE m_axi port=dram_fm offset=slave bundle=gmem0
+#pragma HLS INTERFACE m_axi port=dram_weights offset=slave bundle=gmem1
+#pragma HLS INTERFACE s_axilite port=return
+
+  static data_t buf_a[102400];
+  static data_t buf_b[102400];
+  static data_t wbuf[197120];
+#pragma HLS ARRAY_PARTITION variable=buf_a cyclic factor=176 dim=1
+#pragma HLS ARRAY_PARTITION variable=buf_b cyclic factor=176 dim=1
+#pragma HLS ARRAY_PARTITION variable=wbuf cyclic factor=176 dim=1
+
+  // ---- stem ----
+  // layer 0: conv3x3(48) : 3x360x640 -> 48x360x640
+  load_weights(dram_weights + 0, wbuf, 1344);
+  for (int t = 0; t < 1152; ++t) {
+#pragma HLS DATAFLOW
+    conv3x3_ip(buf_a, wbuf, (int32_t *)wbuf, buf_b, 3, 48, 10, 20);
+  }
+  // layer 1: batchnorm : 48x360x640 -> 48x360x640
+  load_weights(dram_weights + 1344, wbuf, 96);
+  for (int t = 0; t < 1152; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_b, (int32_t *)wbuf, (int32_t *)wbuf, 48, 10, 20);
+  }
+  // layer 2: relu4 : 48x360x640 -> 48x360x640
+  for (int t = 0; t < 1152; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_b, 48, 10, 20, 4);
+  }
+  // layer 3: max-pool2x2 : 48x360x640 -> 48x180x320
+  for (int t = 0; t < 1152; ++t) {
+#pragma HLS DATAFLOW
+    pool_ip(buf_b, buf_a, 48, 5, 10, 2, 1);
+  }
+  // ---- bundle replication 0 ----
+  // layer 4: dw-conv3x3 : 48x180x320 -> 48x180x320
+  load_weights(dram_weights + 1440, wbuf, 480);
+  for (int t = 0; t < 288; ++t) {
+#pragma HLS DATAFLOW
+    dwconv3x3_ip(buf_a, wbuf, (int32_t *)wbuf, buf_b, 48, 10, 20);
+  }
+  // layer 5: batchnorm : 48x180x320 -> 48x180x320
+  load_weights(dram_weights + 1920, wbuf, 96);
+  for (int t = 0; t < 288; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_b, (int32_t *)wbuf, (int32_t *)wbuf, 48, 10, 20);
+  }
+  // layer 6: relu4 : 48x180x320 -> 48x180x320
+  for (int t = 0; t < 288; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_b, 48, 10, 20, 4);
+  }
+  // layer 7: conv1x1(48) : 48x180x320 -> 48x180x320
+  load_weights(dram_weights + 2016, wbuf, 2352);
+  for (int t = 0; t < 288; ++t) {
+#pragma HLS DATAFLOW
+    conv1x1_ip(buf_b, wbuf, (int32_t *)wbuf, buf_a, 48, 48, 10, 20);
+  }
+  // layer 8: batchnorm : 48x180x320 -> 48x180x320
+  load_weights(dram_weights + 4368, wbuf, 96);
+  for (int t = 0; t < 288; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_a, (int32_t *)wbuf, (int32_t *)wbuf, 48, 10, 20);
+  }
+  // layer 9: relu4 : 48x180x320 -> 48x180x320
+  for (int t = 0; t < 288; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_a, 48, 10, 20, 4);
+  }
+  // layer 10: max-pool2x2 : 48x180x320 -> 48x90x160
+  for (int t = 0; t < 288; ++t) {
+#pragma HLS DATAFLOW
+    pool_ip(buf_a, buf_b, 48, 5, 10, 2, 1);
+  }
+  // ---- bundle replication 1 ----
+  // layer 11: dw-conv3x3 : 48x90x160 -> 48x90x160
+  load_weights(dram_weights + 4464, wbuf, 480);
+  for (int t = 0; t < 72; ++t) {
+#pragma HLS DATAFLOW
+    dwconv3x3_ip(buf_b, wbuf, (int32_t *)wbuf, buf_a, 48, 10, 20);
+  }
+  // layer 12: batchnorm : 48x90x160 -> 48x90x160
+  load_weights(dram_weights + 4944, wbuf, 96);
+  for (int t = 0; t < 72; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_a, (int32_t *)wbuf, (int32_t *)wbuf, 48, 10, 20);
+  }
+  // layer 13: relu4 : 48x90x160 -> 48x90x160
+  for (int t = 0; t < 72; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_a, 48, 10, 20, 4);
+  }
+  // layer 14: conv1x1(96) : 48x90x160 -> 96x90x160
+  load_weights(dram_weights + 5040, wbuf, 4704);
+  for (int t = 0; t < 72; ++t) {
+#pragma HLS DATAFLOW
+    conv1x1_ip(buf_a, wbuf, (int32_t *)wbuf, buf_b, 48, 96, 10, 20);
+  }
+  // layer 15: batchnorm : 96x90x160 -> 96x90x160
+  load_weights(dram_weights + 9744, wbuf, 192);
+  for (int t = 0; t < 72; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_b, (int32_t *)wbuf, (int32_t *)wbuf, 96, 10, 20);
+  }
+  // layer 16: relu4 : 96x90x160 -> 96x90x160
+  for (int t = 0; t < 72; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_b, 96, 10, 20, 4);
+  }
+  // layer 17: max-pool2x2 : 96x90x160 -> 96x45x80
+  for (int t = 0; t < 72; ++t) {
+#pragma HLS DATAFLOW
+    pool_ip(buf_b, buf_a, 96, 5, 10, 2, 1);
+  }
+  // ---- bundle replication 2 ----
+  // layer 18: dw-conv3x3 : 96x45x80 -> 96x45x80
+  load_weights(dram_weights + 9936, wbuf, 960);
+  for (int t = 0; t < 20; ++t) {
+#pragma HLS DATAFLOW
+    dwconv3x3_ip(buf_a, wbuf, (int32_t *)wbuf, buf_b, 96, 9, 20);
+  }
+  // layer 19: batchnorm : 96x45x80 -> 96x45x80
+  load_weights(dram_weights + 10896, wbuf, 192);
+  for (int t = 0; t < 20; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_b, (int32_t *)wbuf, (int32_t *)wbuf, 96, 9, 20);
+  }
+  // layer 20: relu4 : 96x45x80 -> 96x45x80
+  for (int t = 0; t < 20; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_b, 96, 9, 20, 4);
+  }
+  // layer 21: conv1x1(192) : 96x45x80 -> 192x45x80
+  load_weights(dram_weights + 11088, wbuf, 18624);
+  for (int t = 0; t < 20; ++t) {
+#pragma HLS DATAFLOW
+    conv1x1_ip(buf_b, wbuf, (int32_t *)wbuf, buf_a, 96, 192, 9, 20);
+  }
+  // layer 22: batchnorm : 192x45x80 -> 192x45x80
+  load_weights(dram_weights + 29712, wbuf, 384);
+  for (int t = 0; t < 20; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_a, (int32_t *)wbuf, (int32_t *)wbuf, 192, 9, 20);
+  }
+  // layer 23: relu4 : 192x45x80 -> 192x45x80
+  for (int t = 0; t < 20; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_a, 192, 9, 20, 4);
+  }
+  // layer 24: max-pool2x2 : 192x45x80 -> 192x22x40
+  for (int t = 0; t < 20; ++t) {
+#pragma HLS DATAFLOW
+    pool_ip(buf_a, buf_b, 192, 5, 10, 2, 1);
+  }
+  // ---- bundle replication 3 ----
+  // layer 25: dw-conv3x3 : 192x22x40 -> 192x22x40
+  load_weights(dram_weights + 30096, wbuf, 1920);
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    dwconv3x3_ip(buf_b, wbuf, (int32_t *)wbuf, buf_a, 192, 8, 20);
+  }
+  // layer 26: batchnorm : 192x22x40 -> 192x22x40
+  load_weights(dram_weights + 32016, wbuf, 384);
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_a, (int32_t *)wbuf, (int32_t *)wbuf, 192, 8, 20);
+  }
+  // layer 27: relu4 : 192x22x40 -> 192x22x40
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_a, 192, 8, 20, 4);
+  }
+  // layer 28: conv1x1(384) : 192x22x40 -> 384x22x40
+  load_weights(dram_weights + 32400, wbuf, 74112);
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    conv1x1_ip(buf_a, wbuf, (int32_t *)wbuf, buf_b, 192, 384, 8, 20);
+  }
+  // layer 29: batchnorm : 384x22x40 -> 384x22x40
+  load_weights(dram_weights + 106512, wbuf, 768);
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_b, (int32_t *)wbuf, (int32_t *)wbuf, 384, 8, 20);
+  }
+  // layer 30: relu4 : 384x22x40 -> 384x22x40
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_b, 384, 8, 20, 4);
+  }
+  // ---- bundle replication 4 ----
+  // layer 31: dw-conv3x3 : 384x22x40 -> 384x22x40
+  load_weights(dram_weights + 107280, wbuf, 3840);
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    dwconv3x3_ip(buf_b, wbuf, (int32_t *)wbuf, buf_a, 384, 8, 20);
+  }
+  // layer 32: batchnorm : 384x22x40 -> 384x22x40
+  load_weights(dram_weights + 111120, wbuf, 768);
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_a, (int32_t *)wbuf, (int32_t *)wbuf, 384, 8, 20);
+  }
+  // layer 33: relu4 : 384x22x40 -> 384x22x40
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_a, 384, 8, 20, 4);
+  }
+  // layer 34: conv1x1(512) : 384x22x40 -> 512x22x40
+  load_weights(dram_weights + 111888, wbuf, 197120);
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    conv1x1_ip(buf_a, wbuf, (int32_t *)wbuf, buf_b, 384, 512, 8, 20);
+  }
+  // layer 35: batchnorm : 512x22x40 -> 512x22x40
+  load_weights(dram_weights + 309008, wbuf, 1024);
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    bnorm_ip(buf_b, (int32_t *)wbuf, (int32_t *)wbuf, 512, 8, 20);
+  }
+  // layer 36: relu4 : 512x22x40 -> 512x22x40
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    act_ip(buf_b, 512, 8, 20, 4);
+  }
+  // ---- detection head ----
+  // layer 37: conv1x1(4) : 512x22x40 -> 4x22x40
+  load_weights(dram_weights + 310032, wbuf, 2052);
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    conv1x1_ip(buf_b, wbuf, (int32_t *)wbuf, buf_a, 512, 4, 8, 20);
+  }
+  // layer 38: global-avg-pool : 4x22x40 -> 4x1x1
+  for (int t = 0; t < 6; ++t) {
+#pragma HLS DATAFLOW
+    gap_ip(buf_a, buf_b, 4, 1, 1);
+  }
+}

@@ -1,0 +1,78 @@
+//! Golden-file test for the Auto-HLS code generator.
+//!
+//! Pins the exact synthesizable C emitted for the Fig. 4 winning
+//! Bundle (Bundle 13, the Bundle behind the paper's published DNN1-3)
+//! in its DNN1 configuration, so codegen refactors cannot silently
+//! drift the generated accelerators. To update after an *intentional*
+//! change, run:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p codesign-hls --test golden_codegen
+//! ```
+//!
+//! and review the diff of `tests/golden/fig4_winner.c` like any other
+//! code change.
+
+use codesign_dnn::builder::DnnBuilder;
+use codesign_dnn::bundle::{bundle_by_id, BundleId};
+use codesign_dnn::quant::Activation;
+use codesign_dnn::space::DesignPoint;
+use codesign_hls::codegen::CodeGenerator;
+use codesign_sim::pipeline::AccelConfig;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig4_winner.c");
+
+/// Bundle 13 — on both Fig. 4 Pareto curves and the Bundle of the
+/// published designs — in its accuracy-oriented DNN1 configuration.
+fn fig4_winner_point() -> DesignPoint {
+    let mut p = DesignPoint::initial(bundle_by_id(BundleId(13)).expect("bundle 13"), 5);
+    p.base_channels = 48;
+    p.max_channels = 512;
+    p.downsample = vec![true, true, true, false, false];
+    p.activation = Activation::Relu4;
+    p.parallel_factor = 176;
+    p
+}
+
+fn generate() -> String {
+    let point = fig4_winner_point();
+    let dnn = DnnBuilder::new().build(&point).expect("winner elaborates");
+    CodeGenerator::new(AccelConfig::for_point(&point)).generate(&dnn)
+}
+
+#[test]
+fn codegen_matches_golden_file() {
+    let code = generate();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &code).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing — regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p codesign-hls --test golden_codegen",
+    );
+    assert!(
+        code == golden,
+        "generated C drifted from tests/golden/fig4_winner.c \
+         ({} vs {} bytes). If the change is intentional, regenerate \
+         with UPDATE_GOLDEN=1 and review the diff.",
+        code.len(),
+        golden.len()
+    );
+}
+
+#[test]
+fn golden_generation_is_deterministic() {
+    assert_eq!(generate(), generate());
+}
+
+#[test]
+fn golden_file_has_hls_structure() {
+    // Belt-and-braces on the artifact itself: the pinned file must stay
+    // a plausible Tile-Arch accelerator, not an accidentally-committed
+    // empty file.
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    for needle in ["top_dnn", "#pragma HLS", "conv", "int8_t"] {
+        assert!(golden.contains(needle), "golden file lost `{needle}`");
+    }
+}

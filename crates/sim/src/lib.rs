@@ -54,4 +54,4 @@ pub use error::SimError;
 pub use ip::IpInstance;
 pub use pipeline::{simulate, AccelConfig};
 pub use power::PowerModel;
-pub use report::{ResourceUsage, SimReport};
+pub use report::{CacheStats, ResourceUsage, SimReport};

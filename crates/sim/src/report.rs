@@ -134,6 +134,48 @@ impl fmt::Display for Utilization {
     }
 }
 
+/// Hit/miss counters of a shared estimate cache (see
+/// `codesign_hls::cache::EstimateCache`), surfaced next to synthesis
+/// reports so flow output can show how much analytic work was memoized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the full analytic model.
+    pub misses: u64,
+    /// Distinct entries resident in the cache.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (`0.0` when empty).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries
+        )
+    }
+}
+
 /// Per-layer cycle breakdown entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerCycles {

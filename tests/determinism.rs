@@ -1,0 +1,116 @@
+//! Determinism suite for the parallel co-design engine.
+//!
+//! The contract under test: `CoDesignFlow` output is a pure function of
+//! `FlowConfig` — same seed ⇒ byte-identical output, for *any* worker
+//! count, because every work item derives a private SplitMix64 seed and
+//! results merge in work-item order.
+//!
+//! The `CODESIGN_PARALLELISM` environment variable (also read by the
+//! `exp_*` binaries) picks the "parallel" side of the 1-vs-N
+//! comparison, so CI can sweep thread counts in a matrix; it defaults
+//! to 4.
+
+use codesign_core::flow::{CoDesignFlow, FlowConfig, FlowOutput};
+use codesign_core::parallel::Parallelism;
+use codesign_sim::device::pynq_z1;
+
+/// Worker count of the parallel arm (`CODESIGN_PARALLELISM`, default 4).
+fn parallel_arm() -> usize {
+    match Parallelism::from_env("CODESIGN_PARALLELISM") {
+        Parallelism::Fixed(n) => n,
+        Parallelism::Auto => 4,
+    }
+}
+
+fn run_flow(seed: u64, threads: usize) -> FlowOutput {
+    CoDesignFlow::new(FlowConfig {
+        targets_fps: vec![15.0],
+        candidates_per_bundle: 2,
+        coarse_pf_sweep: vec![16],
+        seed,
+        parallelism: Parallelism::Fixed(threads),
+        ..FlowConfig::for_device(pynq_z1())
+    })
+    .run()
+    .expect("flow runs")
+}
+
+/// Full structural equality of two flow outputs, including the
+/// generated C and the simulated reports.
+fn assert_identical(a: &FlowOutput, b: &FlowOutput) {
+    assert_eq!(a.coarse, b.coarse, "coarse evaluations differ");
+    assert_eq!(a.selected_bundles, b.selected_bundles);
+    assert_eq!(a.candidates, b.candidates, "candidate sets differ");
+    assert_eq!(a.designs.len(), b.designs.len());
+    for (x, y) in a.designs.iter().zip(&b.designs) {
+        assert_eq!(x.point, y.point);
+        assert_eq!(x.accuracy, y.accuracy);
+        assert_eq!(x.latency_ms, y.latency_ms);
+        assert_eq!(x.report, y.report);
+        assert_eq!(x.code, y.code, "generated C drifted");
+    }
+}
+
+#[test]
+fn same_seed_same_output() {
+    let threads = parallel_arm();
+    let a = run_flow(2019, threads);
+    let b = run_flow(2019, threads);
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn parallel_output_matches_sequential() {
+    let seq = run_flow(2019, 1);
+    let par = run_flow(2019, parallel_arm());
+    assert_identical(&seq, &par);
+    // The shared estimate cache sees the same queries either way.
+    assert_eq!(
+        seq.cache_stats.total(),
+        par.cache_stats.total(),
+        "query volume must not depend on the worker count"
+    );
+}
+
+#[test]
+fn distinct_seeds_explore_but_stay_in_the_band() {
+    let threads = parallel_arm();
+    let a = run_flow(2019, threads);
+    let b = run_flow(4242, threads);
+    // Different trajectories...
+    assert_ne!(
+        a.candidates
+            .iter()
+            .map(|(_, c)| c.point.clone())
+            .collect::<Vec<_>>(),
+        b.candidates
+            .iter()
+            .map(|(_, c)| c.point.clone())
+            .collect::<Vec<_>>(),
+        "distinct seeds should explore distinct candidate sets"
+    );
+    // ...but every candidate of either run still lands inside its
+    // target's FPS acceptance window.
+    for out in [&a, &b] {
+        for (fps_target, c) in &out.candidates {
+            let target_ms = 1000.0 / fps_target;
+            let tolerance_ms = target_ms - 1000.0 / (fps_target + 1.5);
+            assert!(
+                (c.latency_ms - target_ms).abs() < tolerance_ms,
+                "candidate at {:.2} ms outside the {fps_target} FPS band (±{tolerance_ms:.2} ms)",
+                c.latency_ms
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_stats_report_real_reuse() {
+    let out = run_flow(2019, parallel_arm());
+    assert!(
+        out.cache_stats.hit_rate() > 0.5,
+        "estimate-cache hit rate {:.1}% — memoization broke ({})",
+        out.cache_stats.hit_rate() * 100.0,
+        out.cache_stats
+    );
+}

@@ -4,13 +4,14 @@
 
 use codesign_bench::experiments::{ablation, default_device, fig4, fig5, fig6, table2};
 use codesign_core::evaluate::EvalMethod;
+use codesign_core::parallel::Parallelism;
 use codesign_dnn::bundle::BundleId;
 
 #[test]
 fn fig4_both_methods_agree_on_selection() {
     let dev = default_device();
-    let (evals_a, sel_a) = fig4(EvalMethod::FixedHeadTail, &dev).unwrap();
-    let (evals_b, sel_b) = fig4(EvalMethod::Replicated { n: 3 }, &dev).unwrap();
+    let (evals_a, sel_a) = fig4(EvalMethod::FixedHeadTail, &dev, Parallelism::Auto).unwrap();
+    let (evals_b, sel_b) = fig4(EvalMethod::Replicated { n: 3 }, &dev, Parallelism::Auto).unwrap();
     assert_eq!(sel_a, sel_b, "the paper's methods must agree (Sec. 5.1.1)");
     assert_eq!(sel_a, [1, 3, 13, 15, 17].map(BundleId).to_vec());
     // 18 bundles x 3 PFs per method.
@@ -21,7 +22,7 @@ fn fig4_both_methods_agree_on_selection() {
 #[test]
 fn fig4_pf_trades_resources_for_latency() {
     let dev = default_device();
-    let (evals, _) = fig4(EvalMethod::Replicated { n: 3 }, &dev).unwrap();
+    let (evals, _) = fig4(EvalMethod::Replicated { n: 3 }, &dev, Parallelism::Auto).unwrap();
     for id in 1..=18usize {
         let mut per_bundle: Vec<_> = evals
             .iter()
@@ -74,7 +75,7 @@ fn fig5_reproduces_bundle_characteristics() {
 
 #[test]
 fn fig6_bands_fill_and_order() {
-    let out = fig6(&default_device()).unwrap();
+    let out = fig6(&default_device(), Parallelism::Auto).unwrap();
     assert!(
         out.explored.len() >= 20,
         "too few explored designs: {}",
