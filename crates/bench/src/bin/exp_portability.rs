@@ -16,11 +16,15 @@ fn main() {
             r.device, r.fps, r.best_iou, r.dsp_pct
         );
     }
-    if rows.len() == 2 {
+    if rows.len() >= 2 {
         println!();
-        println!(
-            "larger device buys {:+.1} IoU points at the same target",
-            (rows[1].best_iou - rows[0].best_iou) * 100.0
-        );
+        for pair in rows.windows(2) {
+            println!(
+                "{} -> {}: {:+.1} IoU points at the same target",
+                pair[0].device,
+                pair[1].device,
+                (pair[1].best_iou - pair[0].best_iou) * 100.0
+            );
+        }
     }
 }

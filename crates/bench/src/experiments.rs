@@ -450,10 +450,10 @@ pub struct PortabilityRow {
     pub dsp_pct: f64,
 }
 
-/// Extension experiment: the methodology ported to a larger edge device
-/// (Ultra96). The paper positions the approach as device-portable; a
-/// bigger resource budget should buy more accuracy at the same FPS
-/// target.
+/// Extension experiment: the methodology ported up the device ladder
+/// (Ultra96, then ZCU104). The paper positions the approach as
+/// device-portable; a bigger resource budget should buy more accuracy
+/// at the same FPS target.
 ///
 /// # Errors
 ///
@@ -461,9 +461,9 @@ pub struct PortabilityRow {
 pub fn portability(
     parallelism: Parallelism,
 ) -> Result<Vec<PortabilityRow>, codesign_core::flow::FlowError> {
-    use codesign_sim::device::ultra96;
+    use codesign_sim::device::{ultra96, zcu104};
     let mut rows = Vec::new();
-    for device in [pynq_z1(), ultra96()] {
+    for device in [pynq_z1(), ultra96(), zcu104()] {
         let flow = CoDesignFlow::new(FlowConfig {
             targets_fps: vec![15.0],
             candidates_per_bundle: 2,

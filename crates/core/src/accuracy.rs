@@ -23,6 +23,7 @@ use codesign_dnn::space::DesignPoint;
 use codesign_dnn::{Dnn, DnnError, TensorShape};
 use codesign_nn::network::Network;
 use codesign_nn::train::{TrainConfig, Trainer};
+use codesign_nn::{Engine, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Per-Bundle quality coefficients of the analytic model.
@@ -174,6 +175,13 @@ pub fn quantization_penalty(act: Activation) -> f64 {
 
 /// Real proxy training of down-scaled candidates on the synthetic
 /// detection task (the paper's 20-epoch protocol).
+///
+/// Training and evaluation run on the batched im2col+GEMM compute
+/// engine by default; the [`ProxyEvaluator::engine`] knob can pin a
+/// worker count or fall back to the naive per-image reference kernels.
+/// The measured IoU is **bit-identical** across all engine settings
+/// (`tests/determinism.rs` pins this), so the knob only trades wall
+/// clock.
 #[derive(Debug, Clone)]
 pub struct ProxyEvaluator {
     /// Training-image height (down-scaled from the deployment input).
@@ -188,6 +196,8 @@ pub struct ProxyEvaluator {
     pub config: TrainConfig,
     /// Dataset / initialization seed.
     pub seed: u64,
+    /// NN compute engine (default: batched GEMM, one worker per core).
+    pub engine: Engine,
 }
 
 impl Default for ProxyEvaluator {
@@ -199,6 +209,7 @@ impl Default for ProxyEvaluator {
             eval_samples: 16,
             config: TrainConfig::default(),
             seed: 1234,
+            engine: Engine::default(),
         }
     }
 }
@@ -221,11 +232,12 @@ impl ProxyEvaluator {
         let dnn = codesign_dnn::builder::DnnBuilder::new()
             .input(TensorShape::new(3, self.image_h, self.image_w))
             .build(&proxy_point)?;
-        let mut net =
-            Network::from_dnn(&dnn, self.seed).map_err(|e| DnnError::InvalidParameter {
+        let mut net = Network::from_dnn(&dnn, self.seed)
+            .map_err(|e| DnnError::InvalidParameter {
                 name: "proxy network".into(),
                 value: e.to_string(),
-            })?;
+            })?
+            .with_engine(self.engine);
 
         let dataset = SyntheticDataset::new(self.image_h, self.image_w, self.seed);
         let (images, boxes) = dataset.training_pairs(self.train_samples + self.eval_samples);
@@ -234,10 +246,20 @@ impl ProxyEvaluator {
 
         Trainer::new(self.config).train(&mut net, train_imgs, train_boxes);
 
-        let predictions: Vec<BoundingBox> = eval_imgs
-            .iter()
-            .map(|img| BoundingBox::from_prediction(net.forward(img).data()))
-            .collect();
+        // Held-out inference: one batched pass under the GEMM engine,
+        // the legacy per-image loop under the reference engine (the
+        // predictions are bit-identical either way).
+        let predictions: Vec<BoundingBox> = if self.engine.is_reference() || eval_imgs.is_empty() {
+            eval_imgs
+                .iter()
+                .map(|img| BoundingBox::from_prediction(net.forward(img).data()))
+                .collect()
+        } else {
+            let out = net.forward_batch(&Tensor::stack(eval_imgs));
+            (0..eval_imgs.len())
+                .map(|i| BoundingBox::from_prediction(out.image(i)))
+                .collect()
+        };
         let truth: Vec<BoundingBox> = eval_boxes
             .iter()
             .map(|b| BoundingBox::new(b[0] as f64, b[1] as f64, b[2] as f64, b[3] as f64))

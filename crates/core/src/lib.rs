@@ -23,7 +23,9 @@
 //!   final simulation together.
 //! * [`parallel`] — the deterministic scoped-thread work queue and
 //!   SplitMix64 seed-splitting that let the flow fan out across cores
-//!   while staying bit-identical to a sequential run.
+//!   while staying bit-identical to a sequential run (a re-export of
+//!   the `codesign-parallel` base crate, which the NN compute engine
+//!   shares).
 //!
 //! # Example
 //!

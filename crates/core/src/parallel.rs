@@ -1,273 +1,12 @@
 //! Deterministic scoped-thread work queue for the co-design flow.
 //!
-//! The paper's flow (Fig. 1) is embarrassingly parallel: coarse Bundle
-//! evaluation, the per-(Bundle, FPS-target) SCD searches and the
-//! replication sweeps are all independent. This module provides the two
-//! primitives that make fanning them out *reproducible*:
-//!
-//! * [`parallel_map`] — a scoped-thread work queue (`std::thread::scope`,
-//!   no external dependencies) whose results are merged **by item
-//!   index**, so the output is byte-identical to a sequential run no
-//!   matter how threads interleave;
-//! * [`derive_seed`] — SplitMix64 seed splitting, giving every work item
-//!   a private deterministic RNG stream derived from the flow's root
-//!   seed instead of sharing one generator across threads.
-//!
-//! The [`Parallelism`] knob picks the worker count; `Fixed(1)` is the
-//! legacy sequential path (which runs the exact same code, just inline).
+//! The implementation lives in the [`codesign_parallel`] base crate so
+//! that `codesign-nn` — which this crate depends on, and which
+//! therefore cannot import from here — shares the exact same work
+//! queue and SplitMix64 seed derivation for its GEMM compute engine.
+//! This module re-exports the whole surface under the historical
+//! `codesign_core::parallel` path, so existing imports
+//! (`codesign_core::parallel::Parallelism`, `parallel_map`,
+//! `derive_seed`, …) keep compiling unchanged.
 
-use serde::{Deserialize, Serialize};
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Worker-count knob of the co-design flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum Parallelism {
-    /// One worker per available hardware thread (the default).
-    #[default]
-    Auto,
-    /// A fixed worker count; `Fixed(1)` is the sequential legacy path.
-    Fixed(usize),
-}
-
-impl Parallelism {
-    /// The effective worker count (at least 1).
-    pub fn threads(self) -> usize {
-        match self {
-            Parallelism::Auto => std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
-            Parallelism::Fixed(n) => n.max(1),
-        }
-    }
-
-    /// Reads the knob from an environment variable: a positive integer
-    /// means `Fixed(n)`, anything else (unset, empty, `auto`) means
-    /// [`Parallelism::Auto`].
-    pub fn from_env(var: &str) -> Self {
-        match std::env::var(var) {
-            Ok(s) => s
-                .trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .map(Parallelism::Fixed)
-                .unwrap_or(Parallelism::Auto),
-            Err(_) => Parallelism::Auto,
-        }
-    }
-}
-
-impl std::fmt::Display for Parallelism {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Parallelism::Auto => write!(f, "auto({})", self.threads()),
-            Parallelism::Fixed(n) => write!(f, "{n}"),
-        }
-    }
-}
-
-/// SplitMix64 finalizer: a bijective avalanche mix over `u64`.
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-/// Derives the seed of one work item from the flow's root seed and a
-/// stable per-item stream id.
-///
-/// Both inputs pass through [`splitmix64`] so neighbouring stream ids
-/// (0, 1, 2, …) land on statistically independent seeds; results depend
-/// only on `(root, stream)`, never on which thread runs the item.
-pub fn derive_seed(root: u64, stream: u64) -> u64 {
-    splitmix64(root ^ splitmix64(stream))
-}
-
-/// Maps `f` over `items` with up to `threads` scoped workers, returning
-/// results **in item order**.
-///
-/// With `threads <= 1` (or fewer than two items) the closure runs inline
-/// on the caller's thread — the legacy sequential path. Otherwise
-/// workers claim item indices from an atomic counter and write results
-/// into per-index slots, so the merged output is identical to the
-/// sequential one regardless of scheduling. A panicking closure
-/// propagates the panic to the caller.
-pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(usize, &T) -> U + Sync,
-{
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(i, &items[i]);
-                *slots[i].lock().expect("result slot") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot")
-                .expect("every item processed")
-        })
-        .collect()
-}
-
-/// Like [`parallel_map`] but for fallible work items: returns the first
-/// error **in item order**. Once any worker observes an error, no new
-/// items are claimed (in-flight items finish; their results are
-/// discarded), matching the early return of a sequential loop.
-pub fn try_parallel_map<T, U, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<U>, E>
-where
-    T: Sync,
-    U: Send,
-    E: Send,
-    F: Fn(usize, &T) -> Result<U, E> + Sync,
-{
-    if threads <= 1 || items.len() <= 1 {
-        // `collect` into `Result` short-circuits at the first error.
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<Result<U, E>>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            scope.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(i, &items[i]);
-                if out.is_err() {
-                    abort.store(true, Ordering::Relaxed);
-                }
-                *slots[i].lock().expect("result slot") = Some(out);
-            });
-        }
-    });
-    // Indices are claimed consecutively, so every slot before the first
-    // error is filled; the scan below hits that error before any
-    // unclaimed (None) slot.
-    let mut out = Vec::with_capacity(items.len());
-    for slot in slots {
-        match slot.into_inner().expect("result slot") {
-            Some(Ok(v)) => out.push(v),
-            Some(Err(e)) => return Err(e),
-            None => unreachable!("slot left empty without a preceding error"),
-        }
-    }
-    Ok(out)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parallel_matches_sequential_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let seq = parallel_map(&items, 1, |i, &x| (i as u64) * 1000 + x * x);
-        for threads in [2, 4, 8] {
-            let par = parallel_map(&items, threads, |i, &x| (i as u64) * 1000 + x * x);
-            assert_eq!(seq, par, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn empty_and_single_items() {
-        let empty: Vec<u32> = vec![];
-        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
-        assert_eq!(parallel_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn try_map_propagates_first_error() {
-        let items: Vec<u32> = (0..50).collect();
-        let out: Result<Vec<u32>, String> = try_parallel_map(&items, 4, |_, &x| {
-            if x == 13 || x == 40 {
-                Err(format!("bad {x}"))
-            } else {
-                Ok(x)
-            }
-        });
-        assert_eq!(out.unwrap_err(), "bad 13", "first error in item order");
-    }
-
-    #[test]
-    fn try_map_stops_claiming_after_an_error() {
-        let items: Vec<u32> = (0..10_000).collect();
-        let processed = AtomicUsize::new(0);
-        let out: Result<Vec<u32>, &str> = try_parallel_map(&items, 4, |_, &x| {
-            processed.fetch_add(1, Ordering::Relaxed);
-            if x == 0 {
-                Err("boom")
-            } else {
-                Ok(x)
-            }
-        });
-        assert!(out.is_err());
-        // In-flight items may finish after the error lands, but the
-        // queue must not be drained to completion.
-        assert!(
-            processed.load(Ordering::Relaxed) < items.len(),
-            "error did not short-circuit the work queue"
-        );
-    }
-
-    #[test]
-    fn derive_seed_is_stable_and_spreads() {
-        // Pinned values: the determinism contract of the whole flow
-        // rests on this function never changing silently.
-        assert_eq!(derive_seed(2019, 0), derive_seed(2019, 0));
-        let seeds: std::collections::HashSet<u64> =
-            (0..1000).map(|s| derive_seed(2019, s)).collect();
-        assert_eq!(seeds.len(), 1000, "stream collisions");
-        assert_ne!(derive_seed(2019, 1), derive_seed(2020, 1));
-    }
-
-    #[test]
-    fn parallelism_knob() {
-        assert_eq!(Parallelism::Fixed(4).threads(), 4);
-        assert_eq!(Parallelism::Fixed(0).threads(), 1);
-        assert!(Parallelism::Auto.threads() >= 1);
-        assert_eq!(Parallelism::default(), Parallelism::Auto);
-        assert_eq!(Parallelism::Fixed(2).to_string(), "2");
-    }
-
-    #[test]
-    fn parallelism_from_env() {
-        std::env::set_var("CODESIGN_TEST_PAR_A", "3");
-        assert_eq!(
-            Parallelism::from_env("CODESIGN_TEST_PAR_A"),
-            Parallelism::Fixed(3)
-        );
-        std::env::set_var("CODESIGN_TEST_PAR_B", "auto");
-        assert_eq!(
-            Parallelism::from_env("CODESIGN_TEST_PAR_B"),
-            Parallelism::Auto
-        );
-        assert_eq!(
-            Parallelism::from_env("CODESIGN_TEST_PAR_UNSET"),
-            Parallelism::Auto
-        );
-    }
-}
+pub use codesign_parallel::*;

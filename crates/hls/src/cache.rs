@@ -7,7 +7,7 @@
 //! Re-deriving the closed-form Eqs. 1-5 for each probe wastes most of
 //! the flow's wall clock, so [`EstimateCache`] memoizes
 //! [`HlsEstimator::estimate_point`](crate::model::HlsEstimator::estimate_point)
-//! results behind an [`Arc`]-shareable, thread-safe map.
+//! results behind an [`std::sync::Arc`]-shareable, thread-safe map.
 //!
 //! # The canonical-hash key
 //!

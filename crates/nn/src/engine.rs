@@ -1,0 +1,527 @@
+//! The convolution compute engine: batched im2col+GEMM with a naive
+//! fallback.
+//!
+//! [`Engine`] selects how the runtime executes (depth-wise)
+//! convolutions:
+//!
+//! * [`Engine::Gemm`] — the fast path. Inputs are lowered with
+//!   [`crate::im2col::im2row`], multiplied with the blocked
+//!   multi-threaded kernels in [`crate::gemm`], and un-interleaved back
+//!   to `N x C x H x W`; a whole mini-batch is **one** GEMM per layer.
+//!   The backward-data pass runs as a transposed convolution through
+//!   the very same lowering, and weight/bias gradients accumulate
+//!   per-image subtotals in image order.
+//! * [`Engine::Reference`] — the retained per-image naive loops of
+//!   [`crate::reference`], used as ground truth by tests and benches.
+//!
+//! Both paths accumulate every output element in the same canonical
+//! order (see the [`crate::reference`] docs), so they are
+//! **bit-identical** to each other — and the GEMM path is bit-identical
+//! to itself at any worker count, because threads only partition output
+//! rows.
+
+use crate::gemm::{gemm_nn_acc, gemm_nt};
+use crate::im2col::{flip_weights, im2row_grid};
+use crate::layers::{ConvParams, DwConvParams};
+use crate::reference;
+use crate::tensor::Tensor;
+use codesign_parallel::{parallel_chunks_mut, Parallelism};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convolution execution strategy of a [`crate::network::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Per-image naive nested loops (the retained seed kernels).
+    Reference,
+    /// Batched im2col+GEMM with the given worker-count knob.
+    Gemm(Parallelism),
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::Gemm(Parallelism::Auto)
+    }
+}
+
+impl Engine {
+    /// Worker count the GEMM kernels run with (1 for the reference
+    /// path, which is strictly sequential).
+    pub fn threads(self) -> usize {
+        match self {
+            Engine::Reference => 1,
+            Engine::Gemm(par) => par.threads(),
+        }
+    }
+
+    /// True for [`Engine::Reference`].
+    pub fn is_reference(self) -> bool {
+        matches!(self, Engine::Reference)
+    }
+
+    /// Pins [`Parallelism::Auto`] to the current core count, so hot
+    /// paths holding a resolved engine don't re-query the scheduler
+    /// (one `available_parallelism` syscall per kernel call otherwise).
+    /// Results are identical either way — only scheduling changes.
+    #[must_use]
+    pub fn resolved(self) -> Engine {
+        match self {
+            Engine::Gemm(Parallelism::Auto) => {
+                Engine::Gemm(Parallelism::Fixed(Parallelism::Auto.threads()))
+            }
+            other => other,
+        }
+    }
+}
+
+/// The default engine with `Auto` already pinned to the core count —
+/// resolved once per process, so convenience entry points that take no
+/// explicit engine (the `crate::layers` conv wrappers) don't re-query
+/// the scheduler on every call.
+pub(crate) fn default_resolved() -> Engine {
+    static DEFAULT: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| Engine::default().resolved())
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Reference => write!(f, "reference"),
+            Engine::Gemm(par) => write!(f, "gemm(x{par})"),
+        }
+    }
+}
+
+/// Un-interleaves a GEMM result whose rows are output pixels
+/// (`[n * plane][cols]`) into `cols`-major planes (`[n][cols][plane]`,
+/// i.e. `N x C x H x W`).
+fn rows_to_planes(rows: &[f32], n: usize, plane: usize, cols: usize, threads: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * cols * plane];
+    let threads =
+        crate::gemm::capped_threads(threads, out.len(), crate::gemm::COPY_ELEMS_PER_WORKER);
+    parallel_chunks_mut(&mut out, cols * plane, threads, |img, chunk| {
+        let row0 = img * plane;
+        for c in 0..cols {
+            let dst = &mut chunk[c * plane..(c + 1) * plane];
+            for (p, d) in dst.iter_mut().enumerate() {
+                *d = rows[(row0 + p) * cols + c];
+            }
+        }
+    });
+    out
+}
+
+fn map_images(x: &Tensor, f: impl Fn(&Tensor) -> Tensor) -> Tensor {
+    let images: Vec<Tensor> = x.unstack().iter().map(f).collect();
+    Tensor::stack(&images)
+}
+
+/// The grouped dot-product kernel shared by the depth-wise forward and
+/// backward-data passes: for every `(group, pixel)` patch row, one dot
+/// against that group's channel weights, seeded with the channel bias
+/// (`None` for gradient passes). Groups cycle through `ch` channels.
+#[allow(clippy::too_many_arguments)]
+fn dw_dot_planes(
+    rows: &[f32],
+    weights: &[f32],
+    bias: Option<&[f32]>,
+    ch: usize,
+    plane: usize,
+    kk: usize,
+    threads: usize,
+    out: &mut [f32],
+) {
+    let threads =
+        crate::gemm::capped_threads(threads, out.len() * kk, crate::gemm::GEMM_FLOPS_PER_WORKER);
+    parallel_chunks_mut(out, plane, threads, |g, chunk| {
+        let c = g % ch;
+        let wrow = &weights[c * kk..(c + 1) * kk];
+        let init = bias.map_or(0.0, |b| b[c]);
+        for (pp, o) in chunk.iter_mut().enumerate() {
+            let row = &rows[(g * plane + pp) * kk..(g * plane + pp + 1) * kk];
+            let mut acc = init;
+            for (a, b) in row.iter().zip(wrow) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Standard convolution
+// ---------------------------------------------------------------------
+
+fn conv_forward_gemm(
+    x: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    p: &ConvParams,
+    threads: usize,
+) -> Vec<f32> {
+    // "Same" convolution: the output grid is the input grid for every
+    // kernel size (even-k kernels included), matching the reference.
+    let rows = im2row_grid(x, n, c, h, w, p.k, 1, p.k / 2, (h, w), threads);
+    let ymat = gemm_nt(
+        &rows,
+        &p.weights,
+        c * p.k * p.k,
+        p.out_ch,
+        Some(&p.bias),
+        threads,
+    );
+    rows_to_planes(&ymat, n, h * w, p.out_ch, threads)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_backward_gemm(
+    x: &[f32],
+    dy: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    p: &ConvParams,
+    threads: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let plane = h * w;
+    let ckk = c * p.k * p.k;
+    let pad = p.k / 2;
+
+    // Bias gradient: row-major pixel sums, one subtotal per image.
+    let mut db = vec![0.0f32; p.out_ch];
+    for img in 0..n {
+        for (oc, d) in db.iter_mut().enumerate() {
+            let g = &dy[(img * p.out_ch + oc) * plane..(img * p.out_ch + oc + 1) * plane];
+            let mut s = 0.0f32;
+            for &v in g {
+                s += v;
+            }
+            *d += s;
+        }
+    }
+
+    // Weight gradient: dW_img = dY_img · patch-matrix_img, accumulated
+    // as per-image subtotals in image order (the same grouping the
+    // per-image reference path produces).
+    let rows_x = im2row_grid(x, n, c, h, w, p.k, 1, pad, (h, w), threads);
+    let mut dw = vec![0.0f32; p.weights.len()];
+    let mut scratch = vec![0.0f32; p.weights.len()];
+    for img in 0..n {
+        scratch.fill(0.0);
+        let g = &dy[img * p.out_ch * plane..(img + 1) * p.out_ch * plane];
+        let b = &rows_x[img * plane * ckk..(img + 1) * plane * ckk];
+        gemm_nn_acc(g, b, plane, ckk, &mut scratch, threads);
+        for (d, s) in dw.iter_mut().zip(&scratch) {
+            *d += s;
+        }
+    }
+
+    // Data gradient: transposed convolution through the same lowering —
+    // im2row over dY, dotted against flipped channel-transposed
+    // weights. The transposed conv pads with `k - 1 - pad` (equal to
+    // `pad` only for odd kernels).
+    let flipped = flip_weights(&p.weights, p.out_ch, c, p.k);
+    let rows_g = im2row_grid(
+        dy,
+        n,
+        p.out_ch,
+        h,
+        w,
+        p.k,
+        1,
+        p.k - 1 - pad,
+        (h, w),
+        threads,
+    );
+    let dxmat = gemm_nt(&rows_g, &flipped, p.out_ch * p.k * p.k, c, None, threads);
+    let dx = rows_to_planes(&dxmat, n, plane, c, threads);
+    (dx, dw, db)
+}
+
+/// Batched convolution forward pass over an `N x C x H x W` tensor.
+///
+/// # Panics
+///
+/// Panics when `x` is not rank 4 or disagrees with the parameter
+/// geometry.
+pub fn conv_forward_batch(x: &Tensor, p: &ConvParams, engine: Engine) -> Tensor {
+    let (n, c, h, w) = x.dims4();
+    assert_eq!(c, p.in_ch, "conv input channel mismatch");
+    match engine {
+        Engine::Reference => map_images(x, |img| reference::conv_forward(img, p)),
+        Engine::Gemm(par) => Tensor::from_vec(
+            &[n, p.out_ch, h, w],
+            conv_forward_gemm(x.data(), n, c, h, w, p, par.threads()),
+        ),
+    }
+}
+
+/// Single-image convolution forward pass (same padding, stride 1).
+pub fn conv_forward_single(x: &Tensor, p: &ConvParams, engine: Engine) -> Tensor {
+    match engine {
+        Engine::Reference => reference::conv_forward(x, p),
+        Engine::Gemm(par) => {
+            assert_eq!(x.channels(), p.in_ch, "conv input channel mismatch");
+            let (c, h, w) = (x.channels(), x.height(), x.width());
+            Tensor::from_vec(
+                &[p.out_ch, h, w],
+                conv_forward_gemm(x.data(), 1, c, h, w, p, par.threads()),
+            )
+        }
+    }
+}
+
+/// Batched convolution backward pass: `(dx, dweights, dbias)`, with
+/// weight and bias gradients summed over the batch as per-image
+/// subtotals in image order.
+pub fn conv_backward_batch(
+    x: &Tensor,
+    p: &ConvParams,
+    dy: &Tensor,
+    engine: Engine,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let (n, c, h, w) = x.dims4();
+    assert_eq!(c, p.in_ch, "conv input channel mismatch");
+    assert_eq!(
+        dy.dims4(),
+        (n, p.out_ch, h, w),
+        "conv gradient shape mismatch"
+    );
+    match engine {
+        Engine::Reference => {
+            let mut dw = vec![0.0f32; p.weights.len()];
+            let mut db = vec![0.0f32; p.out_ch];
+            let mut dxs = Vec::with_capacity(n);
+            for (xi, gi) in x.unstack().iter().zip(dy.unstack().iter()) {
+                let (dx, dwi, dbi) = reference::conv_backward(xi, p, gi);
+                for (d, s) in dw.iter_mut().zip(&dwi) {
+                    *d += s;
+                }
+                for (d, s) in db.iter_mut().zip(&dbi) {
+                    *d += s;
+                }
+                dxs.push(dx);
+            }
+            (Tensor::stack(&dxs), dw, db)
+        }
+        Engine::Gemm(par) => {
+            let (dx, dw, db) =
+                conv_backward_gemm(x.data(), dy.data(), n, c, h, w, p, par.threads());
+            (Tensor::from_vec(&[n, c, h, w], dx), dw, db)
+        }
+    }
+}
+
+/// Single-image convolution backward pass: `(dx, dweights, dbias)`.
+pub fn conv_backward_single(
+    x: &Tensor,
+    p: &ConvParams,
+    dy: &Tensor,
+    engine: Engine,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    match engine {
+        Engine::Reference => reference::conv_backward(x, p, dy),
+        Engine::Gemm(par) => {
+            let (c, h, w) = (x.channels(), x.height(), x.width());
+            assert_eq!(c, p.in_ch, "conv input channel mismatch");
+            assert_eq!(dy.shape(), [p.out_ch, h, w], "conv gradient shape mismatch");
+            let (dx, dw, db) =
+                conv_backward_gemm(x.data(), dy.data(), 1, c, h, w, p, par.threads());
+            (Tensor::from_vec(&[c, h, w], dx), dw, db)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Depth-wise convolution (grouped GEMM: one group per channel)
+// ---------------------------------------------------------------------
+
+fn dwconv_forward_gemm(
+    x: &[f32],
+    groups: usize,
+    ch: usize,
+    h: usize,
+    w: usize,
+    p: &DwConvParams,
+    threads: usize,
+) -> Vec<f32> {
+    let kk = p.k * p.k;
+    let plane = h * w;
+    // One im2row over `groups * ch` single-channel planes gives every
+    // group's patch matrix in one buffer; the output grid is pinned to
+    // the input grid ("same" convolution, any kernel size).
+    let rows = im2row_grid(x, groups * ch, 1, h, w, p.k, 1, p.k / 2, (h, w), threads);
+    let mut y = vec![0.0f32; groups * ch * plane];
+    dw_dot_planes(
+        &rows,
+        &p.weights,
+        Some(&p.bias),
+        ch,
+        plane,
+        kk,
+        threads,
+        &mut y,
+    );
+    y
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dwconv_backward_gemm(
+    x: &[f32],
+    dy: &[f32],
+    groups: usize,
+    ch: usize,
+    h: usize,
+    w: usize,
+    p: &DwConvParams,
+    threads: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let kk = p.k * p.k;
+    let plane = h * w;
+    let pad = p.k / 2;
+
+    let mut db = vec![0.0f32; ch];
+    for img in 0..groups {
+        for (c, d) in db.iter_mut().enumerate() {
+            let g = &dy[(img * ch + c) * plane..(img * ch + c + 1) * plane];
+            let mut s = 0.0f32;
+            for &v in g {
+                s += v;
+            }
+            *d += s;
+        }
+    }
+
+    let rows_x = im2row_grid(x, groups * ch, 1, h, w, p.k, 1, pad, (h, w), threads);
+    let mut dw = vec![0.0f32; p.weights.len()];
+    let mut scratch = vec![0.0f32; kk];
+    for img in 0..groups {
+        for c in 0..ch {
+            let plane_idx = img * ch + c;
+            let g = &dy[plane_idx * plane..(plane_idx + 1) * plane];
+            scratch.fill(0.0);
+            for (pp, &gv) in g.iter().enumerate() {
+                let row = &rows_x[(plane_idx * plane + pp) * kk..(plane_idx * plane + pp + 1) * kk];
+                for (s, &b) in scratch.iter_mut().zip(row) {
+                    *s += gv * b;
+                }
+            }
+            for (d, s) in dw[c * kk..(c + 1) * kk].iter_mut().zip(&scratch) {
+                *d += s;
+            }
+        }
+    }
+
+    // Data gradient: per-channel transposed convolution. Each channel
+    // is its own single-input-channel group, so the standard flip with
+    // ic = 1 gives the per-channel spatially reversed kernels.
+    let flipped = flip_weights(&p.weights, ch, 1, p.k);
+    // Transposed-convolution padding: `k - 1 - pad`.
+    let rows_g = im2row_grid(
+        dy,
+        groups * ch,
+        1,
+        h,
+        w,
+        p.k,
+        1,
+        p.k - 1 - pad,
+        (h, w),
+        threads,
+    );
+    let mut dx = vec![0.0f32; groups * ch * plane];
+    dw_dot_planes(&rows_g, &flipped, None, ch, plane, kk, threads, &mut dx);
+    (dx, dw, db)
+}
+
+/// Batched depth-wise convolution forward pass.
+///
+/// # Panics
+///
+/// Panics when `x` is not rank 4 or disagrees with the parameter
+/// geometry.
+pub fn dwconv_forward_batch(x: &Tensor, p: &DwConvParams, engine: Engine) -> Tensor {
+    let (n, c, h, w) = x.dims4();
+    assert_eq!(c, p.ch, "dwconv channel mismatch");
+    match engine {
+        Engine::Reference => map_images(x, |img| reference::dwconv_forward(img, p)),
+        Engine::Gemm(par) => Tensor::from_vec(
+            &[n, c, h, w],
+            dwconv_forward_gemm(x.data(), n, c, h, w, p, par.threads()),
+        ),
+    }
+}
+
+/// Single-image depth-wise convolution forward pass.
+pub fn dwconv_forward_single(x: &Tensor, p: &DwConvParams, engine: Engine) -> Tensor {
+    match engine {
+        Engine::Reference => reference::dwconv_forward(x, p),
+        Engine::Gemm(par) => {
+            assert_eq!(x.channels(), p.ch, "dwconv channel mismatch");
+            let (c, h, w) = (x.channels(), x.height(), x.width());
+            Tensor::from_vec(
+                &[c, h, w],
+                dwconv_forward_gemm(x.data(), 1, c, h, w, p, par.threads()),
+            )
+        }
+    }
+}
+
+/// Batched depth-wise convolution backward pass: `(dx, dweights,
+/// dbias)`, gradients summed as per-image subtotals in image order.
+pub fn dwconv_backward_batch(
+    x: &Tensor,
+    p: &DwConvParams,
+    dy: &Tensor,
+    engine: Engine,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let (n, c, h, w) = x.dims4();
+    assert_eq!(c, p.ch, "dwconv channel mismatch");
+    assert_eq!(dy.dims4(), (n, c, h, w), "dwconv gradient shape mismatch");
+    match engine {
+        Engine::Reference => {
+            let mut dw = vec![0.0f32; p.weights.len()];
+            let mut db = vec![0.0f32; c];
+            let mut dxs = Vec::with_capacity(n);
+            for (xi, gi) in x.unstack().iter().zip(dy.unstack().iter()) {
+                let (dx, dwi, dbi) = reference::dwconv_backward(xi, p, gi);
+                for (d, s) in dw.iter_mut().zip(&dwi) {
+                    *d += s;
+                }
+                for (d, s) in db.iter_mut().zip(&dbi) {
+                    *d += s;
+                }
+                dxs.push(dx);
+            }
+            (Tensor::stack(&dxs), dw, db)
+        }
+        Engine::Gemm(par) => {
+            let (dx, dw, db) =
+                dwconv_backward_gemm(x.data(), dy.data(), n, c, h, w, p, par.threads());
+            (Tensor::from_vec(&[n, c, h, w], dx), dw, db)
+        }
+    }
+}
+
+/// Single-image depth-wise convolution backward pass.
+pub fn dwconv_backward_single(
+    x: &Tensor,
+    p: &DwConvParams,
+    dy: &Tensor,
+    engine: Engine,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    match engine {
+        Engine::Reference => reference::dwconv_backward(x, p, dy),
+        Engine::Gemm(par) => {
+            let (c, h, w) = (x.channels(), x.height(), x.width());
+            assert_eq!(c, p.ch, "dwconv channel mismatch");
+            assert_eq!(dy.shape(), [c, h, w], "dwconv gradient shape mismatch");
+            let (dx, dw, db) =
+                dwconv_backward_gemm(x.data(), dy.data(), 1, c, h, w, p, par.threads());
+            (Tensor::from_vec(&[c, h, w], dx), dw, db)
+        }
+    }
+}

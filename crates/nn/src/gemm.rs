@@ -1,0 +1,249 @@
+//! Blocked, multi-threaded GEMM kernels with a bit-reproducibility
+//! contract.
+//!
+//! The compute engine lowers every convolution to matrix multiply (the
+//! standard accelerator-modeling practice), so these two kernels carry
+//! the entire hot path of proxy training:
+//!
+//! * [`gemm_nt`] — `C = init + A · Bᵀ` with both operands row-major, the
+//!   cache-friendly "dot-product" form used by the forward and
+//!   backward-data passes (each output element is one dot product of
+//!   two contiguous rows);
+//! * [`gemm_nn_acc`] — `C += A · B`, the accumulating "axpy" form used
+//!   by the weight-gradient pass.
+//!
+//! # Determinism contract
+//!
+//! Every output element is a strict, sequential `f32` accumulation over
+//! the shared dimension in **ascending `k` order**, starting from its
+//! init value. Threads (via [`codesign_parallel::parallel_chunks_mut`])
+//! only partition *which rows* a worker computes — never the
+//! accumulation order within an element — so the result is
+//! byte-identical to a sequential run at any worker count, and
+//! byte-identical to any other kernel that sums the same terms in the
+//! same order (in particular the naive loops in [`crate::reference`]).
+//! The manual four-column unrolling in [`gemm_nt`] exploits instruction
+//! parallelism *across* output elements while keeping each element's
+//! chain sequential, so it does not weaken the contract.
+
+use codesign_parallel::parallel_chunks_mut;
+
+/// Rows per parallel work item. Fixed (never derived from the worker
+/// count) so the partition, and with it the memory-access pattern, is
+/// identical for every `threads` value.
+const ROW_BLOCK: usize = 32;
+
+/// Caps a worker count so each spawned worker gets at least
+/// `min_per_worker` units of work — scoped-thread spawns cost tens of
+/// microseconds, which dwarfs a small kernel's runtime. Worker count
+/// never affects results (see the module docs), so this is purely a
+/// scheduling heuristic.
+pub(crate) fn capped_threads(threads: usize, work: usize, min_per_worker: usize) -> usize {
+    threads.clamp(1, 1 + work / min_per_worker.max(1))
+}
+
+/// Work units (multiply-adds) below which a GEMM stays single-threaded
+/// per extra worker.
+pub(crate) const GEMM_FLOPS_PER_WORKER: usize = 1 << 20;
+
+/// Moved elements below which a lowering / un-interleave pass stays
+/// single-threaded per extra worker.
+pub(crate) const COPY_ELEMS_PER_WORKER: usize = 1 << 18;
+
+/// `C[m x n] = init + A · Bᵀ` with `A[m x k]` and `B[n x k]` row-major.
+///
+/// `init` seeds every element of output row `i`, column `j`, with
+/// `bias[j]` (`None` means zero). Parallelized over blocks of output
+/// rows; see the module docs for the determinism contract.
+///
+/// # Panics
+///
+/// Panics when slice lengths are inconsistent with `k`/`n` or when
+/// `bias` is not `n` long.
+pub fn gemm_nt(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+    threads: usize,
+) -> Vec<f32> {
+    assert!(k > 0 && n > 0, "gemm_nt needs positive dimensions");
+    assert_eq!(a.len() % k, 0, "lhs length not a multiple of k");
+    assert_eq!(b.len(), n * k, "rhs length disagrees with n x k");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n, "bias length disagrees with n");
+    }
+    let m = a.len() / k;
+    let threads = capped_threads(threads, m * n * k, GEMM_FLOPS_PER_WORKER);
+    let mut out = vec![0.0f32; m * n];
+    parallel_chunks_mut(&mut out, ROW_BLOCK * n, threads, |block, chunk| {
+        let row0 = block * ROW_BLOCK;
+        for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+            let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+            // Four independent output columns at a time: each keeps its
+            // own strictly sequential accumulator, but the four chains
+            // interleave in the pipeline and the `a_row` loads are
+            // shared.
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = match bias {
+                    Some(bias) => (bias[j], bias[j + 1], bias[j + 2], bias[j + 3]),
+                    None => (0.0, 0.0, 0.0, 0.0),
+                };
+                for ((((&av, &v0), &v1), &v2), &v3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    s0 += av * v0;
+                    s1 += av * v1;
+                    s2 += av * v2;
+                    s3 += av * v3;
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = bias.map_or(0.0, |bias| bias[j]);
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                out_row[j] = acc;
+                j += 1;
+            }
+        }
+    });
+    out
+}
+
+/// `C[m x n] += A · B` with `A[m x k]` and `B[k x n]` row-major.
+///
+/// The axpy form: for each `A` element (taken in ascending `k` order)
+/// a scaled `B` row is added to the matching `C` row, so every `C`
+/// element accumulates its terms in ascending `k` order on top of
+/// whatever `C` already holds. Parallelized over single output rows
+/// (the weight-gradient matrices this serves have few, long rows).
+///
+/// # Panics
+///
+/// Panics when slice lengths are inconsistent.
+pub fn gemm_nn_acc(a: &[f32], b: &[f32], k: usize, n: usize, c: &mut [f32], threads: usize) {
+    assert!(k > 0 && n > 0, "gemm_nn_acc needs positive dimensions");
+    assert_eq!(a.len() % k, 0, "lhs length not a multiple of k");
+    assert_eq!(b.len(), k * n, "rhs length disagrees with k x n");
+    let m = a.len() / k;
+    assert_eq!(c.len(), m * n, "output length disagrees with m x n");
+    let threads = capped_threads(threads, m * n * k, GEMM_FLOPS_PER_WORKER);
+    parallel_chunks_mut(c, n, threads, |i, c_row| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Textbook triple loop in the same per-element order as the
+    /// kernels: init, then ascending k.
+    fn naive_nt(a: &[f32], b: &[f32], k: usize, n: usize, bias: Option<&[f32]>) -> Vec<f32> {
+        let m = a.len() / k;
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = bias.map_or(0.0, |bias| bias[j]);
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[j * k + kk];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn ramp(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 7 % 23) as f32 - 11.0) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn nt_matches_naive_bitwise_at_any_thread_count() {
+        for (m, k, n) in [(1, 1, 1), (5, 7, 3), (70, 13, 9), (33, 27, 4)] {
+            let a = ramp(m * k, 0.05);
+            let b = ramp(n * k, 0.03);
+            let bias = ramp(n, 0.2);
+            let expect = naive_nt(&a, &b, k, n, Some(&bias));
+            for threads in [1, 2, 4, 8] {
+                assert_eq!(
+                    gemm_nt(&a, &b, k, n, Some(&bias), threads),
+                    expect,
+                    "m={m} k={k} n={n} threads={threads}"
+                );
+            }
+            let expect0 = naive_nt(&a, &b, k, n, None);
+            assert_eq!(gemm_nt(&a, &b, k, n, None, 4), expect0);
+        }
+    }
+
+    #[test]
+    fn nn_acc_accumulates_on_top() {
+        let (m, k, n) = (3, 5, 4);
+        let a = ramp(m * k, 0.1);
+        let b = ramp(k * n, 0.07);
+        let mut c = ramp(m * n, 1.0);
+        let mut expect = c.clone();
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    expect[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        let seq = {
+            let mut c1 = c.clone();
+            gemm_nn_acc(&a, &b, k, n, &mut c1, 1);
+            c1
+        };
+        assert_eq!(seq, expect);
+        gemm_nn_acc(&a, &b, k, n, &mut c, 4);
+        assert_eq!(c, seq, "thread count changed the accumulation");
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length disagrees")]
+    fn nt_rejects_bad_shapes() {
+        let _ = gemm_nt(&[1.0; 6], &[1.0; 5], 3, 2, None, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_nt_bitwise_stable(
+            m in 1usize..40,
+            k in 1usize..30,
+            n in 1usize..12,
+            threads in 1usize..6,
+        ) {
+            let a = ramp(m * k, 0.02);
+            let b = ramp(n * k, 0.04);
+            prop_assert_eq!(
+                gemm_nt(&a, &b, k, n, None, threads),
+                naive_nt(&a, &b, k, n, None)
+            );
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! im2col lowering: convolutions as matrix multiplies.
+//!
+//! [`im2row`] unrolls every output pixel's receptive field into one
+//! contiguous row of a patch matrix (the row-major flavour of the
+//! classic im2col), so a convolution becomes a single
+//! [`crate::gemm::gemm_nt`] call: patch-matrix rows dotted against
+//! weight rows. Padding is materialized as explicit zeros, which moves
+//! every boundary branch out of the GEMM inner loop *and* pins the
+//! accumulation-order contract: the GEMM path adds the same
+//! `weight x 0` terms, in the same `(channel, ky, kx)` order, as the
+//! reference kernels in [`crate::reference`], keeping the two paths
+//! bit-identical.
+//!
+//! The backward-data pass reuses the same lowering as a *transposed*
+//! convolution — the output gradient is im2row-unrolled and dotted
+//! against spatially flipped, channel-transposed weights — so no
+//! scatter-style `col2im` is needed anywhere.
+//!
+//! Layouts (all row-major):
+//!
+//! * input: `groups` contiguous image planes of `c x h x w` (a rank-4
+//!   `N x C x H x W` batch is `N` planes of `c = C`; a depth-wise pass
+//!   treats the same buffer as `N*C` planes of `c = 1`);
+//! * patch matrix: `groups * oh * ow` rows of `c * k * k` columns, row
+//!   `g * oh * ow + oy * ow + ox`, column `(ic * k + ky) * k + kx`.
+
+use codesign_parallel::parallel_chunks_mut;
+
+/// Output spatial size of a `k`-kernel convolution over `h x w` input
+/// with the given stride and symmetric zero padding.
+///
+/// # Panics
+///
+/// Panics when the kernel (minus padding) does not fit the input or
+/// `stride` is zero.
+pub fn conv_output_size(h: usize, w: usize, k: usize, stride: usize, pad: usize) -> (usize, usize) {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        h + 2 * pad >= k && w + 2 * pad >= k,
+        "kernel {k} with pad {pad} does not fit {h}x{w} input"
+    );
+    (
+        (h + 2 * pad - k) / stride + 1,
+        (w + 2 * pad - k) / stride + 1,
+    )
+}
+
+/// Unrolls `groups` image planes of `c x h x w` into the patch matrix
+/// described in the module docs, parallelized over planes.
+///
+/// Returns the matrix and the output spatial size `(oh, ow)`.
+///
+/// # Panics
+///
+/// Panics when `x` is not `groups * c * h * w` long or the geometry is
+/// invalid (see [`conv_output_size`]).
+#[allow(clippy::too_many_arguments)] // raw geometry is the whole API
+pub fn im2row(
+    x: &[f32],
+    groups: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    threads: usize,
+) -> (Vec<f32>, usize, usize) {
+    let (oh, ow) = conv_output_size(h, w, k, stride, pad);
+    let rows = im2row_grid(x, groups, c, h, w, k, stride, pad, (oh, ow), threads);
+    (rows, oh, ow)
+}
+
+/// Like [`im2row`] but with the output grid given explicitly instead of
+/// derived from the geometry.
+///
+/// "Same"-size convolutions keep the input grid (`oh = h`, `ow = w`)
+/// for *every* kernel size — with `pad = k / 2` the derived size only
+/// coincides for odd `k` — so the compute engine pins the grid here.
+/// Taps reaching past the padded input (possible when the grid is
+/// larger than the derived one) read as zeros, like padding.
+///
+/// # Panics
+///
+/// Panics when `x` is not `groups * c * h * w` long or `stride` is 0.
+#[allow(clippy::too_many_arguments)] // raw geometry is the whole API
+pub fn im2row_grid(
+    x: &[f32],
+    groups: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    (oh, ow): (usize, usize),
+    threads: usize,
+) -> Vec<f32> {
+    assert!(stride > 0, "stride must be positive");
+    assert_eq!(
+        x.len(),
+        groups * c * h * w,
+        "input length disagrees with geometry"
+    );
+    let ckk = c * k * k;
+    let plane_rows = oh * ow * ckk;
+    let mut rows = vec![0.0f32; groups * plane_rows];
+    let threads = crate::gemm::capped_threads(
+        threads,
+        groups * plane_rows,
+        crate::gemm::COPY_ELEMS_PER_WORKER,
+    );
+    parallel_chunks_mut(&mut rows, plane_rows, threads, |g, plane| {
+        let img = &x[g * c * h * w..(g + 1) * c * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = &mut plane[(oy * ow + ox) * ckk..(oy * ow + ox + 1) * ckk];
+                for ic in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        let dst = &mut row[(ic * k + ky) * k..(ic * k + ky + 1) * k];
+                        if iy < 0 || iy >= h as isize {
+                            continue; // already zero
+                        }
+                        let src_row =
+                            &img[(ic * h + iy as usize) * w..(ic * h + iy as usize + 1) * w];
+                        for (kx, d) in dst.iter_mut().enumerate() {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix >= 0 && ix < w as isize {
+                                *d = src_row[ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    rows
+}
+
+/// Spatially flips and channel-transposes convolution weights for the
+/// backward-data (transposed-convolution) pass.
+///
+/// Input layout `[oc][ic][ky][kx]` (flattened), output layout
+/// `[ic][oc][ky][kx]` with both spatial axes reversed, so that
+/// `dx = im2row(dy) · flippedᵀ` accumulates each element's terms in
+/// ascending `(oc, ky, kx)` order.
+pub fn flip_weights(weights: &[f32], oc: usize, ic: usize, k: usize) -> Vec<f32> {
+    assert_eq!(weights.len(), oc * ic * k * k, "weight length disagrees");
+    let mut out = vec![0.0f32; weights.len()];
+    for o in 0..oc {
+        for i in 0..ic {
+            for ky in 0..k {
+                for kx in 0..k {
+                    out[((i * oc + o) * k + (k - 1 - ky)) * k + (k - 1 - kx)] =
+                        weights[((o * ic + i) * k + ky) * k + kx];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ramp(len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 5 % 17) as f32 - 8.0) * 0.1)
+            .collect()
+    }
+
+    /// Direct (unoptimized) patch gather used as the test oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn gather(
+        x: &[f32],
+        groups: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Vec<f32> {
+        let (oh, ow) = conv_output_size(h, w, k, stride, pad);
+        let mut rows = Vec::new();
+        for g in 0..groups {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for ic in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                                {
+                                    x[((g * c + ic) * h + iy as usize) * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                                rows.push(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn identity_1x1_lowering() {
+        let x = ramp(2 * 3 * 4);
+        let (rows, oh, ow) = im2row(&x, 1, 2, 3, 4, 1, 1, 0, 1);
+        assert_eq!((oh, ow), (3, 4));
+        // Each row is the pixel's 2 channel values.
+        assert_eq!(rows.len(), 3 * 4 * 2);
+        assert_eq!(rows[0], x[0]);
+        assert_eq!(rows[1], x[12]);
+    }
+
+    #[test]
+    fn output_size_math() {
+        assert_eq!(conv_output_size(8, 8, 3, 1, 1), (8, 8)); // same padding
+        assert_eq!(conv_output_size(8, 8, 3, 2, 1), (4, 4));
+        assert_eq!(conv_output_size(7, 9, 5, 1, 2), (7, 9));
+        assert_eq!(conv_output_size(6, 6, 2, 2, 0), (3, 3));
+    }
+
+    #[test]
+    fn flip_round_trips() {
+        let (oc, ic, k) = (3, 2, 3);
+        let w = ramp(oc * ic * k * k);
+        let flipped = flip_weights(&w, oc, ic, k);
+        assert_eq!(flip_weights(&flipped, ic, oc, k), w);
+        // Spot check: input (oc=1, ic=0, ky=0, kx=2) lands at output
+        // (ic=0, oc=1) with both spatial axes reversed.
+        let (oc_i, ic_i, ky, kx) = (1usize, 0usize, 0usize, 2usize);
+        let src = ((oc_i * ic + ic_i) * k + ky) * k + kx;
+        let dst = ((ic_i * oc + oc_i) * k + (k - 1 - ky)) * k + (k - 1 - kx);
+        assert_eq!(flipped[dst], w[src]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_matches_direct_gather(
+            groups in 1usize..3,
+            c in 1usize..4,
+            h in 1usize..8,
+            w in 1usize..8,
+            k in 1usize..4,
+            stride in 1usize..3,
+            threads in 1usize..5,
+        ) {
+            // `pad = k / 2` keeps the kernel inside the padded input
+            // for every sampled shape.
+            let pad = k / 2;
+            let x = ramp(groups * c * h * w);
+            let (rows, _, _) = im2row(&x, groups, c, h, w, k, stride, pad, threads);
+            prop_assert_eq!(rows, gather(&x, groups, c, h, w, k, stride, pad));
+        }
+    }
+}

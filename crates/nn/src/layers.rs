@@ -2,15 +2,16 @@
 //!
 //! All spatial operators use the same conventions as the hardware IR in
 //! [`codesign_dnn::layer`]: "same" padding for convolutions (stride 1)
-//! and non-overlapping windows for pooling. Convolution forward passes
-//! parallelize over output channels with `std::thread::scope`.
+//! and non-overlapping windows for pooling. The convolution entry
+//! points here delegate to the im2col+GEMM compute engine
+//! ([`crate::engine`]) with its default configuration; the original
+//! naive kernels live on in [`crate::reference`]. The `*_batch`
+//! variants operate on rank-4 `N x C x H x W` tensors (see
+//! [`Tensor::stack`]).
 
 use crate::tensor::Tensor;
 use codesign_dnn::quant::Activation;
 use serde::{Deserialize, Serialize};
-
-/// Output-channel count above which convolutions fan out across threads.
-const PARALLEL_THRESHOLD: usize = 16;
 
 /// Parameters of a standard convolution: weights `[oc][ic][k][k]`
 /// (flattened) and per-output-channel bias.
@@ -41,7 +42,7 @@ impl ConvParams {
     }
 
     #[inline]
-    fn w(&self, oc: usize, ic: usize, dy: usize, dx: usize) -> f32 {
+    pub(crate) fn w(&self, oc: usize, ic: usize, dy: usize, dx: usize) -> f32 {
         self.weights[((oc * self.in_ch + ic) * self.k + dy) * self.k + dx]
     }
 }
@@ -71,7 +72,7 @@ impl DwConvParams {
     }
 
     #[inline]
-    fn w(&self, c: usize, dy: usize, dx: usize) -> f32 {
+    pub(crate) fn w(&self, c: usize, dy: usize, dx: usize) -> f32 {
         self.weights[(c * self.k + dy) * self.k + dx]
     }
 }
@@ -99,198 +100,71 @@ impl ScaleBiasParams {
     }
 }
 
-/// Standard convolution forward pass, same padding, stride 1.
+/// Standard convolution forward pass, same padding, stride 1, on the
+/// default compute engine (im2col+GEMM).
 ///
 /// # Panics
 ///
 /// Panics when `x` does not match the parameter geometry.
 pub fn conv_forward(x: &Tensor, p: &ConvParams) -> Tensor {
-    assert_eq!(x.channels(), p.in_ch, "conv input channel mismatch");
-    let (h, w) = (x.height(), x.width());
-    let pad = p.k / 2;
-    let mut y = Tensor::zeros(&[p.out_ch, h, w]);
-    let hw = h * w;
-    let run = |oc_range: std::ops::Range<usize>, out: &mut [f32]| {
-        for (slot, oc) in oc_range.enumerate() {
-            for yy in 0..h {
-                for xx in 0..w {
-                    let mut acc = p.bias[oc];
-                    for ic in 0..p.in_ch {
-                        for dy in 0..p.k {
-                            let sy = yy + dy;
-                            if sy < pad || sy - pad >= h {
-                                continue;
-                            }
-                            for dx in 0..p.k {
-                                let sx = xx + dx;
-                                if sx < pad || sx - pad >= w {
-                                    continue;
-                                }
-                                acc += x.at(ic, sy - pad, sx - pad) * p.w(oc, ic, dy, dx);
-                            }
-                        }
-                    }
-                    out[slot * hw + yy * w + xx] = acc;
-                }
-            }
-        }
-    };
-    if p.out_ch >= PARALLEL_THRESHOLD {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(p.out_ch);
-        let chunk = p.out_ch.div_ceil(threads);
-        let data = y.data_mut();
-        std::thread::scope(|s| {
-            for (i, slice) in data.chunks_mut(chunk * hw).enumerate() {
-                let start = i * chunk;
-                let end = (start + slice.len() / hw).min(p.out_ch);
-                s.spawn(move || run(start..end, slice));
-            }
-        });
-    } else {
-        run(0..p.out_ch, y.data_mut());
-    }
-    y
+    crate::engine::conv_forward_single(x, p, crate::engine::default_resolved())
 }
 
 /// Standard convolution backward pass: returns `(dx, dweights, dbias)`.
 pub fn conv_backward(x: &Tensor, p: &ConvParams, dy: &Tensor) -> (Tensor, Vec<f32>, Vec<f32>) {
-    let (h, w) = (x.height(), x.width());
-    let pad = p.k / 2;
-    let mut dx = Tensor::zeros(&[p.in_ch, h, w]);
-    let mut dw = vec![0.0f32; p.weights.len()];
-    let mut db = vec![0.0f32; p.out_ch];
-    for oc in 0..p.out_ch {
-        for yy in 0..h {
-            for xx in 0..w {
-                let g = dy.at(oc, yy, xx);
-                if g == 0.0 {
-                    continue;
-                }
-                db[oc] += g;
-                for ic in 0..p.in_ch {
-                    for ddy in 0..p.k {
-                        let sy = yy + ddy;
-                        if sy < pad || sy - pad >= h {
-                            continue;
-                        }
-                        for ddx in 0..p.k {
-                            let sx = xx + ddx;
-                            if sx < pad || sx - pad >= w {
-                                continue;
-                            }
-                            let xi = x.at(ic, sy - pad, sx - pad);
-                            dw[((oc * p.in_ch + ic) * p.k + ddy) * p.k + ddx] += g * xi;
-                            *dx.at_mut(ic, sy - pad, sx - pad) += g * p.w(oc, ic, ddy, ddx);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    (dx, dw, db)
+    crate::engine::conv_backward_single(x, p, dy, crate::engine::default_resolved())
 }
 
-/// Depth-wise convolution forward pass, same padding, stride 1.
+/// Depth-wise convolution forward pass, same padding, stride 1, on the
+/// default compute engine (grouped im2col+GEMM).
 pub fn dwconv_forward(x: &Tensor, p: &DwConvParams) -> Tensor {
-    assert_eq!(x.channels(), p.ch, "dwconv channel mismatch");
-    let (h, w) = (x.height(), x.width());
-    let pad = p.k / 2;
-    let mut y = Tensor::zeros(&[p.ch, h, w]);
-    for c in 0..p.ch {
-        for yy in 0..h {
-            for xx in 0..w {
-                let mut acc = p.bias[c];
-                for dy in 0..p.k {
-                    let sy = yy + dy;
-                    if sy < pad || sy - pad >= h {
-                        continue;
-                    }
-                    for dx in 0..p.k {
-                        let sx = xx + dx;
-                        if sx < pad || sx - pad >= w {
-                            continue;
-                        }
-                        acc += x.at(c, sy - pad, sx - pad) * p.w(c, dy, dx);
-                    }
-                }
-                *y.at_mut(c, yy, xx) = acc;
-            }
-        }
-    }
-    y
+    crate::engine::dwconv_forward_single(x, p, crate::engine::default_resolved())
 }
 
 /// Depth-wise convolution backward pass: `(dx, dweights, dbias)`.
 pub fn dwconv_backward(x: &Tensor, p: &DwConvParams, dy: &Tensor) -> (Tensor, Vec<f32>, Vec<f32>) {
-    let (h, w) = (x.height(), x.width());
-    let pad = p.k / 2;
-    let mut dx = Tensor::zeros(&[p.ch, h, w]);
-    let mut dw = vec![0.0f32; p.weights.len()];
-    let mut db = vec![0.0f32; p.ch];
-    for c in 0..p.ch {
-        for yy in 0..h {
-            for xx in 0..w {
-                let g = dy.at(c, yy, xx);
-                if g == 0.0 {
-                    continue;
-                }
-                db[c] += g;
-                for ddy in 0..p.k {
-                    let sy = yy + ddy;
-                    if sy < pad || sy - pad >= h {
-                        continue;
-                    }
-                    for ddx in 0..p.k {
-                        let sx = xx + ddx;
-                        if sx < pad || sx - pad >= w {
-                            continue;
-                        }
-                        dw[(c * p.k + ddy) * p.k + ddx] += g * x.at(c, sy - pad, sx - pad);
-                        *dx.at_mut(c, sy - pad, sx - pad) += g * p.w(c, ddy, ddx);
-                    }
-                }
-            }
-        }
-    }
-    (dx, dw, db)
+    crate::engine::dwconv_backward_single(x, p, dy, crate::engine::default_resolved())
 }
 
-/// Max pooling with window `k` and stride `k`.
-pub fn maxpool_forward(x: &Tensor, k: usize) -> Tensor {
-    let (c, h, w) = (x.channels(), x.height(), x.width());
+// Slice-level kernels shared by the single-image and batched entry
+// points: each operates on one contiguous `C x H x W` slab, so the
+// batched variants can walk `Tensor::image` views with zero copies
+// while staying bit-identical to the per-image path.
+
+fn maxpool_core(x: &[f32], c: usize, h: usize, w: usize, k: usize, y: &mut [f32]) {
     let (oh, ow) = (h / k, w / k);
-    let mut y = Tensor::zeros(&[c, oh, ow]);
     for cc in 0..c {
         for yy in 0..oh {
             for xx in 0..ow {
                 let mut m = f32::NEG_INFINITY;
                 for dy in 0..k {
                     for dx in 0..k {
-                        m = m.max(x.at(cc, yy * k + dy, xx * k + dx));
+                        m = m.max(x[(cc * h + yy * k + dy) * w + xx * k + dx]);
                     }
                 }
-                *y.at_mut(cc, yy, xx) = m;
+                y[(cc * oh + yy) * ow + xx] = m;
             }
         }
     }
-    y
 }
 
-/// Max pooling backward: gradient routed to the arg-max element.
-pub fn maxpool_backward(x: &Tensor, k: usize, dy: &Tensor) -> Tensor {
-    let (c, h, w) = (x.channels(), x.height(), x.width());
+fn maxpool_backward_core(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    g: &[f32],
+    dx: &mut [f32],
+) {
     let (oh, ow) = (h / k, w / k);
-    let mut dx = Tensor::zeros(&[c, h, w]);
     for cc in 0..c {
         for yy in 0..oh {
             for xx in 0..ow {
                 let (mut best, mut by, mut bx) = (f32::NEG_INFINITY, 0, 0);
                 for dy_ in 0..k {
                     for dx_ in 0..k {
-                        let v = x.at(cc, yy * k + dy_, xx * k + dx_);
+                        let v = x[(cc * h + yy * k + dy_) * w + xx * k + dx_];
                         if v > best {
                             best = v;
                             by = yy * k + dy_;
@@ -298,53 +172,108 @@ pub fn maxpool_backward(x: &Tensor, k: usize, dy: &Tensor) -> Tensor {
                         }
                     }
                 }
-                *dx.at_mut(cc, by, bx) += dy.at(cc, yy, xx);
+                dx[(cc * h + by) * w + bx] += g[(cc * oh + yy) * ow + xx];
             }
         }
     }
-    dx
 }
 
-/// Average pooling with window `k` and stride `k`.
-pub fn avgpool_forward(x: &Tensor, k: usize) -> Tensor {
-    let (c, h, w) = (x.channels(), x.height(), x.width());
+fn avgpool_core(x: &[f32], c: usize, h: usize, w: usize, k: usize, y: &mut [f32]) {
     let (oh, ow) = (h / k, w / k);
     let norm = (k * k) as f32;
-    let mut y = Tensor::zeros(&[c, oh, ow]);
     for cc in 0..c {
         for yy in 0..oh {
             for xx in 0..ow {
                 let mut s = 0.0;
                 for dy in 0..k {
                     for dx in 0..k {
-                        s += x.at(cc, yy * k + dy, xx * k + dx);
+                        s += x[(cc * h + yy * k + dy) * w + xx * k + dx];
                     }
                 }
-                *y.at_mut(cc, yy, xx) = s / norm;
+                y[(cc * oh + yy) * ow + xx] = s / norm;
             }
         }
     }
+}
+
+fn avgpool_backward_core(c: usize, h: usize, w: usize, k: usize, g: &[f32], dx: &mut [f32]) {
+    let (oh, ow) = (h / k, w / k);
+    let norm = (k * k) as f32;
+    for cc in 0..c {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let gv = g[(cc * oh + yy) * ow + xx] / norm;
+                for dy_ in 0..k {
+                    for dx_ in 0..k {
+                        dx[(cc * h + yy * k + dy_) * w + xx * k + dx_] += gv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn scale_bias_core(x: &[f32], p: &ScaleBiasParams, plane: usize, y: &mut [f32]) {
+    for (cc, (&s, &b)) in p.scale.iter().zip(&p.bias).enumerate() {
+        for (yv, &xv) in y[cc * plane..(cc + 1) * plane]
+            .iter_mut()
+            .zip(&x[cc * plane..(cc + 1) * plane])
+        {
+            *yv = xv * s + b;
+        }
+    }
+}
+
+/// One image's scale-bias backward: writes `dx`, accumulates this
+/// image's subtotals into `ds` / `db` (callers keep per-image grouping).
+fn scale_bias_backward_core(
+    x: &[f32],
+    p: &ScaleBiasParams,
+    plane: usize,
+    g: &[f32],
+    dx: &mut [f32],
+    ds: &mut [f32],
+    db: &mut [f32],
+) {
+    for (cc, &s) in p.scale.iter().enumerate() {
+        for i in cc * plane..(cc + 1) * plane {
+            let gv = g[i];
+            ds[cc] += gv * x[i];
+            db[cc] += gv;
+            dx[i] = gv * s;
+        }
+    }
+}
+
+/// Max pooling with window `k` and stride `k`.
+pub fn maxpool_forward(x: &Tensor, k: usize) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let mut y = Tensor::zeros(&[c, h / k, w / k]);
+    maxpool_core(x.data(), c, h, w, k, y.data_mut());
+    y
+}
+
+/// Max pooling backward: gradient routed to the arg-max element.
+pub fn maxpool_backward(x: &Tensor, k: usize, dy: &Tensor) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let mut dx = Tensor::zeros(&[c, h, w]);
+    maxpool_backward_core(x.data(), c, h, w, k, dy.data(), dx.data_mut());
+    dx
+}
+
+/// Average pooling with window `k` and stride `k`.
+pub fn avgpool_forward(x: &Tensor, k: usize) -> Tensor {
+    let (c, h, w) = (x.channels(), x.height(), x.width());
+    let mut y = Tensor::zeros(&[c, h / k, w / k]);
+    avgpool_core(x.data(), c, h, w, k, y.data_mut());
     y
 }
 
 /// Average pooling backward: gradient spread uniformly over the window.
 pub fn avgpool_backward(x: &Tensor, k: usize, dy: &Tensor) -> Tensor {
     let (c, h, w) = (x.channels(), x.height(), x.width());
-    let (oh, ow) = (h / k, w / k);
-    let norm = (k * k) as f32;
     let mut dx = Tensor::zeros(&[c, h, w]);
-    for cc in 0..c {
-        for yy in 0..oh {
-            for xx in 0..ow {
-                let g = dy.at(cc, yy, xx) / norm;
-                for dy_ in 0..k {
-                    for dx_ in 0..k {
-                        *dx.at_mut(cc, yy * k + dy_, xx * k + dx_) += g;
-                    }
-                }
-            }
-        }
-    }
+    avgpool_backward_core(c, h, w, k, dy.data(), dx.data_mut());
     dx
 }
 
@@ -352,13 +281,7 @@ pub fn avgpool_backward(x: &Tensor, k: usize, dy: &Tensor) -> Tensor {
 pub fn scale_bias_forward(x: &Tensor, p: &ScaleBiasParams) -> Tensor {
     let (c, h, w) = (x.channels(), x.height(), x.width());
     let mut y = Tensor::zeros(&[c, h, w]);
-    for cc in 0..c {
-        for yy in 0..h {
-            for xx in 0..w {
-                *y.at_mut(cc, yy, xx) = x.at(cc, yy, xx) * p.scale[cc] + p.bias[cc];
-            }
-        }
-    }
+    scale_bias_core(x.data(), p, h * w, y.data_mut());
     y
 }
 
@@ -372,16 +295,15 @@ pub fn scale_bias_backward(
     let mut dx = Tensor::zeros(&[c, h, w]);
     let mut ds = vec![0.0f32; c];
     let mut db = vec![0.0f32; c];
-    for cc in 0..c {
-        for yy in 0..h {
-            for xx in 0..w {
-                let g = dy.at(cc, yy, xx);
-                ds[cc] += g * x.at(cc, yy, xx);
-                db[cc] += g;
-                *dx.at_mut(cc, yy, xx) = g * p.scale[cc];
-            }
-        }
-    }
+    scale_bias_backward_core(
+        x.data(),
+        p,
+        h * w,
+        dy.data(),
+        dx.data_mut(),
+        &mut ds,
+        &mut db,
+    );
     (dx, ds, db)
 }
 
@@ -435,6 +357,127 @@ pub fn gap_backward(x: &Tensor, dy: &Tensor) -> Tensor {
             for xx in 0..w {
                 *dx.at_mut(cc, yy, xx) = g;
             }
+        }
+    }
+    dx
+}
+
+/// Batched max pooling over an `N x C x H x W` tensor.
+pub fn maxpool_forward_batch(x: &Tensor, k: usize) -> Tensor {
+    let (n, c, h, w) = x.dims4();
+    let mut y = Tensor::zeros(&[n, c, h / k, w / k]);
+    for i in 0..n {
+        maxpool_core(x.image(i), c, h, w, k, y.image_mut(i));
+    }
+    y
+}
+
+/// Batched max-pooling backward pass.
+pub fn maxpool_backward_batch(x: &Tensor, k: usize, dy: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.dims4();
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    for i in 0..n {
+        maxpool_backward_core(x.image(i), c, h, w, k, dy.image(i), dx.image_mut(i));
+    }
+    dx
+}
+
+/// Batched average pooling over an `N x C x H x W` tensor.
+pub fn avgpool_forward_batch(x: &Tensor, k: usize) -> Tensor {
+    let (n, c, h, w) = x.dims4();
+    let mut y = Tensor::zeros(&[n, c, h / k, w / k]);
+    for i in 0..n {
+        avgpool_core(x.image(i), c, h, w, k, y.image_mut(i));
+    }
+    y
+}
+
+/// Batched average-pooling backward pass.
+pub fn avgpool_backward_batch(x: &Tensor, k: usize, dy: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.dims4();
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    for i in 0..n {
+        avgpool_backward_core(c, h, w, k, dy.image(i), dx.image_mut(i));
+    }
+    dx
+}
+
+/// Batched folded batch-norm forward pass.
+pub fn scale_bias_forward_batch(x: &Tensor, p: &ScaleBiasParams) -> Tensor {
+    let (n, _, h, w) = x.dims4();
+    let mut y = Tensor::zeros(x.shape());
+    for i in 0..n {
+        scale_bias_core(x.image(i), p, h * w, y.image_mut(i));
+    }
+    y
+}
+
+/// Batched folded batch-norm backward pass: `(dx, dscale, dbias)` with
+/// the parameter gradients summed over the batch as per-image subtotals
+/// in image order (matching the per-image accumulation path).
+pub fn scale_bias_backward_batch(
+    x: &Tensor,
+    p: &ScaleBiasParams,
+    dy: &Tensor,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let (n, c, h, w) = x.dims4();
+    let mut dx = Tensor::zeros(x.shape());
+    let mut ds = vec![0.0f32; c];
+    let mut db = vec![0.0f32; c];
+    let mut ds_img = vec![0.0f32; c];
+    let mut db_img = vec![0.0f32; c];
+    for i in 0..n {
+        ds_img.fill(0.0);
+        db_img.fill(0.0);
+        scale_bias_backward_core(
+            x.image(i),
+            p,
+            h * w,
+            dy.image(i),
+            dx.image_mut(i),
+            &mut ds_img,
+            &mut db_img,
+        );
+        for (d, s) in ds.iter_mut().zip(&ds_img) {
+            *d += s;
+        }
+        for (d, s) in db.iter_mut().zip(&db_img) {
+            *d += s;
+        }
+    }
+    (dx, ds, db)
+}
+
+/// Batched global average pooling: `N x C x H x W -> [N, C]`.
+pub fn gap_forward_batch(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.dims4();
+    let norm = (h * w) as f32;
+    let mut y = Tensor::zeros(&[n, c]);
+    for i in 0..n {
+        let img = x.image(i);
+        let row = y.image_mut(i);
+        for (cc, r) in row.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for &v in &img[cc * h * w..(cc + 1) * h * w] {
+                s += v;
+            }
+            *r = s / norm;
+        }
+    }
+    y
+}
+
+/// Batched global-average-pooling backward pass (`dy` is `[N, C]`).
+pub fn gap_backward_batch(x: &Tensor, dy: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.dims4();
+    let norm = (h * w) as f32;
+    let mut dx = Tensor::zeros(x.shape());
+    for i in 0..n {
+        let row = dy.image(i);
+        let img = dx.image_mut(i);
+        for cc in 0..c {
+            let g = row[cc] / norm;
+            img[cc * h * w..(cc + 1) * h * w].fill(g);
         }
     }
     dx
@@ -518,6 +561,39 @@ mod tests {
             assert!((g - 16.0).abs() < 1e-4);
         }
         assert_eq!(dw.len(), p.weights.len());
+    }
+
+    #[test]
+    fn even_kernel_conv_keeps_size_and_gradients_check_out() {
+        // Even kernel sizes also run as "same"-size convolutions (the
+        // output grid stays the input grid); the transposed-conv
+        // backward pads with k-1-pad, so the gradient must still match
+        // finite differences.
+        let x = ramp_tensor(&[2, 5, 6]);
+        let p = ramp_params(2, 2, 3);
+        let y = conv_forward(&x, &p);
+        assert_eq!(y.shape(), &[3, 5, 6]);
+        let dy = Tensor::full(y.shape(), 1.0);
+        let (dx, dw, db) = conv_backward(&x, &p, &dy);
+        let f = |x: &Tensor| conv_forward(x, &p).data().iter().sum::<f32>();
+        finite_diff_check(&f, &dx, &x, &[(0, 0, 0), (1, 2, 3), (0, 4, 5)]);
+        assert_eq!(dw.len(), p.weights.len());
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn even_kernel_dwconv_gradients_check_out() {
+        let x = ramp_tensor(&[3, 4, 6]);
+        let mut p = DwConvParams::zeros(4, 3);
+        for (i, w) in p.weights.iter_mut().enumerate() {
+            *w = ((i % 7) as f32 - 3.0) * 0.05;
+        }
+        let y = dwconv_forward(&x, &p);
+        assert_eq!(y.shape(), x.shape());
+        let dy = Tensor::full(y.shape(), 1.0);
+        let (dx, _, _) = dwconv_backward(&x, &p, &dy);
+        let f = |x: &Tensor| dwconv_forward(x, &p).data().iter().sum::<f32>();
+        finite_diff_check(&f, &dx, &x, &[(0, 0, 0), (2, 3, 5), (1, 1, 2)]);
     }
 
     #[test]

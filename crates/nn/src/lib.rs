@@ -4,19 +4,27 @@
 //! its accuracy (Fig. 1 includes a "DNN training framework" fed by
 //! Auto-DNN). This crate is that substrate, built from scratch in Rust:
 //!
-//! * [`tensor`] — a dense `f32` tensor in `C x H x W` layout with the
-//!   arithmetic needed by the layer zoo.
+//! * [`tensor`] — a dense `f32` tensor in `C x H x W` layout (with an
+//!   `N x C x H x W` batch view) and the arithmetic needed by the
+//!   layer zoo.
 //! * [`layers`] — forward and backward passes for every operator in the
 //!   co-design IP pool: convolution, depth-wise convolution, max / avg
 //!   pooling, folded batch-norm (scale + bias), the `Relu` / `Relu4` /
 //!   `Relu8` activations and global average pooling.
+//! * [`engine`], [`gemm`], [`im2col`] — the batched compute engine:
+//!   convolutions lowered to blocked, multi-threaded matrix multiplies
+//!   with a bit-reproducibility contract (any worker count, batched or
+//!   per-image, GEMM or naive — same bits).
+//! * [`mod@reference`] — the retained naive convolution kernels the engine
+//!   is verified against.
 //! * [`network`] — compiles a [`codesign_dnn::Dnn`] into an executable,
 //!   trainable network; SGD with momentum.
 //! * [`quantized`] — post-training int8 / int16 quantized inference that
 //!   mirrors the accelerator's fixed-point arithmetic, so quantization
 //!   accuracy loss is measurable in software.
 //! * [`train`] — the training loop: mini-batch SGD on a bounding-box
-//!   regression loss, matching the paper's 20-epoch proxy training.
+//!   regression loss, matching the paper's 20-epoch proxy training;
+//!   executes whole mini-batches through the GEMM engine.
 //!
 //! # Example
 //!
@@ -41,12 +49,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+pub mod gemm;
+pub mod im2col;
 pub mod layers;
 pub mod network;
 pub mod quantized;
+pub mod reference;
 pub mod tensor;
 pub mod train;
 
+pub use engine::Engine;
 pub use network::Network;
 pub use quantized::QuantizedNetwork;
 pub use tensor::Tensor;

@@ -1,10 +1,16 @@
 //! Executable, trainable networks compiled from the co-design DNN IR.
 
+use crate::engine::{
+    conv_backward_batch, conv_backward_single, conv_forward_batch, conv_forward_single,
+    dwconv_backward_batch, dwconv_backward_single, dwconv_forward_batch, dwconv_forward_single,
+    Engine,
+};
 use crate::layers::{
-    activation_backward, activation_forward, avgpool_backward, avgpool_forward, conv_backward,
-    conv_forward, dwconv_backward, dwconv_forward, gap_backward, gap_forward, maxpool_backward,
-    maxpool_forward, scale_bias_backward, scale_bias_forward, ConvParams, DwConvParams,
-    ScaleBiasParams,
+    activation_backward, activation_forward, avgpool_backward, avgpool_backward_batch,
+    avgpool_forward, avgpool_forward_batch, gap_backward, gap_backward_batch, gap_forward,
+    gap_forward_batch, maxpool_backward, maxpool_backward_batch, maxpool_forward,
+    maxpool_forward_batch, scale_bias_backward, scale_bias_backward_batch, scale_bias_forward,
+    scale_bias_forward_batch, ConvParams, DwConvParams, ScaleBiasParams,
 };
 use crate::tensor::Tensor;
 use codesign_dnn::layer::{LayerOp, PoolKind};
@@ -88,6 +94,7 @@ pub struct Network {
     layers: Vec<NnLayer>,
     state: Vec<LayerState>,
     input_shape: [usize; 3],
+    engine: Engine,
 }
 
 impl Network {
@@ -138,12 +145,34 @@ impl Network {
             layers,
             state,
             input_shape: [s.c, s.h, s.w],
+            engine: Engine::default().resolved(),
         })
     }
 
     /// The expected input shape `[c, h, w]`.
     pub fn input_shape(&self) -> [usize; 3] {
         self.input_shape
+    }
+
+    /// The convolution compute engine in use.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Selects the convolution compute engine. The engine changes *how*
+    /// convolutions execute, never *what* they compute: results are
+    /// bit-identical across engines and worker counts. An `Auto` worker
+    /// count is pinned to the core count here, once, so the per-layer
+    /// hot path never re-queries the scheduler.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine.resolved();
+    }
+
+    /// Builder-style variant of [`Network::set_engine`].
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.set_engine(engine);
+        self
     }
 
     /// The executable layers.
@@ -164,10 +193,10 @@ impl Network {
             .sum()
     }
 
-    fn forward_layer(layer: &NnLayer, x: &Tensor) -> Tensor {
+    fn forward_layer(layer: &NnLayer, x: &Tensor, engine: Engine) -> Tensor {
         match layer {
-            NnLayer::Conv(p) => conv_forward(x, p),
-            NnLayer::DwConv(p) => dwconv_forward(x, p),
+            NnLayer::Conv(p) => conv_forward_single(x, p, engine),
+            NnLayer::DwConv(p) => dwconv_forward_single(x, p, engine),
             NnLayer::MaxPool(k) => maxpool_forward(x, *k),
             NnLayer::AvgPool(k) => avgpool_forward(x, *k),
             NnLayer::ScaleBias(p) => scale_bias_forward(x, p),
@@ -176,11 +205,37 @@ impl Network {
         }
     }
 
+    fn forward_layer_batch(layer: &NnLayer, x: &Tensor, engine: Engine) -> Tensor {
+        match layer {
+            NnLayer::Conv(p) => conv_forward_batch(x, p, engine),
+            NnLayer::DwConv(p) => dwconv_forward_batch(x, p, engine),
+            NnLayer::MaxPool(k) => maxpool_forward_batch(x, *k),
+            NnLayer::AvgPool(k) => avgpool_forward_batch(x, *k),
+            NnLayer::ScaleBias(p) => scale_bias_forward_batch(x, p),
+            // Activations are element-wise and rank-agnostic.
+            NnLayer::Act(a) => activation_forward(x, *a),
+            NnLayer::Gap => gap_forward_batch(x),
+        }
+    }
+
     /// Inference: runs the network on one image.
     pub fn forward(&self, image: &Tensor) -> Tensor {
         let mut x = image.clone();
         for layer in &self.layers {
-            x = Self::forward_layer(layer, &x);
+            x = Self::forward_layer(layer, &x, self.engine);
+        }
+        x
+    }
+
+    /// Batched inference: runs the network on an `N x C x H x W` batch
+    /// (see [`Tensor::stack`]), returning one output row per image.
+    ///
+    /// Row `n` of the result is bit-identical to
+    /// `self.forward(&batch.unstack()[n])`.
+    pub fn forward_batch(&self, batch: &Tensor) -> Tensor {
+        let mut x = batch.clone();
+        for layer in &self.layers {
+            x = Self::forward_layer_batch(layer, &x, self.engine);
         }
         x
     }
@@ -192,7 +247,20 @@ impl Network {
         let mut x = image.clone();
         for layer in &self.layers {
             cache.push(x.clone());
-            x = Self::forward_layer(layer, &x);
+            x = Self::forward_layer(layer, &x, self.engine);
+        }
+        (x, cache)
+    }
+
+    /// Batched training forward pass: like [`Network::forward_train`]
+    /// but over an `N x C x H x W` batch, caching batched activations
+    /// for [`Network::backward_batch`].
+    pub fn forward_train_batch(&self, batch: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let mut cache = Vec::with_capacity(self.layers.len());
+        let mut x = batch.clone();
+        for layer in &self.layers {
+            cache.push(x.clone());
+            x = Self::forward_layer_batch(layer, &x, self.engine);
         }
         (x, cache)
     }
@@ -207,17 +275,18 @@ impl Network {
     /// pass (length mismatch).
     pub fn backward(&mut self, cache: &[Tensor], grad_out: &Tensor) {
         assert_eq!(cache.len(), self.layers.len(), "stale training cache");
+        let engine = self.engine;
         let mut g = grad_out.clone();
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let x = &cache[i];
             g = match layer {
                 NnLayer::Conv(p) => {
-                    let (dx, dw, db) = conv_backward(x, p, &g);
+                    let (dx, dw, db) = conv_backward_single(x, p, &g, engine);
                     accumulate(&mut self.state[i], &dw, &db);
                     dx
                 }
                 NnLayer::DwConv(p) => {
-                    let (dx, dw, db) = dwconv_backward(x, p, &g);
+                    let (dx, dw, db) = dwconv_backward_single(x, p, &g, engine);
                     accumulate(&mut self.state[i], &dw, &db);
                     dx
                 }
@@ -230,6 +299,49 @@ impl Network {
                 }
                 NnLayer::Act(a) => activation_backward(x, *a, &g),
                 NnLayer::Gap => gap_backward(x, &g),
+            };
+        }
+    }
+
+    /// Batched backward pass: accumulates parameter gradients from
+    /// `grad_out` (one loss-gradient row per image, `[N, out]`) using
+    /// the cache from [`Network::forward_train_batch`].
+    ///
+    /// Parameter gradients are summed over the batch as **per-image
+    /// subtotals in image order**, so one batched call accumulates
+    /// bit-identical state to `N` per-image [`Network::backward`] calls
+    /// — the mini-batch SGD semantics are engine-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cache` does not come from this network's batched
+    /// forward pass (length mismatch).
+    pub fn backward_batch(&mut self, cache: &[Tensor], grad_out: &Tensor) {
+        assert_eq!(cache.len(), self.layers.len(), "stale training cache");
+        let engine = self.engine;
+        let mut g = grad_out.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let x = &cache[i];
+            g = match layer {
+                NnLayer::Conv(p) => {
+                    let (dx, dw, db) = conv_backward_batch(x, p, &g, engine);
+                    accumulate(&mut self.state[i], &dw, &db);
+                    dx
+                }
+                NnLayer::DwConv(p) => {
+                    let (dx, dw, db) = dwconv_backward_batch(x, p, &g, engine);
+                    accumulate(&mut self.state[i], &dw, &db);
+                    dx
+                }
+                NnLayer::MaxPool(k) => maxpool_backward_batch(x, *k, &g),
+                NnLayer::AvgPool(k) => avgpool_backward_batch(x, *k, &g),
+                NnLayer::ScaleBias(p) => {
+                    let (dx, ds, db) = scale_bias_backward_batch(x, p, &g);
+                    accumulate(&mut self.state[i], &ds, &db);
+                    dx
+                }
+                NnLayer::Act(a) => activation_backward(x, *a, &g),
+                NnLayer::Gap => gap_backward_batch(x, &g),
             };
         }
     }

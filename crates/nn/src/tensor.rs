@@ -1,13 +1,16 @@
-//! Dense `f32` tensors in channel-major (`C x H x W`) layout.
+//! Dense `f32` tensors in channel-major (`C x H x W`) layout, with an
+//! `N x C x H x W` batch view for the GEMM compute engine.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense tensor of `f32` values.
 ///
-/// The runtime works on single images in `C x H x W` layout; batches are
-/// expressed as slices of tensors. Rank-1 tensors (e.g. the 4-vector of
-/// box outputs) are shaped `[n]`.
+/// Single images are rank-3 `C x H x W`; a mini-batch is a rank-4
+/// `N x C x H x W` tensor built with [`Tensor::stack`], whose per-image
+/// slabs are contiguous (see [`Tensor::image`]). Rank-1 tensors (e.g.
+/// the 4-vector of box outputs) are shaped `[n]`; batched network
+/// outputs are rank-2 `[N, n]` with one row per image.
 ///
 /// # Example
 ///
@@ -90,6 +93,96 @@ impl Tensor {
     /// Mutable view of the raw data.
     pub fn data_mut(&mut self) -> &mut [f32] {
         &mut self.data
+    }
+
+    /// Stacks rank-3 `C x H x W` images into one rank-4 `N x C x H x W`
+    /// batch tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `images` is empty, an image is not rank 3, or the
+    /// shapes disagree.
+    pub fn stack(images: &[Tensor]) -> Tensor {
+        assert!(!images.is_empty(), "cannot stack an empty batch");
+        let first = images[0].shape();
+        assert_eq!(first.len(), 3, "stack() needs CxHxW images");
+        let mut data = Vec::with_capacity(images.len() * images[0].len());
+        for img in images {
+            assert_eq!(img.shape(), first, "stack() needs uniform image shapes");
+            data.extend_from_slice(img.data());
+        }
+        Tensor::from_vec(&[images.len(), first[0], first[1], first[2]], data)
+    }
+
+    /// Splits a rank-4 batch back into rank-3 images (the inverse of
+    /// [`Tensor::stack`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for tensors that are not rank 4.
+    pub fn unstack(&self) -> Vec<Tensor> {
+        assert_eq!(self.shape.len(), 4, "unstack() needs an NxCxHxW tensor");
+        let shape3 = [self.shape[1], self.shape[2], self.shape[3]];
+        (0..self.batch())
+            .map(|n| Tensor::from_vec(&shape3, self.image(n).to_vec()))
+            .collect()
+    }
+
+    /// Leading-axis length: the batch size of a rank-2 or rank-4 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics for rank-1 / rank-3 (single-image) tensors.
+    pub fn batch(&self) -> usize {
+        assert!(
+            self.shape.len() == 2 || self.shape.len() == 4,
+            "batch() needs an NxCxHxW or Nxm tensor, got {:?}",
+            self.shape
+        );
+        self.shape[0]
+    }
+
+    /// Contiguous slice of one leading-axis element: image `n` of a
+    /// rank-4 batch (a `C*H*W` slab) or row `n` of a rank-2 output.
+    ///
+    /// # Panics
+    ///
+    /// Panics for rank-1 / rank-3 (single-image) tensors, like
+    /// [`Tensor::batch`] — a lone image must be [`Tensor::stack`]ed
+    /// before the batch slab API applies.
+    pub fn image(&self, n: usize) -> &[f32] {
+        let stride = self.image_len();
+        &self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Mutable variant of [`Tensor::image`].
+    pub fn image_mut(&mut self, n: usize) -> &mut [f32] {
+        let stride = self.image_len();
+        &mut self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Element count of one leading-axis slab (`len / batch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for rank-1 / rank-3 (single-image) tensors.
+    pub fn image_len(&self) -> usize {
+        self.data.len() / self.batch()
+    }
+
+    /// Shape of a rank-4 batch tensor as `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for tensors that are not rank 4.
+    pub(crate) fn dims4(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(
+            self.shape.len(),
+            4,
+            "batched ops need an NxCxHxW tensor, got {:?}",
+            self.shape
+        );
+        (self.shape[0], self.shape[1], self.shape[2], self.shape[3])
     }
 
     /// Channel count for a rank-3 tensor.
@@ -204,6 +297,33 @@ mod tests {
     #[should_panic(expected = "does not match data length")]
     fn from_vec_checks_length() {
         let _ = Tensor::from_vec(&[2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn stack_and_unstack_round_trip() {
+        let a = Tensor::full(&[2, 3, 4], 1.0);
+        let mut b = Tensor::full(&[2, 3, 4], 2.0);
+        *b.at_mut(1, 2, 3) = -5.0;
+        let batch = Tensor::stack(&[a.clone(), b.clone()]);
+        assert_eq!(batch.shape(), &[2, 2, 3, 4]);
+        assert_eq!(batch.batch(), 2);
+        assert_eq!(batch.image_len(), 24);
+        assert_eq!(batch.image(0), a.data());
+        assert_eq!(batch.image(1), b.data());
+        assert_eq!(batch.unstack(), vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform image shapes")]
+    fn stack_rejects_mixed_shapes() {
+        let _ = Tensor::stack(&[Tensor::zeros(&[1, 2, 2]), Tensor::zeros(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn rank2_rows_via_image() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.batch(), 2);
+        assert_eq!(t.image(1), &[4.0, 5.0, 6.0]);
     }
 
     #[test]

@@ -5,6 +5,17 @@
 //! in the experiment)" (Sec. 5.1.1). The trainer reproduces that proxy
 //! training: mean-squared-error regression of the normalized
 //! `(cx, cy, w, h)` box against seeded synthetic data.
+//!
+//! # Mini-batch semantics (pinned)
+//!
+//! Gradients accumulate across every image of a batch and
+//! [`Network::sgd_step`] fires **once per batch** with the learning
+//! rate divided by the batch length. Under [`crate::engine::Engine::Gemm`]
+//! the whole batch executes as one stacked `N x C x H x W` pass (one
+//! GEMM per layer); under [`crate::engine::Engine::Reference`] images
+//! run one at a time through the naive kernels. Both produce
+//! bit-identical parameter updates — the batched path sums per-image
+//! gradient subtotals in image order, exactly like the per-image loop.
 
 use crate::network::Network;
 use crate::tensor::Tensor;
@@ -75,27 +86,85 @@ impl Trainer {
         &self.config
     }
 
-    /// Mean-squared-error loss and its gradient for one sample.
-    pub fn mse_loss(output: &Tensor, target: &[f32; 4]) -> (f32, Tensor) {
+    /// Mean-squared-error loss and gradient over a raw output slice.
+    fn mse_loss_slice(output: &[f32], target: &[f32; 4]) -> (f32, Vec<f32>) {
         let n = output.len().min(4);
-        let mut grad = Tensor::zeros(output.shape());
+        let mut grad = vec![0.0f32; output.len()];
         let mut loss = 0.0f32;
         for (i, t) in target.iter().enumerate().take(n) {
-            let d = output.data()[i] - t;
+            let d = output[i] - t;
             loss += d * d;
-            grad.data_mut()[i] = 2.0 * d / n as f32;
+            grad[i] = 2.0 * d / n as f32;
         }
         (loss / n as f32, grad)
     }
 
+    /// Mean-squared-error loss and its gradient for one sample.
+    pub fn mse_loss(output: &Tensor, target: &[f32; 4]) -> (f32, Tensor) {
+        let (loss, grad) = Self::mse_loss_slice(output.data(), target);
+        (loss, Tensor::from_vec(output.shape(), grad))
+    }
+
     /// Trains `net` on `(images, boxes)` pairs and reports the loss
     /// trajectory.
+    ///
+    /// The execution strategy follows [`Network::engine`]: whole
+    /// mini-batches through the GEMM engine, or the per-image legacy
+    /// loop under [`crate::engine::Engine::Reference`] — with bit-identical parameter
+    /// updates either way (see the module docs).
     ///
     /// # Panics
     ///
     /// Panics when `images` and `boxes` differ in length or the dataset
     /// is empty.
     pub fn train(&self, net: &mut Network, images: &[Tensor], boxes: &[[f32; 4]]) -> TrainReport {
+        assert_eq!(images.len(), boxes.len(), "images / boxes length mismatch");
+        assert!(!images.is_empty(), "empty training set");
+        if net.engine().is_reference() {
+            return self.train_per_image(net, images, boxes);
+        }
+        let bs = self.config.batch_size.max(1);
+        // The batch tensors never change across epochs — stack once.
+        let batches: Vec<(Tensor, &[[f32; 4]])> = images
+            .chunks(bs)
+            .zip(boxes.chunks(bs))
+            .map(|(bi, bb)| (Tensor::stack(bi), bb))
+            .collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for _epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f32;
+            for (batch, batch_boxes) in &batches {
+                let (out, cache) = net.forward_train_batch(batch);
+                let mut grad = Tensor::zeros(out.shape());
+                for (i, target) in batch_boxes.iter().enumerate() {
+                    let (loss, g) = Self::mse_loss_slice(out.image(i), target);
+                    epoch_loss += loss;
+                    grad.image_mut(i).copy_from_slice(&g);
+                }
+                net.backward_batch(&cache, &grad);
+                net.sgd_step(
+                    self.config.learning_rate / batch_boxes.len() as f32,
+                    self.config.momentum,
+                );
+            }
+            epoch_losses.push(epoch_loss / images.len() as f32);
+        }
+        TrainReport { epoch_losses }
+    }
+
+    /// The legacy per-image training loop: one forward/backward per
+    /// image, gradients accumulating across the batch, one
+    /// [`Network::sgd_step`] per batch.
+    ///
+    /// [`Trainer::train`] uses this path under [`crate::engine::Engine::Reference`];
+    /// it stays public as the executable definition of the mini-batch
+    /// SGD semantics the batched path is tested against.
+    pub fn train_per_image(
+        &self,
+        net: &mut Network,
+        images: &[Tensor],
+        boxes: &[[f32; 4]],
+    ) -> TrainReport {
         assert_eq!(images.len(), boxes.len(), "images / boxes length mismatch");
         assert!(!images.is_empty(), "empty training set");
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
@@ -121,16 +190,28 @@ impl Trainer {
 
     /// Mean IoU-style evaluation hook: average loss of `net` on a
     /// held-out set (lower is better; IoU proper lives in the dataset
-    /// crate, which owns box geometry).
+    /// crate, which owns box geometry). Runs batched under the GEMM
+    /// engine, per-image under [`crate::engine::Engine::Reference`], with identical
+    /// results.
     pub fn evaluate_loss(&self, net: &Network, images: &[Tensor], boxes: &[[f32; 4]]) -> f32 {
         assert_eq!(images.len(), boxes.len());
         if images.is_empty() {
             return f32::INFINITY;
         }
         let mut total = 0.0f32;
-        for (image, target) in images.iter().zip(boxes) {
-            let out = net.forward(image);
-            total += Self::mse_loss(&out, target).0;
+        if net.engine().is_reference() {
+            for (image, target) in images.iter().zip(boxes) {
+                let out = net.forward(image);
+                total += Self::mse_loss(&out, target).0;
+            }
+        } else {
+            let bs = self.config.batch_size.max(1);
+            for (batch_images, batch_boxes) in images.chunks(bs).zip(boxes.chunks(bs)) {
+                let out = net.forward_batch(&Tensor::stack(batch_images));
+                for (i, target) in batch_boxes.iter().enumerate() {
+                    total += Self::mse_loss_slice(out.image(i), target).0;
+                }
+            }
         }
         total / images.len() as f32
     }

@@ -1,0 +1,237 @@
+//! The compute-engine contract: the im2col+GEMM path is **bit-identical**
+//! to the retained naive reference kernels — forward and backward, for
+//! any shape, kernel size and worker count, batched or per-image — and
+//! mini-batch SGD produces identical parameter updates on either path.
+
+use codesign_dnn::builder::DnnBuilder;
+use codesign_dnn::bundle::{bundle_by_id, BundleId};
+use codesign_dnn::space::DesignPoint;
+use codesign_dnn::TensorShape;
+use codesign_nn::engine::{
+    conv_backward_batch, conv_backward_single, conv_forward_batch, conv_forward_single,
+    dwconv_backward_batch, dwconv_backward_single, dwconv_forward_batch, dwconv_forward_single,
+};
+use codesign_nn::layers::{ConvParams, DwConvParams};
+use codesign_nn::train::{TrainConfig, Trainer};
+use codesign_nn::{Engine, Network, Tensor};
+use codesign_parallel::Parallelism;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.random_range(-1.0..1.0)).collect())
+}
+
+fn rng_conv(k: usize, ic: usize, oc: usize, rng: &mut StdRng) -> ConvParams {
+    let mut p = ConvParams::zeros(k, ic, oc);
+    for w in &mut p.weights {
+        *w = rng.random_range(-0.5..0.5);
+    }
+    for b in &mut p.bias {
+        *b = rng.random_range(-0.2..0.2);
+    }
+    p
+}
+
+fn rng_dwconv(k: usize, ch: usize, rng: &mut StdRng) -> DwConvParams {
+    let mut p = DwConvParams::zeros(k, ch);
+    for w in &mut p.weights {
+        *w = rng.random_range(-0.5..0.5);
+    }
+    for b in &mut p.bias {
+        *b = rng.random_range(-0.2..0.2);
+    }
+    p
+}
+
+// Odd and even sizes: even kernels keep the input grid too, via the
+// explicit-grid lowering and k-1-pad transposed-conv padding.
+const KERNELS: [usize; 5] = [1, 2, 3, 4, 5];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Forward + backward of the standard convolution: GEMM at any
+    /// worker count, batched or not, equals the naive reference bit for
+    /// bit.
+    #[test]
+    fn prop_conv_matches_reference_bitwise(
+        seed in 0u64..1000,
+        n in 1usize..4,
+        ic in 1usize..5,
+        oc in 1usize..7,
+        h in 1usize..9,
+        w in 1usize..9,
+        k_idx in 0usize..5,
+        threads in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = KERNELS[k_idx];
+        let p = rng_conv(k, ic, oc, &mut rng);
+        let images: Vec<Tensor> = (0..n).map(|_| rng_tensor(&[ic, h, w], &mut rng)).collect();
+        let batch = Tensor::stack(&images);
+        let gemm = Engine::Gemm(Parallelism::Fixed(threads));
+
+        let y_ref = conv_forward_batch(&batch, &p, Engine::Reference);
+        let y_gemm = conv_forward_batch(&batch, &p, gemm);
+        prop_assert_eq!(&y_ref, &y_gemm);
+        // Per-image entry point agrees with the batched rows.
+        let y_single = conv_forward_single(&images[0], &p, gemm);
+        prop_assert_eq!(y_single.data(), y_gemm.image(0));
+
+        let dy: Vec<Tensor> = (0..n).map(|_| rng_tensor(&[oc, h, w], &mut rng)).collect();
+        let dy_batch = Tensor::stack(&dy);
+        let (dx_r, dw_r, db_r) = conv_backward_batch(&batch, &p, &dy_batch, Engine::Reference);
+        let (dx_g, dw_g, db_g) = conv_backward_batch(&batch, &p, &dy_batch, gemm);
+        prop_assert_eq!(&dx_r, &dx_g);
+        prop_assert_eq!(&dw_r, &dw_g);
+        prop_assert_eq!(&db_r, &db_g);
+        let (dx_1, _, _) = conv_backward_single(&images[0], &p, &dy[0], gemm);
+        prop_assert_eq!(dx_1.data(), dx_g.image(0));
+    }
+
+    /// Same contract for the depth-wise convolution (grouped GEMM).
+    #[test]
+    fn prop_dwconv_matches_reference_bitwise(
+        seed in 0u64..1000,
+        n in 1usize..4,
+        ch in 1usize..6,
+        h in 1usize..9,
+        w in 1usize..9,
+        k_idx in 0usize..5,
+        threads in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = KERNELS[k_idx];
+        let p = rng_dwconv(k, ch, &mut rng);
+        let images: Vec<Tensor> = (0..n).map(|_| rng_tensor(&[ch, h, w], &mut rng)).collect();
+        let batch = Tensor::stack(&images);
+        let gemm = Engine::Gemm(Parallelism::Fixed(threads));
+
+        let y_ref = dwconv_forward_batch(&batch, &p, Engine::Reference);
+        let y_gemm = dwconv_forward_batch(&batch, &p, gemm);
+        prop_assert_eq!(&y_ref, &y_gemm);
+        let y_single = dwconv_forward_single(&images[0], &p, gemm);
+        prop_assert_eq!(y_single.data(), y_gemm.image(0));
+
+        let dy: Vec<Tensor> = (0..n).map(|_| rng_tensor(&[ch, h, w], &mut rng)).collect();
+        let dy_batch = Tensor::stack(&dy);
+        let (dx_r, dw_r, db_r) = dwconv_backward_batch(&batch, &p, &dy_batch, Engine::Reference);
+        let (dx_g, dw_g, db_g) = dwconv_backward_batch(&batch, &p, &dy_batch, gemm);
+        prop_assert_eq!(&dx_r, &dx_g);
+        prop_assert_eq!(&dw_r, &dw_g);
+        prop_assert_eq!(&db_r, &db_g);
+        let (dx_1, _, _) = dwconv_backward_single(&images[0], &p, &dy[0], gemm);
+        prop_assert_eq!(dx_1.data(), dx_g.image(0));
+    }
+}
+
+fn tiny_net(seed: u64) -> Network {
+    let b = bundle_by_id(BundleId(13)).unwrap();
+    let mut p = DesignPoint::initial(b, 1);
+    p.base_channels = 8;
+    let dnn = DnnBuilder::new()
+        .input(TensorShape::new(3, 8, 16))
+        .build(&p)
+        .unwrap();
+    Network::from_dnn(&dnn, seed).unwrap()
+}
+
+fn synthetic_set(n: usize, seed: u64) -> (Vec<Tensor>, Vec<[f32; 4]>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut images = Vec::new();
+    let mut boxes = Vec::new();
+    for _ in 0..n {
+        images.push(rng_tensor(&[3, 8, 16], &mut rng));
+        boxes.push([
+            rng.random_range(0.2..0.8),
+            rng.random_range(0.2..0.8),
+            0.3,
+            0.3,
+        ]);
+    }
+    (images, boxes)
+}
+
+#[test]
+fn batched_network_forward_matches_per_image() {
+    let net = tiny_net(11);
+    let (images, _) = synthetic_set(5, 3);
+    let out = net.forward_batch(&Tensor::stack(&images));
+    assert_eq!(out.shape(), &[5, 4]);
+    for (i, img) in images.iter().enumerate() {
+        assert_eq!(
+            out.image(i),
+            net.forward(img).data(),
+            "batched row {i} diverged from per-image forward"
+        );
+    }
+}
+
+/// The pinned mini-batch SGD semantics: per-image execution (reference
+/// engine) and batched GEMM execution produce **identical** parameter
+/// updates for the same seed — gradients accumulate across the batch
+/// and `sgd_step` fires once per batch on both paths.
+#[test]
+fn per_image_and_batched_training_update_parameters_identically() {
+    let (images, boxes) = synthetic_set(12, 7);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 3,
+        learning_rate: 0.05,
+        momentum: 0.9,
+        batch_size: 5, // uneven final batch on purpose
+    });
+
+    let mut per_image = tiny_net(21).with_engine(Engine::Reference);
+    let report_ref = trainer.train(&mut per_image, &images, &boxes);
+
+    for threads in [1, 4] {
+        let mut batched = tiny_net(21).with_engine(Engine::Gemm(Parallelism::Fixed(threads)));
+        let report = trainer.train(&mut batched, &images, &boxes);
+        assert_eq!(
+            per_image.layers(),
+            batched.layers(),
+            "parameters diverged at {threads} workers"
+        );
+        assert_eq!(
+            report_ref.epoch_losses, report.epoch_losses,
+            "loss trajectory diverged at {threads} workers"
+        );
+        assert_eq!(
+            trainer.evaluate_loss(&per_image, &images, &boxes),
+            trainer.evaluate_loss(&batched, &images, &boxes)
+        );
+    }
+}
+
+/// `sgd_step` applies the accumulated batch gradient exactly once: a
+/// batched `train` epoch equals manually accumulating per-image
+/// backward passes and stepping once per batch.
+#[test]
+fn sgd_steps_once_per_batch() {
+    let (images, boxes) = synthetic_set(6, 9);
+    let (lr, momentum, bs) = (0.05f32, 0.9f32, 3usize);
+
+    let mut manual = tiny_net(33).with_engine(Engine::Reference);
+    for (bi, bb) in images.chunks(bs).zip(boxes.chunks(bs)) {
+        for (image, target) in bi.iter().zip(bb) {
+            let (out, cache) = manual.forward_train(image);
+            let (_, grad) = Trainer::mse_loss(&out, target);
+            manual.backward(&cache, &grad);
+        }
+        manual.sgd_step(lr / bi.len() as f32, momentum);
+    }
+
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        learning_rate: lr,
+        momentum,
+        batch_size: bs,
+    });
+    let mut batched = tiny_net(33).with_engine(Engine::Gemm(Parallelism::Fixed(2)));
+    trainer.train(&mut batched, &images, &boxes);
+
+    assert_eq!(manual.layers(), batched.layers());
+}

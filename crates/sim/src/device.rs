@@ -148,6 +148,24 @@ pub fn ultra96() -> FpgaDevice {
     }
 }
 
+/// The ZCU104 evaluation board (Zynq UltraScale+ XCZU7EV), a
+/// mid-range embedded platform well above the Ultra96: 1,728 DSP48E2
+/// slices, 230,400 LUTs, 460,800 FFs and 312 x 36 Kb BRAM blocks
+/// (URAM ignored by the Tile-Arch model), with a wider PS-PL memory
+/// interface. Widens the portability study beyond the paper's
+/// DAC-SDC-class devices.
+pub fn zcu104() -> FpgaDevice {
+    FpgaDevice {
+        name: "ZCU104 (XCZU7EV)".into(),
+        dsp: 1_728,
+        lut: 230_400,
+        ff: 460_800,
+        bram_18k: 624, // 312 x 36 Kb = 624 x 18 Kb
+        dram_bytes_per_cycle: 25.6,
+        clock_mhz: vec![150.0, 200.0, 300.0],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +186,34 @@ mod tests {
         let (p, u) = (pynq_z1(), ultra96());
         assert!(u.dsp > p.dsp && u.lut > p.lut && u.bram_18k > p.bram_18k);
         u.validate().unwrap();
+    }
+
+    #[test]
+    fn zcu104_is_bigger_than_ultra96() {
+        // The portability ladder must be strictly ordered on every
+        // resource axis: PYNQ-Z1 < Ultra96 < ZCU104.
+        let (u, z) = (ultra96(), zcu104());
+        assert!(z.dsp > u.dsp);
+        assert!(z.lut > u.lut);
+        assert!(z.ff > u.ff);
+        assert!(z.bram_18k > u.bram_18k);
+        assert!(z.dram_bytes_per_cycle > u.dram_bytes_per_cycle);
+        assert!(
+            z.clock_mhz.iter().cloned().fold(0.0, f64::max)
+                >= u.clock_mhz.iter().cloned().fold(0.0, f64::max)
+        );
+        z.validate().unwrap();
+    }
+
+    #[test]
+    fn zcu104_budget_matches_datasheet() {
+        let z = zcu104();
+        assert_eq!(z.dsp, 1_728);
+        assert_eq!(z.lut, 230_400);
+        assert_eq!(z.ff, 460_800);
+        // 312 x 36 Kb BRAM blocks counted as 18 Kb halves.
+        assert_eq!(z.bram_18k, 624);
+        z.validate().unwrap();
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the FPGA/DNN co-design workspace.
 pub use codesign_baselines as baselines;
 pub use codesign_core as core;
+pub use codesign_core::parallel;
 pub use codesign_dataset as dataset;
 pub use codesign_dnn as dnn;
 pub use codesign_hls as hls;

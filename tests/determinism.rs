@@ -1,17 +1,27 @@
 //! Determinism suite for the parallel co-design engine.
 //!
-//! The contract under test: `CoDesignFlow` output is a pure function of
-//! `FlowConfig` — same seed ⇒ byte-identical output, for *any* worker
-//! count, because every work item derives a private SplitMix64 seed and
-//! results merge in work-item order.
+//! Two contracts under test:
+//!
+//! * `CoDesignFlow` output is a pure function of `FlowConfig` — same
+//!   seed ⇒ byte-identical output, for *any* worker count, because
+//!   every work item derives a private SplitMix64 seed and results
+//!   merge in work-item order.
+//! * `ProxyEvaluator` (real batched proxy training on the GEMM compute
+//!   engine) is bit-identical to the naive per-image reference kernels,
+//!   at any worker count.
 //!
 //! The `CODESIGN_PARALLELISM` environment variable (also read by the
 //! `exp_*` binaries) picks the "parallel" side of the 1-vs-N
 //! comparison, so CI can sweep thread counts in a matrix; it defaults
 //! to 4.
 
+use codesign_core::accuracy::ProxyEvaluator;
 use codesign_core::flow::{CoDesignFlow, FlowConfig, FlowOutput};
 use codesign_core::parallel::Parallelism;
+use codesign_dnn::bundle::{bundle_by_id, BundleId};
+use codesign_dnn::space::DesignPoint;
+use codesign_nn::train::TrainConfig;
+use codesign_nn::Engine;
 use codesign_sim::device::pynq_z1;
 
 /// Worker count of the parallel arm (`CODESIGN_PARALLELISM`, default 4).
@@ -101,6 +111,43 @@ fn distinct_seeds_explore_but_stay_in_the_band() {
                 c.latency_ms
             );
         }
+    }
+}
+
+/// A small proxy-training run with the given NN compute engine.
+fn proxy_iou(engine: Engine) -> f64 {
+    let b = bundle_by_id(BundleId(13)).expect("bundle 13");
+    let mut point = DesignPoint::initial(b, 1);
+    point.base_channels = 8;
+    let eval = ProxyEvaluator {
+        image_h: 16,
+        image_w: 32,
+        train_samples: 16,
+        eval_samples: 8,
+        config: TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        },
+        engine,
+        ..ProxyEvaluator::default()
+    };
+    eval.evaluate(&point).expect("proxy training runs")
+}
+
+/// Batched GEMM proxy training is bit-identical to the naive per-image
+/// reference path, at 1 worker and at the matrix-selected worker count
+/// — the compute engine only changes wall clock, never results.
+#[test]
+fn proxy_training_is_engine_and_worker_invariant() {
+    let reference = proxy_iou(Engine::Reference);
+    for workers in [1, parallel_arm()] {
+        let gemm = proxy_iou(Engine::Gemm(Parallelism::Fixed(workers)));
+        assert_eq!(
+            reference.to_bits(),
+            gemm.to_bits(),
+            "GEMM engine at {workers} workers diverged from the reference path: \
+             {reference} vs {gemm}"
+        );
     }
 }
 
