@@ -9,6 +9,7 @@
 //!   paper's 20-epoch protocol) printing the wall-clock speedup and
 //!   checking the bit-identity contract across all arms.
 
+use codesign_bench::{emit_bench_json, BenchRecord};
 use codesign_core::accuracy::ProxyEvaluator;
 use codesign_core::parallel::Parallelism;
 use codesign_dnn::bundle::{bundle_by_id, BundleId};
@@ -68,6 +69,7 @@ fn bench_proxy_train(c: &mut Criterion) {
         .evaluate(&point)
         .unwrap();
     let t_naive = t0.elapsed();
+    let mut records = vec![BenchRecord::timing("train_naive_reference", t_naive)];
     for threads in THREAD_COUNTS {
         let t1 = Instant::now();
         let gemm = evaluator(Engine::Gemm(Parallelism::Fixed(threads)), epochs)
@@ -84,6 +86,15 @@ fn bench_proxy_train(c: &mut Criterion) {
                 "DIVERGED — determinism bug!"
             }
         );
+        records.push(BenchRecord::speedup_over(
+            &format!("train_gemm_{threads}_workers"),
+            t_gemm,
+            t_naive,
+        ));
+    }
+    match emit_bench_json("proxy_train", &records) {
+        Ok(path) => println!("proxy_train: wrote {}", path.display()),
+        Err(e) => eprintln!("proxy_train: could not write BENCH_proxy_train.json: {e}"),
     }
 }
 

@@ -1,0 +1,230 @@
+//! SCD estimator-probe bench: the incremental [`EstimatePlan`] against
+//! the full rebuild-per-probe `estimate_point` baseline, plus the
+//! end-to-end `scd_search` and `exp_fig4`-style flow wall clock at 1
+//! and 4 workers.
+//!
+//! Three parts:
+//!
+//! * criterion-style timed samples over a fixed SCD-shaped probe walk
+//!   (three unit-move probes, then one committed move — exactly the
+//!   query pattern of Algorithm 1), one per engine arm;
+//! * an uncached head-to-head of the same walk reporting probes/sec and
+//!   the incremental-vs-rebuild speedup (acceptance target: ≥ 3x);
+//! * `BENCH_scd.json` (see `codesign_bench::perf`) recording the walk
+//!   arms, the `scd_search` wall clock, and the small-flow wall clock
+//!   at parallelism 1 and 4, so the perf trajectory is machine-readable
+//!   from this PR onward.
+
+use codesign_bench::experiments::default_device;
+use codesign_bench::{emit_bench_json, BenchRecord};
+use codesign_core::accuracy::AccuracyModel;
+use codesign_core::flow::{CoDesignFlow, FlowConfig};
+use codesign_core::parallel::Parallelism;
+use codesign_core::search::{scd_search, ScdConfig};
+use codesign_dnn::bundle::{bundle_by_id, Bundle, BundleId};
+use codesign_dnn::space::DesignPoint;
+use codesign_hls::calibrate::calibrate_bundle_with;
+use codesign_hls::incremental::{EstimatePlan, MoveCoord};
+use codesign_hls::model::HlsEstimator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+/// The SCD-shaped probe walk: at each step price all three unit moves
+/// from the current point, then commit one of them (round-robin over
+/// the coordinates, alternating direction to stay inside the domain).
+/// Deterministic so both arms price the identical point sequence.
+const WALK_STEPS: usize = 40;
+
+fn walk_bundle() -> Bundle {
+    bundle_by_id(BundleId(13)).expect("bundle 13")
+}
+
+fn walk_estimator() -> HlsEstimator {
+    let bundle = walk_bundle();
+    let params =
+        calibrate_bundle_with(&bundle, &default_device(), &[1, 2, 3, 4], 96).expect("calibration");
+    HlsEstimator::new(params, default_device())
+}
+
+fn start_point() -> DesignPoint {
+    let mut point = DesignPoint::initial(walk_bundle(), 3);
+    point.parallel_factor = 64;
+    point
+}
+
+fn walk_moves(step: usize) -> [(MoveCoord, isize); 3] {
+    let dir = if step.is_multiple_of(2) { 1 } else { -1 };
+    [
+        (MoveCoord::Replications, dir),
+        (MoveCoord::Expansion, dir),
+        (MoveCoord::Downsampling, -dir),
+    ]
+}
+
+/// PF rung probed at walk step `step` — the `choose_max_parallel_factor`
+/// part of the SCD probe mix (the ladder binary search prices the same
+/// structure at many parallel factors).
+fn walk_pf(step: usize) -> usize {
+    [16, 48, 100, 160, 216][step % 5]
+}
+
+/// The walk priced by full rebuilds (the pre-incremental behavior of
+/// `scd_search`). Returns a latency checksum so the arms can be
+/// compared for bit-identity.
+fn run_walk_full_rebuild(estimator: &HlsEstimator) -> (u64, usize) {
+    let mut point = start_point();
+    let mut checksum = 0u64;
+    let mut probes = 0usize;
+    let mut tally = |est: Result<codesign_hls::model::Estimate, _>, probes: &mut usize| {
+        if let Ok(est) = est {
+            checksum = checksum.wrapping_mul(31).wrapping_add(est.latency_cycles);
+        }
+        *probes += 1;
+    };
+    for step in 0..WALK_STEPS {
+        let moves = walk_moves(step);
+        for &(coord, dir) in &moves {
+            let target = coord.applied(&point, dir);
+            tally(estimator.estimate_point(&target), &mut probes);
+        }
+        let mut pf_probe = point.clone();
+        pf_probe.parallel_factor = walk_pf(step);
+        tally(estimator.estimate_point(&pf_probe), &mut probes);
+        let (coord, dir) = (moves[step % 3].0, moves[step % 3].1);
+        point = coord.applied(&point, dir);
+    }
+    (checksum, probes)
+}
+
+/// The same walk priced through the incremental plan.
+fn run_walk_incremental(estimator: &HlsEstimator) -> (u64, usize) {
+    let mut point = start_point();
+    let mut plan = EstimatePlan::new(estimator, &point).expect("initial point elaborates");
+    let mut checksum = 0u64;
+    let mut probes = 0usize;
+    let mut tally = |est: Result<codesign_hls::model::Estimate, _>, probes: &mut usize| {
+        if let Ok(est) = est {
+            checksum = checksum.wrapping_mul(31).wrapping_add(est.latency_cycles);
+        }
+        *probes += 1;
+    };
+    for step in 0..WALK_STEPS {
+        let moves = walk_moves(step);
+        for &(coord, dir) in &moves {
+            let target = coord.applied(&point, dir);
+            tally(plan.probe(&target), &mut probes);
+        }
+        let mut pf_probe = point.clone();
+        pf_probe.parallel_factor = walk_pf(step);
+        tally(plan.probe(&pf_probe), &mut probes);
+        let (coord, dir) = (moves[step % 3].0, moves[step % 3].1);
+        point = coord.applied(&point, dir);
+        plan.commit(&point).expect("walk stays valid");
+    }
+    (checksum, probes)
+}
+
+fn small_flow(threads: usize) -> CoDesignFlow {
+    CoDesignFlow::new(FlowConfig {
+        targets_fps: vec![15.0],
+        candidates_per_bundle: 3,
+        coarse_pf_sweep: vec![16],
+        parallelism: Parallelism::Fixed(threads),
+        ..FlowConfig::for_device(default_device())
+    })
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+fn bench_scd_search(c: &mut Criterion) {
+    let estimator = walk_estimator();
+    let mut group = c.benchmark_group("scd_search");
+    group.sample_size(10);
+    group.bench_function("probe/full_rebuild", |b| {
+        b.iter(|| run_walk_full_rebuild(&estimator))
+    });
+    group.bench_function("probe/incremental", |b| {
+        b.iter(|| run_walk_incremental(&estimator))
+    });
+    let scd_cfg = ScdConfig {
+        latency_target_ms: 60.0,
+        tolerance_ms: 5.0,
+        candidates: 8,
+        max_iterations: 200,
+        ..ScdConfig::default()
+    };
+    let model = AccuracyModel::paper_calibrated();
+    let bundle = walk_bundle();
+    group.bench_function("search/end_to_end", |b| {
+        b.iter(|| scd_search(&bundle, &estimator, &model, &scd_cfg))
+    });
+    group.finish();
+
+    // Head-to-head: identical probe sequences, uncached, repeated until
+    // the slower arm accumulates a stable wall clock.
+    const REPS: usize = 20;
+    let ((full_sum, full_probes), t_full) = time(|| {
+        let mut acc = (0u64, 0usize);
+        for _ in 0..REPS {
+            acc = run_walk_full_rebuild(&estimator);
+        }
+        acc
+    });
+    let ((inc_sum, inc_probes), t_inc) = time(|| {
+        let mut acc = (0u64, 0usize);
+        for _ in 0..REPS {
+            acc = run_walk_incremental(&estimator);
+        }
+        acc
+    });
+    assert_eq!(
+        (full_sum, full_probes),
+        (inc_sum, inc_probes),
+        "incremental walk DIVERGED from the full rebuild — determinism bug!"
+    );
+    let total_probes = (full_probes * REPS) as f64;
+    let speedup = t_full.as_secs_f64() / t_inc.as_secs_f64().max(1e-12);
+    println!(
+        "scd_search: {total_probes} probes — full rebuild {t_full:?} \
+         ({:.0} probes/s), incremental {t_inc:?} ({:.0} probes/s), {speedup:.2}x \
+         (target >= 3x), checksums identical",
+        total_probes / t_full.as_secs_f64(),
+        total_probes / t_inc.as_secs_f64(),
+    );
+
+    let (scd_found, t_scd) = time(|| scd_search(&bundle, &estimator, &model, &scd_cfg));
+    println!(
+        "scd_search: end-to-end search found {} candidates in {t_scd:?}",
+        scd_found.len()
+    );
+
+    // Flow wall clock at 1 and 4 workers: the exp_fig4-scale trajectory
+    // numbers (outputs stay bit-identical across worker counts; the
+    // determinism suite pins that).
+    let (_, t_flow1) = time(|| small_flow(1).run().unwrap());
+    let (flow4, t_flow4) = time(|| small_flow(4).run().unwrap());
+    println!(
+        "scd_search: small flow 1 worker {t_flow1:?}, 4 workers {t_flow4:?}, \
+         estimate cache: {}",
+        flow4.cache_stats
+    );
+
+    let records = [
+        BenchRecord::timing("probe_walk_full_rebuild", t_full),
+        BenchRecord::speedup_over("probe_walk_incremental", t_inc, t_full),
+        BenchRecord::timing("scd_search_end_to_end", t_scd),
+        BenchRecord::timing("flow_small_1_worker", t_flow1),
+        BenchRecord::timing("flow_small_4_workers", t_flow4),
+    ];
+    match emit_bench_json("scd", &records) {
+        Ok(path) => println!("scd_search: wrote {}", path.display()),
+        Err(e) => eprintln!("scd_search: could not write BENCH_scd.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_scd_search);
+criterion_main!(benches);

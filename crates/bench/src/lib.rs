@@ -13,16 +13,21 @@
 //! | Table 2 | [`experiments::table2`] | `exp_table2` | `table2` |
 //! | Sec. 6 ablation | [`experiments::ablation`] | `exp_ablation` | `ablation` |
 //! | parallel scaling | [`experiments::fig4`] at 1 vs N workers | — | `fig4_parallel` |
+//! | estimator probing | incremental vs full-rebuild SCD probes | — | `scd_search` |
 //!
 //! The binaries and benches read the worker-thread knob from the
 //! `CODESIGN_PARALLELISM` environment variable (see
 //! [`experiments::parallelism_from_env`]); flow results are
-//! bit-identical for any setting.
+//! bit-identical for any setting. The `scd_search` and `proxy_train`
+//! benches additionally emit machine-readable `BENCH_*.json` summaries
+//! (see [`perf`]) so the repo's perf trajectory is tracked PR over PR.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod designs;
 pub mod experiments;
+pub mod perf;
 
 pub use designs::{dnn1_point, dnn2_point, dnn3_point};
+pub use perf::{emit_bench_json, BenchRecord};

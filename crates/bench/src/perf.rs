@@ -1,0 +1,116 @@
+//! Machine-readable perf-trajectory artifacts.
+//!
+//! Criterion output is for humans; the perf *trajectory* — how the hot
+//! paths evolve PR over PR — needs a stable, machine-readable record.
+//! Benches call [`emit_bench_json`] with one [`BenchRecord`] per
+//! measured arm and a `BENCH_<name>.json` file appears at the
+//! workspace root (or in `$BENCH_JSON_DIR` when set), ready to be
+//! committed or scraped by CI.
+//!
+//! The JSON is written by hand because the workspace's offline `serde`
+//! shim has no `serde_json`; the format is deliberately flat:
+//!
+//! ```json
+//! {
+//!   "bench": "scd",
+//!   "records": [
+//!     { "name": "probe_incremental", "wall_ms": 12.5, "speedup": 4.2 }
+//!   ]
+//! }
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One measured arm of a bench: a name, its wall clock, and optionally
+/// the speedup over the arm it is being compared against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Arm name (`snake_case`, stable across PRs — it is the trajectory
+    /// key).
+    pub name: String,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Speedup over the baseline arm, when the record is a comparison.
+    pub speedup: Option<f64>,
+}
+
+impl BenchRecord {
+    /// A plain timing record.
+    pub fn timing(name: &str, wall: Duration) -> Self {
+        Self {
+            name: name.to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            speedup: None,
+        }
+    }
+
+    /// A timing record with a speedup over `baseline`.
+    pub fn speedup_over(name: &str, wall: Duration, baseline: Duration) -> Self {
+        Self {
+            name: name.to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            speedup: Some(baseline.as_secs_f64() / wall.as_secs_f64().max(1e-12)),
+        }
+    }
+}
+
+/// Writes `BENCH_<bench>.json` with the given records and returns its
+/// path. The target directory is `$BENCH_JSON_DIR` when set, otherwise
+/// the workspace root — trajectory artifacts belong next to the repo's
+/// other records, not in whatever directory cargo ran the bench from.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn emit_bench_json(bench: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("BENCH_JSON_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string());
+    let path = PathBuf::from(dir).join(format!("BENCH_{bench}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"wall_ms\": {:.3}",
+            r.name, r.wall_ms
+        ));
+        if let Some(s) = r.speedup {
+            out.push_str(&format!(", \"speedup\": {s:.2}"));
+        }
+        out.push_str(" }");
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_render_expected_json() {
+        let dir = std::env::temp_dir().join("codesign_bench_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Serialize access to the env var with a scoped override.
+        std::env::set_var("BENCH_JSON_DIR", &dir);
+        let records = [
+            BenchRecord::timing("baseline", Duration::from_millis(10)),
+            BenchRecord::speedup_over("fast", Duration::from_millis(2), Duration::from_millis(10)),
+        ];
+        let path = emit_bench_json("unit_test", &records).unwrap();
+        std::env::remove_var("BENCH_JSON_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"unit_test\""));
+        assert!(text.contains("\"name\": \"baseline\", \"wall_ms\": 10.000 }"));
+        assert!(text.contains("\"name\": \"fast\", \"wall_ms\": 2.000, \"speedup\": 5.00 }"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -195,8 +195,12 @@ impl CoDesignFlow {
     /// derived from [`FlowConfig::seed`] via SplitMix64 and results are
     /// merged in work-item order, so the output is **bit-identical** to
     /// a sequential run and independent of thread interleaving. One
-    /// [`EstimateCache`] is shared by all SCD searches; its counters are
-    /// reported in [`FlowOutput::cache_stats`].
+    /// sharded [`EstimateCache`] is shared by all SCD searches — each
+    /// search probes it through an incremental
+    /// [`EstimatePlan`](codesign_hls::incremental::EstimatePlan), so
+    /// parallel work items neither recompute nor contend on a single
+    /// lock; its counters are reported in
+    /// [`FlowOutput::cache_stats`].
     ///
     /// # Errors
     ///

@@ -9,15 +9,23 @@
 //! random, scales the move by `⌊|Lat_targ − Lat| / ΔLat⌋`, and applies
 //! it if the resource estimate stays within budget. Designs landing
 //! within `ε` of the target are collected as candidates.
+//!
+//! Since SCD probes differ from their predecessor by exactly one
+//! coordinate, every probe is priced through the incremental
+//! [`EstimatePlan`] — the DNN is elaborated once per accepted
+//! trajectory, not once per probe — with results bit-identical to the
+//! full analytic rebuild.
 
 use crate::accuracy::AccuracyModel;
 use codesign_dnn::builder::DnnBuilder;
 use codesign_dnn::bundle::Bundle;
 use codesign_dnn::space::{DesignPoint, MAX_PARALLEL_FACTOR, PARALLEL_FACTOR_STEP};
+use codesign_hls::incremental::{EstimatePlan, MoveCoord};
 use codesign_hls::model::{Estimate, HlsEstimator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Configuration of one SCD run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,12 +75,29 @@ pub struct Candidate {
 /// Chooses the largest legal parallel factor whose accelerator still
 /// fits the estimator's device (Sec. 5.2.1: "PF is set as the maximum
 /// value that can fully utilize available resources").
+///
+/// The point's DNN is elaborated **once** into an [`EstimatePlan`]; the
+/// ladder rungs are then priced by re-deriving the analytic terms under
+/// each PF, since the parallel factor never changes layer shapes. (The
+/// SCD loop itself calls [`choose_max_parallel_factor_with`] to reuse
+/// its live plan instead of elaborating a fresh one.)
 pub fn choose_max_parallel_factor(point: &DesignPoint, estimator: &HlsEstimator) -> usize {
+    let Ok(plan) = EstimatePlan::new(estimator, point) else {
+        // The point does not elaborate at all; no rung can fit.
+        return PARALLEL_FACTOR_STEP;
+    };
+    choose_max_parallel_factor_with(&plan, point)
+}
+
+/// [`choose_max_parallel_factor`] probing through an existing plan —
+/// `plan`'s base point need not equal `point`; the plan reuses whatever
+/// structural prefix the two share.
+pub fn choose_max_parallel_factor_with(plan: &EstimatePlan, point: &DesignPoint) -> usize {
+    let estimator = plan.estimator();
     let fits_at = |pf: usize| -> bool {
         let mut probe = point.clone();
         probe.parallel_factor = pf;
-        estimator
-            .estimate_point(&probe)
+        plan.probe(&probe)
             .map(|est| estimator.fits(&est))
             .unwrap_or(false)
     };
@@ -94,25 +119,6 @@ pub fn choose_max_parallel_factor(point: &DesignPoint, estimator: &HlsEstimator)
         }
     }
     lo * PARALLEL_FACTOR_STEP
-}
-
-/// The three SCD coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Coordinate {
-    /// Replication count `N`.
-    Replications,
-    /// Channel-expansion vector `Π`.
-    Expansion,
-    /// Down-sampling vector `X`.
-    Downsampling,
-}
-
-fn apply_move(point: &DesignPoint, coord: Coordinate, steps: isize) -> DesignPoint {
-    match coord {
-        Coordinate::Replications => point.with_replication_delta(steps),
-        Coordinate::Expansion => point.with_expansion_delta(steps),
-        Coordinate::Downsampling => point.with_downsample_delta(steps),
-    }
 }
 
 /// Runs the SCD unit (Algorithm 1) for one Bundle with the default
@@ -138,6 +144,13 @@ pub fn scd_search(
 
 /// Runs the SCD unit with an explicit activation / quantization arm
 /// (the co-design variable `Q` of Table 1).
+///
+/// Every probe goes through an incremental [`EstimatePlan`] instead of
+/// rebuilding a DNN per query: the plan elaborates the current point
+/// once and re-derives only the pipeline groups a unit move touches,
+/// bit-identical to the full model (so results — and, estimator cache
+/// attached, the deterministic lookup count — are unchanged from the
+/// rebuild-per-probe implementation).
 pub fn scd_search_with_activation(
     bundle: &Bundle,
     estimator: &HlsEstimator,
@@ -148,21 +161,29 @@ pub fn scd_search_with_activation(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let builder = DnnBuilder::new();
 
-    // DNN initialization (Sec. 5.2.1) + maximum-PF selection.
+    // DNN initialization (Sec. 5.2.1) + maximum-PF selection. The run
+    // owns ONE plan: PF-ladder selection, every probe, and every
+    // restart reuse it — the initial elaboration here is the only
+    // from-scratch one in the whole search.
     let mut point = DesignPoint::initial(bundle.clone(), 3);
     point.activation = activation;
-    point.parallel_factor = choose_max_parallel_factor(&point, estimator);
 
     let mut candidates: Vec<Candidate> = Vec::new();
-    let latency_of = |p: &DesignPoint| -> Option<(Estimate, f64)> {
-        let est = estimator.estimate_point(p).ok()?;
-        let ms = est.latency_ms(cfg.clock_mhz);
-        Some((est, ms))
-    };
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
 
-    let Some((mut est, mut lat)) = latency_of(&point) else {
+    let Ok(mut plan) = EstimatePlan::new(estimator, &point) else {
         return candidates;
     };
+    point.parallel_factor = choose_max_parallel_factor_with(&plan, &point);
+
+    // One cached probe per priced point, exactly like the old
+    // `estimate_point`-per-probe loop; `plan.commit` (accepted moves
+    // only) recomputes incrementally without touching the cache.
+    let Ok(mut est) = plan.probe(&point) else {
+        return candidates;
+    };
+    plan.commit_probed(&point, est);
+    let mut lat = est.latency_ms(cfg.clock_mhz);
 
     for _iter in 0..cfg.max_iterations {
         if candidates.len() >= cfg.candidates {
@@ -178,21 +199,22 @@ pub fn scd_search_with_activation(
                 latency_ms: lat,
                 accuracy,
             };
-            if !candidates.iter().any(|c| c.point == candidate.point) {
+            if seen.insert(candidate.point.canonical_key()) {
                 candidates.push(candidate);
             }
             // Perturb to hunt for the next distinct candidate.
             let coord = match rng.random_range(0..3u8) {
-                0 => Coordinate::Replications,
-                1 => Coordinate::Expansion,
-                _ => Coordinate::Downsampling,
+                0 => MoveCoord::Replications,
+                1 => MoveCoord::Expansion,
+                _ => MoveCoord::Downsampling,
             };
             let dir = if rng.random_bool(0.5) { 1 } else { -1 };
-            let perturbed = apply_move(&point, coord, dir);
-            if let Some((e2, l2)) = latency_of(&perturbed) {
+            let perturbed = coord.applied(&point, dir);
+            if let Ok(e2) = plan.probe(&perturbed) {
+                plan.commit_probed(&perturbed, e2);
                 point = perturbed;
                 est = e2;
-                lat = l2;
+                lat = e2.latency_ms(cfg.clock_mhz);
             }
             continue;
         }
@@ -203,18 +225,18 @@ pub fn scd_search_with_activation(
         let unit: isize = if grow { 1 } else { -1 };
         // Down-sampling acts inversely: more down-sampling -> faster.
         let coords = [
-            (Coordinate::Replications, unit),
-            (Coordinate::Expansion, unit),
-            (Coordinate::Downsampling, -unit),
+            (MoveCoord::Replications, unit),
+            (MoveCoord::Expansion, unit),
+            (MoveCoord::Downsampling, -unit),
         ];
-        let mut deltas: Vec<(Coordinate, isize, f64)> = Vec::with_capacity(3);
+        let mut deltas: Vec<(MoveCoord, isize, f64)> = Vec::with_capacity(3);
         for &(coord, dir) in &coords {
-            let moved = apply_move(&point, coord, dir);
+            let moved = coord.applied(&point, dir);
             if moved == point {
                 continue; // saturated coordinate
             }
-            if let Some((_, l2)) = latency_of(&moved) {
-                let dlat = l2 - lat;
+            if let Ok(e2) = plan.probe(&moved) {
+                let dlat = e2.latency_ms(cfg.clock_mhz) - lat;
                 if dlat.abs() > f64::EPSILON {
                     deltas.push((coord, dir, dlat));
                 }
@@ -225,10 +247,18 @@ pub fn scd_search_with_activation(
             let n = rng.random_range(1..=6);
             point = DesignPoint::initial(bundle.clone(), n);
             point.activation = activation;
-            point.parallel_factor = choose_max_parallel_factor(&point, estimator);
-            if let Some((e2, l2)) = latency_of(&point) {
+            // Rebase the plan on the restart structure first (no cache
+            // interaction), so the PF-ladder rungs below are pure
+            // term repricings instead of re-elaborating the structural
+            // diff on every probe. On a (theoretical) unelaborable
+            // restart the plan keeps its old base and the ladder falls
+            // back to diff-probing, matching the old error behavior.
+            let _ = plan.commit(&point);
+            point.parallel_factor = choose_max_parallel_factor_with(&plan, &point);
+            if let Ok(e2) = plan.probe(&point) {
+                plan.commit_probed(&point, e2);
                 est = e2;
-                lat = l2;
+                lat = e2.latency_ms(cfg.clock_mhz);
             }
             continue;
         }
@@ -237,12 +267,13 @@ pub fn scd_search_with_activation(
         // SCD) and scale the move: Δ = ⌊|Lat_targ − Lat| / ΔLat⌋.
         let (coord, dir, dlat) = deltas[rng.random_range(0..deltas.len())];
         let steps = ((gap.abs() / dlat.abs()).floor() as isize).clamp(1, 4);
-        let proposed = apply_move(&point, coord, dir * steps);
-        if let Some((e2, l2)) = latency_of(&proposed) {
+        let proposed = coord.applied(&point, dir * steps);
+        if let Ok(e2) = plan.probe(&proposed) {
             if estimator.fits(&e2) || e2.resources.dsp <= est.resources.dsp {
+                plan.commit_probed(&proposed, e2);
                 point = proposed;
                 est = e2;
-                lat = l2;
+                lat = e2.latency_ms(cfg.clock_mhz);
             }
         }
     }
@@ -267,6 +298,7 @@ pub fn random_search(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let builder = DnnBuilder::new();
     let mut candidates: Vec<Candidate> = Vec::new();
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
     let mut evaluations = 0usize;
     for _ in 0..cfg.max_iterations {
         if candidates.len() >= cfg.candidates {
@@ -299,7 +331,7 @@ pub fn random_search(
                 latency_ms: lat,
                 accuracy,
             };
-            if !candidates.iter().any(|c| c.point == candidate.point) {
+            if seen.insert(candidate.point.canonical_key()) {
                 candidates.push(candidate);
             }
         }

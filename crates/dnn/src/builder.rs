@@ -104,20 +104,47 @@ impl DnnBuilder {
         h
     }
 
-    /// Elaborates `point` into a concrete DNN.
+    /// Number of Bundle replications the builder's construction method
+    /// elaborates for `point`: the point's `N` under *method#2*, a
+    /// single replication under *method#1*.
+    pub fn body_replications(&self, point: &DesignPoint) -> usize {
+        if self.method1_body {
+            1
+        } else {
+            point.replications()
+        }
+    }
+
+    /// Whether a 2x2 down-sampling layer closes replication `rep`:
+    /// the point's `X` vector under *method#2*, between-replication
+    /// spots under *method#1*.
+    pub fn downsample_at(&self, point: &DesignPoint, rep: usize) -> bool {
+        if self.method1_body {
+            rep + 1 < self.body_replications(point)
+        } else {
+            point.downsampling().get(rep).copied().unwrap_or(false)
+        }
+    }
+
+    /// Elaborates the stem segment — 3 input channels to the base width,
+    /// with one fixed 2x2 down-sampling to shed the full-resolution
+    /// compute (standard detector practice) — returning its layers and
+    /// the shape entering the first Bundle replication.
+    ///
+    /// Together with [`replication`](Self::replication) and
+    /// [`head`](Self::head) this exposes the exact per-segment
+    /// elaboration that [`build`](Self::build) concatenates, so
+    /// incremental consumers (the `codesign-hls` estimate plan) can
+    /// re-elaborate only the segments a design-point move touched.
+    /// Unlike `build`, the segment methods do **not** validate `point`.
     ///
     /// # Errors
     ///
-    /// Returns [`DnnError::InvalidParameter`] when the point fails
-    /// [`DesignPoint::validate`], and [`DnnError::ShapeMismatch`] when
-    /// down-sampling shrinks feature maps below the Bundle's kernels.
-    pub fn build(&self, point: &DesignPoint) -> Result<Dnn, DnnError> {
-        point.validate()?;
+    /// Returns [`DnnError::ShapeMismatch`] when the input is smaller
+    /// than the stem kernel.
+    pub fn stem(&self, point: &DesignPoint) -> Result<(Vec<LayerInstance>, TensorShape), DnnError> {
         let mut layers = Vec::new();
         let mut shape = self.input;
-
-        // Stem: 3 -> base channels, with one fixed 2x2 down-sampling to
-        // shed the full-resolution compute (standard detector practice).
         shape = push(
             &mut layers,
             LayerOp::conv(self.stem_kernel, point.base_channels),
@@ -132,42 +159,78 @@ impl DnnBuilder {
             None,
         )?;
         shape = push(&mut layers, LayerOp::max_pool(2), shape, None)?;
+        Ok((layers, shape))
+    }
 
-        let reps = if self.method1_body {
-            1
-        } else {
-            point.replications()
-        };
-        for rep in 0..reps {
-            let width = point.channels_at(rep);
-            for op in point.bundle.elaborate(width, point.activation) {
-                shape = push(&mut layers, op, shape, Some(rep))?;
-            }
-            // Depth-wise-only bundles cannot widen channels themselves;
-            // Bundle-Arch reserves channel-expansion spots between IPs,
-            // realized as a pointwise conv when the width must change.
-            if shape.c != width {
-                shape = push(&mut layers, LayerOp::conv(1, width), shape, Some(rep))?;
-                shape = push(
-                    &mut layers,
-                    LayerOp::activation(point.activation),
-                    shape,
-                    Some(rep),
-                )?;
-            }
-            let downsample_here = if self.method1_body {
-                rep + 1 < reps
-            } else {
-                point.downsampling().get(rep).copied().unwrap_or(false)
-            };
-            if downsample_here {
-                shape = push(&mut layers, LayerOp::max_pool(2), shape, Some(rep))?;
-            }
+    /// Elaborates Bundle replication `rep` from the shape its
+    /// predecessor produced, returning the replication's layers and its
+    /// output shape. See [`stem`](Self::stem) for the segment contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when down-sampling has shrunk
+    /// the feature map below the Bundle's kernels.
+    pub fn replication(
+        &self,
+        point: &DesignPoint,
+        rep: usize,
+        input: TensorShape,
+    ) -> Result<(Vec<LayerInstance>, TensorShape), DnnError> {
+        let mut layers = Vec::new();
+        let mut shape = input;
+        let width = point.channels_at(rep);
+        for op in point.bundle.elaborate(width, point.activation) {
+            shape = push(&mut layers, op, shape, Some(rep))?;
         }
+        // Depth-wise-only bundles cannot widen channels themselves;
+        // Bundle-Arch reserves channel-expansion spots between IPs,
+        // realized as a pointwise conv when the width must change.
+        if shape.c != width {
+            shape = push(&mut layers, LayerOp::conv(1, width), shape, Some(rep))?;
+            shape = push(
+                &mut layers,
+                LayerOp::activation(point.activation),
+                shape,
+                Some(rep),
+            )?;
+        }
+        if self.downsample_at(point, rep) {
+            shape = push(&mut layers, LayerOp::max_pool(2), shape, Some(rep))?;
+        }
+        Ok((layers, shape))
+    }
 
-        // Detection head: 1x1 conv to 4 box outputs, global average pool.
-        shape = push(&mut layers, LayerOp::conv(1, BOX_OUTPUTS), shape, None)?;
+    /// Elaborates the detection head — 1x1 conv to 4 box outputs plus
+    /// global average pooling — from the final replication's output
+    /// shape. See [`stem`](Self::stem) for the segment contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for an empty input shape.
+    pub fn head(&self, input: TensorShape) -> Result<Vec<LayerInstance>, DnnError> {
+        let mut layers = Vec::new();
+        let shape = push(&mut layers, LayerOp::conv(1, BOX_OUTPUTS), input, None)?;
         push(&mut layers, LayerOp::GlobalAvgPool, shape, None)?;
+        Ok(layers)
+    }
+
+    /// Elaborates `point` into a concrete DNN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidParameter`] when the point fails
+    /// [`DesignPoint::validate`], and [`DnnError::ShapeMismatch`] when
+    /// down-sampling shrinks feature maps below the Bundle's kernels.
+    pub fn build(&self, point: &DesignPoint) -> Result<Dnn, DnnError> {
+        point.validate()?;
+        let (mut layers, mut shape) = self.stem(point)?;
+        let reps = self.body_replications(point);
+        for rep in 0..reps {
+            let (rep_layers, out) = self.replication(point, rep, shape)?;
+            layers.extend(rep_layers);
+            shape = out;
+        }
+        layers.extend(self.head(shape)?);
 
         let name = format!(
             "{} x{} pf{} {}",
@@ -269,6 +332,26 @@ mod tests {
             .any(|l| matches!(l.op, LayerOp::Conv { k: 1, .. }) && l.bundle_rep.is_some());
         assert!(has_pointwise);
         assert!(dnn.max_channels() > point.base_channels);
+    }
+
+    #[test]
+    fn segments_concatenate_to_build() {
+        // The stem / replication / head segment methods are the exact
+        // decomposition of build(); incremental estimation relies on it.
+        for method1 in [false, true] {
+            let builder = DnnBuilder::new().method1(method1);
+            let b = bundle_by_id(BundleId(13)).unwrap();
+            let point = DesignPoint::initial(b, 4);
+            let dnn = builder.build(&point).unwrap();
+            let (mut layers, mut shape) = builder.stem(&point).unwrap();
+            for rep in 0..builder.body_replications(&point) {
+                let (rep_layers, out) = builder.replication(&point, rep, shape).unwrap();
+                layers.extend(rep_layers);
+                shape = out;
+            }
+            layers.extend(builder.head(shape).unwrap());
+            assert_eq!(dnn.layers(), &layers[..], "method1={method1}");
+        }
     }
 
     #[test]

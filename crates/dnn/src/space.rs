@@ -7,7 +7,7 @@
 //! activation function. Together these specify both the DNN model and
 //! its accelerator (paper Sec. 3.1).
 
-use crate::bundle::Bundle;
+use crate::bundle::{Bundle, SkeletonOp};
 use crate::error::DnnError;
 use crate::quant::{Activation, Quantization};
 use serde::{Deserialize, Serialize};
@@ -189,6 +189,66 @@ impl DesignPoint {
             });
         }
         Ok(())
+    }
+
+    /// Feeds a canonical, collision-free encoding of the design point to
+    /// `sink`, one `u64` word at a time.
+    ///
+    /// Two points produce the same word sequence exactly when every
+    /// field the analytic models read is identical: the Bundle skeleton
+    /// (id and operators, encoded exactly rather than hashed), `N`, the
+    /// down-sampling vector `X` (length-prefixed and bit-packed into as
+    /// many words as needed — slot `i` and slot `i + 64` land in
+    /// *different* words, so long vectors never alias), the
+    /// channel-expansion vector `Π` as IEEE-754 bit patterns, `PF`, the
+    /// activation arm, and the channel-width bounds. Length prefixes
+    /// keep the encoding prefix-free, so unequal-length vectors cannot
+    /// collide either.
+    ///
+    /// Estimate caches and candidate de-duplication both build their
+    /// keys from this encoding (see [`DesignPoint::canonical_key`]).
+    pub fn encode_canonical(&self, sink: &mut impl FnMut(u64)) {
+        sink(self.bundle.id().0 as u64);
+        let ops = self.bundle.ops();
+        sink(ops.len() as u64);
+        for op in ops {
+            let (tag, k) = match *op {
+                SkeletonOp::Conv { k } => (0u64, k),
+                SkeletonOp::DwConv { k } => (1u64, k),
+            };
+            sink((tag << 32) | k as u64);
+        }
+        sink(self.n_replications as u64);
+        sink(self.downsample.len() as u64);
+        for chunk in self.downsample.chunks(64) {
+            let mut word = 0u64;
+            for (i, &d) in chunk.iter().enumerate() {
+                word |= (d as u64) << i;
+            }
+            sink(word);
+        }
+        sink(self.expansion.len() as u64);
+        for &f in &self.expansion {
+            sink(f.to_bits());
+        }
+        sink(self.parallel_factor as u64);
+        sink(match self.activation {
+            Activation::Relu => 0,
+            Activation::Relu4 => 1,
+            Activation::Relu8 => 2,
+        });
+        sink(self.base_channels as u64);
+        sink(self.max_channels as u64);
+    }
+
+    /// The canonical encoding of
+    /// [`encode_canonical`](Self::encode_canonical) as an owned
+    /// little-endian byte string — a hashable identity key for design
+    /// points (`f64` fields rule out deriving `Hash`/`Eq` directly).
+    pub fn canonical_key(&self) -> Vec<u8> {
+        let mut key = Vec::with_capacity((24 + self.n_replications) * 8);
+        self.encode_canonical(&mut |w| key.extend_from_slice(&w.to_le_bytes()));
+        key
     }
 
     /// Returns a copy with `delta` added to the replication count
@@ -386,6 +446,47 @@ mod tests {
         let mut p = point();
         p.downsample.pop();
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn canonical_key_separates_distant_downsample_slots() {
+        // Regression: the old cache encoding packed downsample slot `i`
+        // at bit `i % 64`, aliasing slots 0 and 64. The canonical
+        // encoding is chunked into one word per 64 slots.
+        let mut a = DesignPoint::initial(bundle_by_id(BundleId(13)).unwrap(), 65);
+        a.downsample = vec![false; 65];
+        a.downsample[0] = true;
+        let mut b = a.clone();
+        b.downsample[0] = false;
+        b.downsample[64] = true;
+        assert_ne!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_matches_equality() {
+        let p = point();
+        assert_eq!(p.canonical_key(), p.clone().canonical_key());
+        for (label, q) in [
+            ("reps", p.with_replication_delta(1)),
+            ("expansion", p.with_expansion_delta(-1)),
+            ("downsample", p.with_downsample_delta(-1)),
+            ("pf", {
+                let mut q = p.clone();
+                q.parallel_factor = 64;
+                q
+            }),
+            ("activation", {
+                let mut q = p.clone();
+                q.activation = crate::quant::Activation::Relu4;
+                q
+            }),
+            (
+                "bundle",
+                DesignPoint::initial(bundle_by_id(BundleId(1)).unwrap(), 4),
+            ),
+        ] {
+            assert_ne!(p.canonical_key(), q.canonical_key(), "{label}");
+        }
     }
 
     proptest! {

@@ -7,9 +7,23 @@
 //! Re-deriving the closed-form Eqs. 1-5 for each probe wastes most of
 //! the flow's wall clock, so [`EstimateCache`] memoizes
 //! [`HlsEstimator::estimate_point`](crate::model::HlsEstimator::estimate_point)
-//! results behind an [`std::sync::Arc`]-shareable, thread-safe map.
+//! results (and, since the incremental engine landed, every
+//! [`EstimatePlan::probe`](crate::incremental::EstimatePlan::probe))
+//! behind an [`std::sync::Arc`]-shareable, thread-safe map.
 //!
-//! # The canonical-hash key
+//! # Sharding
+//!
+//! The flow fans SCD work items out across worker threads, and every
+//! probe consults this cache; a single global `Mutex<HashMap>` would
+//! serialize them all. The map is therefore split into
+//! [`DEFAULT_SHARDS`] independently locked shards, selected by a fast
+//! word-wise multiply-mix over the key bytes. Sharding is invisible to callers: a
+//! key lives in exactly one shard, so hit/miss semantics, the
+//! deterministic total-lookup count, and the byte-identical-output
+//! guarantee are unchanged from the single-lock cache — only lock
+//! contention changes.
+//!
+//! # The canonical key
 //!
 //! Two design points must share a cache entry exactly when the analytic
 //! model is guaranteed to produce the same estimate for both. The key is
@@ -22,20 +36,28 @@
 //!   DNN builder's fingerprint (input resolution, stem kernel,
 //!   construction method). Two estimators with different calibrations
 //!   never alias.
-//! * the **design point** — Bundle skeleton hash, replication count `N`,
-//!   the down-sampling vector `X` bit-packed, the channel-expansion
-//!   vector `Π` as f64 bit patterns (values come from the fixed
+//! * the **design point** — the exact word encoding of
+//!   [`DesignPoint::encode_canonical`](codesign_dnn::space::DesignPoint::encode_canonical):
+//!   Bundle skeleton, replication count `N`, the down-sampling vector
+//!   `X` bit-packed into one word per 64 slots (slots `i` and `i + 64`
+//!   occupy different words — the old single-word packing aliased
+//!   them), the channel-expansion vector `Π` as f64 bit patterns
+//!   (values come from the fixed
 //!   [`CHANNEL_EXPANSION_FACTORS`](codesign_dnn::space::CHANNEL_EXPANSION_FACTORS)
 //!   ladder, so bit patterns are exact), parallel factor `PF`,
 //!   activation / quantization arm `Q`, and the base / max channel
 //!   widths.
 //!
 //! Keys are full encodings rather than 64-bit digests so hash collisions
-//! cannot silently return the wrong estimate. Determinism does not
-//! depend on the cache at all — a hit returns byte-identical data to
-//! what the analytic model would recompute — which is why the flow can
-//! share one cache across any number of worker threads and still produce
-//! bit-identical Pareto fronts.
+//! cannot silently return the wrong estimate. Lookups borrow the key as
+//! `&[u8]` — hot paths build it in a stack-resident [`KeyBuf`] and only
+//! a cache *miss* copies it to the heap for insertion. Determinism does
+//! not depend on the cache at all — a hit returns byte-identical data to
+//! what the analytic model would recompute, whether that recomputation
+//! is the full rebuild of `estimate_point` or an incremental
+//! [`EstimatePlan`](crate::incremental::EstimatePlan) fold — which is
+//! why the flow can share one cache across any number of worker threads
+//! and still produce bit-identical Pareto fronts.
 //!
 //! # Why seeds are split per work item
 //!
@@ -53,13 +75,22 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// A thread-safe memo table for analytic estimates, with hit/miss
-/// counters.
+/// Default shard count of [`EstimateCache::new`]: enough to keep the
+/// flow's worker threads (typically ≤ core count) off each other's
+/// locks without bloating the empty cache.
+pub const DEFAULT_SHARDS: usize = 16;
+
+type ShardMap = HashMap<Vec<u8>, Result<Estimate, EstimateError>>;
+
+/// A thread-safe, sharded memo table for analytic estimates, with
+/// hit/miss counters.
 ///
 /// Attach one to an estimator via
 /// [`HlsEstimator::with_cache`](crate::model::HlsEstimator::with_cache);
 /// clone the [`Arc`](std::sync::Arc) to share it across estimators and
-/// threads.
+/// threads. Keys are hashed onto [`shard_count`](Self::shard_count)
+/// independently locked maps, so concurrent lookups from different SCD
+/// work items rarely contend.
 ///
 /// # Example
 ///
@@ -85,17 +116,59 @@ use std::sync::Mutex;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EstimateCache {
-    map: Mutex<HashMap<Vec<u8>, Result<Estimate, EstimateError>>>,
+    shards: Box<[Mutex<ShardMap>]>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for EstimateCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl EstimateCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty cache with `shards` shards, rounded up to the
+    /// next power of two (minimum 1). `with_shards(1)` reproduces the
+    /// old single-lock cache exactly.
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(ShardMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key`: a word-wise multiply-mix over the key
+    /// bytes, masked onto the power-of-two shard count. Deterministic,
+    /// so a key always lives in exactly one shard; word-wise (not
+    /// byte-wise FNV) because this runs on every single probe and must
+    /// cost nanoseconds, while needing only spread, not collision
+    /// resistance — a collision merely shares a lock.
+    fn shard_for(&self, key: &[u8]) -> &Mutex<ShardMap> {
+        let mut h = 0xCBF2_9CE4_8422_2325u64 ^ key.len() as u64;
+        let mut word = [0u8; 8];
+        for chunk in key.chunks(8) {
+            word[..chunk.len()].copy_from_slice(chunk);
+            word[chunk.len()..].fill(0);
+            h ^= u64::from_le_bytes(word);
+            h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 29;
+        }
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
     }
 
     /// Current hit/miss counters and entry count.
@@ -108,13 +181,16 @@ impl EstimateCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock").len() as u64,
+            entries: self.len() as u64,
         }
     }
 
-    /// Number of distinct entries resident.
+    /// Number of distinct entries resident across all shards.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
     }
 
     /// True when no entry has been inserted yet.
@@ -124,65 +200,112 @@ impl EstimateCache {
 
     /// Drops all entries and resets the counters.
     pub fn clear(&self) {
-        self.map.lock().expect("cache lock").clear();
+        for shard in &self.shards {
+            shard.lock().expect("cache shard lock").clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
 
     /// Returns the cached result for `key`, computing and inserting it
-    /// with `compute` on a miss.
+    /// with `compute` on a miss. The key is borrowed — it is copied to
+    /// the heap only when a miss inserts it.
     ///
-    /// The lock is *not* held while `compute` runs, so concurrent
-    /// estimates proceed in parallel; two threads racing on the same key
-    /// both compute the (deterministic) value and the insert is
-    /// idempotent.
+    /// No lock is held while `compute` runs, so concurrent estimates
+    /// proceed in parallel; two threads racing on the same key both
+    /// compute the (deterministic) value and the insert is idempotent.
     pub(crate) fn get_or_insert_with(
         &self,
-        key: Vec<u8>,
+        key: &[u8],
         compute: impl FnOnce() -> Result<Estimate, EstimateError>,
     ) -> Result<Estimate, EstimateError> {
-        if let Some(cached) = self.map.lock().expect("cache lock").get(&key) {
+        if let Some(cached) = self
+            .shard_for(key)
+            .lock()
+            .expect("cache shard lock")
+            .get(key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
         let value = compute();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map
+        self.shard_for(key)
             .lock()
-            .expect("cache lock")
-            .entry(key)
+            .expect("cache shard lock")
+            .entry(key.to_vec())
             .or_insert_with(|| value.clone());
         value
     }
 }
 
-/// A deterministic FNV-1a [`std::hash::Hasher`] used to fold `Hash`
-/// types (the Bundle skeleton) into canonical cache keys. The std
-/// `DefaultHasher` is randomly keyed per process and therefore unusable
-/// for a canonical encoding.
-#[derive(Debug, Clone)]
-pub(crate) struct Fnv1a(u64);
+/// A cache-key assembly buffer that lives on the stack for typical keys
+/// and spills to the heap only for very deep designs.
+///
+/// `estimate_point` used to heap-allocate a fresh `Vec<u8>` key per
+/// probe; at millions of probes per search that allocation was pure
+/// overhead. A `KeyBuf` holds up to [`KeyBuf::INLINE`] bytes inline —
+/// enough for the estimator salt plus the canonical encoding of design
+/// points with ten-plus replications — and transparently migrates to a
+/// `Vec` beyond that.
+#[derive(Debug)]
+pub struct KeyBuf {
+    len: usize,
+    inline: [u8; KeyBuf::INLINE],
+    spill: Vec<u8>,
+}
 
-impl Fnv1a {
-    pub(crate) fn new() -> Self {
-        Fnv1a(0xCBF2_9CE4_8422_2325)
+impl KeyBuf {
+    /// Inline capacity in bytes.
+    pub const INLINE: usize = 256;
+
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self {
+            len: 0,
+            inline: [0u8; Self::INLINE],
+            spill: Vec::new(),
+        }
     }
 
-    pub(crate) fn finish64(&self) -> u64 {
-        self.0
+    /// Appends a `u64` in little-endian byte order.
+    pub fn push_u64(&mut self, v: u64) {
+        self.extend(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.spill.is_empty() {
+            if self.len + bytes.len() <= Self::INLINE {
+                self.inline[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+                self.len += bytes.len();
+                return;
+            }
+            self.spill.reserve(self.len + bytes.len());
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+        }
+        self.spill.extend_from_slice(bytes);
+    }
+
+    /// The assembled key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Empties the buffer for reuse (keeps any heap capacity).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
     }
 }
 
-impl std::hash::Hasher for Fnv1a {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
+impl Default for KeyBuf {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -201,8 +324,8 @@ mod tests {
     #[test]
     fn hit_returns_first_inserted_value() {
         let cache = EstimateCache::new();
-        let a = cache.get_or_insert_with(vec![1, 2], || estimate(10));
-        let b = cache.get_or_insert_with(vec![1, 2], || estimate(99));
+        let a = cache.get_or_insert_with(&[1, 2], || estimate(10));
+        let b = cache.get_or_insert_with(&[1, 2], || estimate(99));
         assert_eq!(a, b, "second lookup must be served from the cache");
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 1);
@@ -212,8 +335,8 @@ mod tests {
     #[test]
     fn distinct_keys_do_not_alias() {
         let cache = EstimateCache::new();
-        let a = cache.get_or_insert_with(vec![1], || estimate(10)).unwrap();
-        let b = cache.get_or_insert_with(vec![2], || estimate(20)).unwrap();
+        let a = cache.get_or_insert_with(&[1], || estimate(10)).unwrap();
+        let b = cache.get_or_insert_with(&[2], || estimate(20)).unwrap();
         assert_ne!(a.latency_cycles, b.latency_cycles);
         assert_eq!(cache.len(), 2);
     }
@@ -228,18 +351,53 @@ mod tests {
                 },
             ))
         };
-        assert!(cache.get_or_insert_with(vec![7], err).is_err());
-        assert!(cache.get_or_insert_with(vec![7], || estimate(1)).is_err());
+        assert!(cache.get_or_insert_with(&[7], err).is_err());
+        assert!(cache.get_or_insert_with(&[7], || estimate(1)).is_err());
         assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]
     fn clear_resets_counters_and_entries() {
         let cache = EstimateCache::new();
-        cache.get_or_insert_with(vec![1], || estimate(1)).unwrap();
+        cache.get_or_insert_with(&[1], || estimate(1)).unwrap();
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().total(), 0);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(EstimateCache::with_shards(0).shard_count(), 1);
+        assert_eq!(EstimateCache::with_shards(1).shard_count(), 1);
+        assert_eq!(EstimateCache::with_shards(5).shard_count(), 8);
+        assert_eq!(EstimateCache::new().shard_count(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn sharding_is_transparent() {
+        // The same key sequence produces identical results and stats on
+        // a 1-shard (the old single-lock layout) and a many-shard cache.
+        let single = EstimateCache::with_shards(1);
+        let sharded = EstimateCache::with_shards(16);
+        for cache in [&single, &sharded] {
+            for k in 0u8..32 {
+                cache
+                    .get_or_insert_with(&[k, k / 3], || estimate(k as u64))
+                    .unwrap();
+                cache
+                    .get_or_insert_with(&[k, k / 3], || estimate(999))
+                    .unwrap();
+            }
+        }
+        assert_eq!(single.len(), sharded.len());
+        assert_eq!(single.stats().hits, sharded.stats().hits);
+        assert_eq!(single.stats().misses, sharded.stats().misses);
+        for k in 0u8..32 {
+            assert_eq!(
+                single.get_or_insert_with(&[k, k / 3], || estimate(999)),
+                sharded.get_or_insert_with(&[k, k / 3], || estimate(999)),
+            );
+        }
     }
 
     #[test]
@@ -252,7 +410,7 @@ mod tests {
                 s.spawn(move || {
                     for k in 0u8..16 {
                         cache
-                            .get_or_insert_with(vec![k], || estimate(k as u64))
+                            .get_or_insert_with(&[k], || estimate(k as u64))
                             .unwrap();
                     }
                 });
@@ -264,17 +422,43 @@ mod tests {
     }
 
     #[test]
-    fn fnv_is_stable() {
-        use std::hash::Hasher as _;
-        let mut h = Fnv1a::new();
-        h.write(b"bundle13");
-        // FNV-1a is a fixed function: pin the digest so key layout
-        // changes are caught.
-        assert_eq!(h.finish64(), {
-            let mut h2 = Fnv1a::new();
-            h2.write(b"bundle13");
-            h2.finish64()
-        });
-        assert_ne!(h.finish64(), Fnv1a::new().finish64());
+    fn key_buf_stays_inline_then_spills() {
+        let mut key = KeyBuf::new();
+        for w in 0..(KeyBuf::INLINE as u64 / 8) {
+            key.push_u64(w);
+        }
+        assert_eq!(key.as_bytes().len(), KeyBuf::INLINE);
+        let inline_copy = key.as_bytes().to_vec();
+        key.push_u64(0xDEAD_BEEF); // forces the spill path
+        assert_eq!(key.as_bytes().len(), KeyBuf::INLINE + 8);
+        assert_eq!(&key.as_bytes()[..KeyBuf::INLINE], &inline_copy[..]);
+        assert_eq!(
+            &key.as_bytes()[KeyBuf::INLINE..],
+            &0xDEAD_BEEFu64.to_le_bytes()
+        );
+        key.clear();
+        assert!(key.as_bytes().is_empty());
+        key.push_u64(7);
+        assert_eq!(key.as_bytes(), &7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn shard_selection_is_deterministic() {
+        // A key must always land in the same shard, and keys should
+        // spread across shards rather than pile onto one.
+        let cache = EstimateCache::with_shards(16);
+        let mut used = std::collections::HashSet::new();
+        for k in 0u64..64 {
+            let key: Vec<u8> = k.to_le_bytes().into_iter().cycle().take(40).collect();
+            let a = cache.shard_for(&key) as *const _;
+            let b = cache.shard_for(&key) as *const _;
+            assert_eq!(a, b, "shard choice must be stable");
+            used.insert(a as usize);
+        }
+        assert!(
+            used.len() > 4,
+            "64 keys landed in only {} shards",
+            used.len()
+        );
     }
 }

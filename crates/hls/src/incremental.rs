@@ -1,0 +1,777 @@
+//! Incremental design-point estimation: the engine behind SCD probing.
+//!
+//! Algorithm 1 (the SCD unit) probes unit moves around its current
+//! design point, so consecutive estimator queries differ by exactly one
+//! coordinate of (`N`, `Π`, `X`, `PF`). The full
+//! [`estimate_point`](crate::model::HlsEstimator::estimate_point) path
+//! re-elaborates the whole DNN and re-walks every pipeline group for
+//! each probe — almost pure waste when only one Bundle replication
+//! changed. An [`EstimatePlan`] elaborates a point **once** into
+//! per-slot terms and then updates only what a move touched.
+//!
+//! # Plan lifecycle
+//!
+//! 1. [`EstimatePlan::new`] elaborates the design point into *slots* —
+//!    the stem, one slot per Bundle replication, and the detection head,
+//!    exactly the pipeline groups of the analytic model (Eqs. 2-4) —
+//!    and derives each slot's closed-form terms: sequential compute
+//!    cycles (Eq. 3), data volume `Θ(Data)`, inter-bundle traffic
+//!    bytes, and the slot's resource contributions (IP kinds, largest
+//!    weight tensor, largest tile footprint).
+//! 2. [`EstimatePlan::probe`] estimates a neighboring point without
+//!    committing to it: slots before the first changed replication are
+//!    reused verbatim, and only the affected replication and its
+//!    shape-dependent downstream slots are re-elaborated. A
+//!    parallel-factor change re-derives the terms of every slot but
+//!    reuses the elaborated structure (PF never changes layer shapes).
+//!    When the estimator carries an
+//!    [`EstimateCache`](crate::cache::EstimateCache), each probe is one
+//!    memoized lookup, exactly like `estimate_point`.
+//! 3. [`EstimatePlan::commit`] / [`EstimatePlan::apply_move`] re-stage a
+//!    target the same way and make it the plan's new base point (no
+//!    cache interaction — the caller usually just probed the target).
+//!
+//! # Why re-summing in canonical order keeps bit-identity
+//!
+//! The repo's determinism contract requires the incremental path to be
+//! **bit-identical** to `estimate_point` on a freshly rebuilt DNN.
+//! Integer terms are order-insensitive, but the Eq. 2/4 latency fold is
+//! an `f64` accumulation, and floating-point addition is not
+//! associative — summing "old total minus old slot plus new slot" would
+//! drift in the last ulp. The plan therefore re-sums **all** slot terms
+//! in the canonical group order (stem, replication 0‥N, head) on every
+//! fold; what is incremental is the *derivation* of the per-slot terms,
+//! not the final reduction. The reduction is a handful of flops per
+//! probe, so bit-identity costs nothing measurable. The
+//! `incremental_equivalence` proptest pins this contract over random
+//! coordinate walks.
+
+use crate::cache::KeyBuf;
+use crate::calibrate::CalibratedParams;
+use crate::model::{Estimate, EstimateError, HlsEstimator};
+use codesign_dnn::space::DesignPoint;
+use codesign_dnn::{LayerInstance, TensorShape};
+use codesign_sim::device::FpgaDevice;
+use codesign_sim::ip::{IpKind, INVOCATION_OVERHEAD};
+use codesign_sim::pipeline::{bram_blocks, control_overhead, tile_buffer_blocks, AccelConfig};
+use codesign_sim::report::ResourceUsage;
+use std::sync::Arc;
+
+/// The three DNN-side coordinates the SCD unit moves along (Table 1's
+/// `N`, `Π` and `X`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveCoord {
+    /// Replication count `N`.
+    Replications,
+    /// Channel-expansion vector `Π`.
+    Expansion,
+    /// Down-sampling vector `X`.
+    Downsampling,
+}
+
+impl MoveCoord {
+    /// The design point `steps` unit moves from `point` along this
+    /// coordinate (saturating at the coordinate's domain bounds, like
+    /// the `DesignPoint::with_*_delta` moves it delegates to).
+    pub fn applied(&self, point: &DesignPoint, steps: isize) -> DesignPoint {
+        match self {
+            MoveCoord::Replications => point.with_replication_delta(steps),
+            MoveCoord::Expansion => point.with_expansion_delta(steps),
+            MoveCoord::Downsampling => point.with_downsample_delta(steps),
+        }
+    }
+}
+
+/// Distinct IP kinds one slot can contain: at most two Bundle
+/// computational IPs, the element-wise engine, an expansion pointwise
+/// conv, and a pooling engine.
+const SLOT_KINDS: usize = 8;
+
+/// Distinct IP kinds a whole DNN can contain (conv 1/3/5/7, dw-conv
+/// 3/5/7, pool, element-wise), with slack.
+const UNION_KINDS: usize = 16;
+
+/// A tiny insertion-ordered set of IP kinds with inline storage — the
+/// incremental fold must not heap-allocate per probe.
+#[derive(Debug, Clone, Copy)]
+struct KindSet<const N: usize> {
+    len: usize,
+    items: [IpKind; N],
+}
+
+impl<const N: usize> KindSet<N> {
+    fn new() -> Self {
+        Self {
+            len: 0,
+            items: [IpKind::Pool; N],
+        }
+    }
+
+    fn insert(&mut self, kind: IpKind) {
+        if !self.items[..self.len].contains(&kind) {
+            assert!(self.len < N, "IP-kind set overflow");
+            self.items[self.len] = kind;
+            self.len += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn iter(&self) -> impl Iterator<Item = IpKind> + '_ {
+        self.items[..self.len].iter().copied()
+    }
+}
+
+/// The configuration-independent invariants of one pipeline group,
+/// extracted once when the group is elaborated. Everything Eqs. 1-5
+/// read from a group is derivable from these plus the accelerator
+/// config (`PF` and quantization), so re-pricing a slot at another PF
+/// is pure arithmetic — no shape walk, no re-elaboration.
+#[derive(Debug)]
+struct SlotBody {
+    /// Output shape of the group's last layer (feeds the next slot).
+    output: TensorShape,
+    /// Tile count of the group's input feature map.
+    n_tiles: u64,
+    /// Per-layer lane-independent invocation work (Eq. 3's `lat` before
+    /// the lane division) and the IP kind whose lanes divide it, in
+    /// layer order.
+    works: Vec<(u64, IpKind)>,
+    /// Elements of the group's boundary feature maps (input + output).
+    fm_elems: u64,
+    /// Total weight parameters across the group's layers.
+    params_sum: u64,
+    /// Elements of the group's output feature map (inter-bundle
+    /// traffic).
+    out_elems: u64,
+    /// Largest single-layer weight parameter count (sizes the shared
+    /// weight buffer of Eq. 1).
+    max_params: u64,
+    /// Largest (input + output) tile footprint in elements (sizes the
+    /// ping-pong data buffers of Eq. 1).
+    max_tile_elems: u64,
+    /// Distinct IP kinds the group instantiates.
+    kinds: KindSet<SLOT_KINDS>,
+}
+
+impl SlotBody {
+    /// Extracts the invariants of an elaborated group. The tile
+    /// geometry of `cfg` is the fixed default (every config the plan
+    /// builds comes from [`AccelConfig::new`]); `PF` and quantization
+    /// are *not* baked in.
+    fn of(layers: &[LayerInstance], cfg: &AccelConfig) -> Result<Self, EstimateError> {
+        let first = layers.first().expect("slots are non-empty");
+        let last = layers.last().expect("slots are non-empty");
+        let tiles_h = first.input.h.div_ceil(cfg.tile_h).max(1);
+        let tiles_w = first.input.w.div_ceil(cfg.tile_w).max(1);
+        let n_tiles = (tiles_h * tiles_w) as u64;
+        let mut works = Vec::with_capacity(layers.len());
+        let mut kinds = KindSet::new();
+        let mut params_sum = 0u64;
+        let mut max_params = 0u64;
+        let mut max_tile_elems = 0u64;
+        for layer in layers {
+            let kind = IpKind::for_op(&layer.op)?;
+            kinds.insert(kind);
+            let ip = cfg.instance_for_kind(kind);
+            let th = layer.output.h.div_ceil(tiles_h).clamp(1, layer.output.h);
+            let tw = layer.output.w.div_ceil(tiles_w).clamp(1, layer.output.w);
+            works.push((
+                ip.invocation_work(&layer.op, th, tw, layer.input.c, layer.output.c),
+                kind,
+            ));
+            let params = layer.op.params(layer.input);
+            params_sum += params;
+            max_params = max_params.max(params);
+            let th_in = cfg.tile_h.min(layer.input.h);
+            let tw_in = cfg.tile_w.min(layer.input.w);
+            let th_out = cfg.tile_h.min(layer.output.h);
+            let tw_out = cfg.tile_w.min(layer.output.w);
+            max_tile_elems = max_tile_elems
+                .max((th_in * tw_in * layer.input.c + th_out * tw_out * layer.output.c) as u64);
+        }
+        Ok(Self {
+            output: last.output,
+            n_tiles,
+            works,
+            fm_elems: (first.input.elements() + last.output.elements()) as u64,
+            params_sum,
+            out_elems: last.output.elements() as u64,
+            max_params,
+            max_tile_elems,
+            kinds,
+        })
+    }
+}
+
+/// The closed-form terms of one pipeline group under a concrete
+/// accelerator config, derived from the group's [`SlotBody`].
+#[derive(Debug, Clone, Copy)]
+struct SlotTerms {
+    /// Sequential compute cycles `Σ reuse·lat` (Eq. 3).
+    compute_cycles: u64,
+    /// Data volume `Θ(Data)` in bytes (feature maps + streamed weights).
+    data_bytes: u64,
+    /// Bytes this group contributes to inter-bundle data movement.
+    inter_bundle_bytes: u64,
+    /// Largest single-layer weight tensor in bytes.
+    max_weight_bytes: u64,
+    /// Largest (input + output) tile footprint in bytes.
+    max_tile_bytes: u64,
+}
+
+impl SlotTerms {
+    /// Prices a group's invariants under `cfg` — bit-identical to
+    /// walking the elaborated layers with the full model's Eq. 2/3
+    /// helpers (`⌈work/lanes⌉ + overhead` per layer times the tile
+    /// count; byte terms scale element counts by the quantization
+    /// width, which distributes exactly over integer sums and maxima).
+    fn derive(body: &SlotBody, cfg: &AccelConfig) -> Self {
+        let qbytes = cfg.quant.bytes() as u64;
+        let mut compute_cycles = 0u64;
+        for &(work, kind) in &body.works {
+            let lanes = cfg.instance_for_kind(kind).lanes();
+            compute_cycles += (work.div_ceil(lanes) + INVOCATION_OVERHEAD) * body.n_tiles;
+        }
+        Self {
+            compute_cycles,
+            data_bytes: (body.fm_elems + body.params_sum) * qbytes,
+            inter_bundle_bytes: body.out_elems * qbytes,
+            max_weight_bytes: body.max_params * qbytes,
+            max_tile_bytes: body.max_tile_elems * qbytes,
+        }
+    }
+}
+
+/// One pipeline group: its shared invariants (reused slots cost one
+/// `Arc` bump) plus the terms derived under the plan's current config.
+#[derive(Debug, Clone)]
+struct Slot {
+    body: Arc<SlotBody>,
+    terms: SlotTerms,
+}
+
+impl Slot {
+    fn build(layers: Vec<LayerInstance>, cfg: &AccelConfig) -> Result<Self, EstimateError> {
+        let body = Arc::new(SlotBody::of(&layers, cfg)?);
+        let terms = SlotTerms::derive(&body, cfg);
+        Ok(Self { body, terms })
+    }
+
+    /// The slot re-priced under another config (structure reused).
+    fn repriced(&self, cfg: &AccelConfig) -> Self {
+        Self {
+            body: Arc::clone(&self.body),
+            terms: SlotTerms::derive(&self.body, cfg),
+        }
+    }
+
+    fn output_shape(&self) -> TensorShape {
+        self.body.output
+    }
+}
+
+/// A staged (not yet committed) re-estimation of a target point. The
+/// slot list is absolute — it fully describes the staged point, not a
+/// delta — so a memoized `Staged` stays valid no matter how the plan
+/// moves afterwards.
+#[derive(Debug, Clone)]
+struct Staged {
+    cfg: AccelConfig,
+    slots: Vec<Slot>,
+    estimate: Estimate,
+}
+
+/// An incrementally updatable analytic estimate of one design point.
+///
+/// Construction elaborates the point once; afterwards
+/// [`probe`](Self::probe) prices neighboring points by re-deriving only
+/// the slots a move touched, and [`commit`](Self::commit) /
+/// [`apply_move`](Self::apply_move) advance the plan's base point. All
+/// results are bit-identical to
+/// [`HlsEstimator::estimate_point`] on the same point — the plan is a
+/// pure optimization, pinned by the `incremental_equivalence` proptest.
+///
+/// # Example
+///
+/// ```
+/// use codesign_dnn::{bundle, space::DesignPoint};
+/// use codesign_hls::calibrate::calibrate_bundle;
+/// use codesign_hls::incremental::{EstimatePlan, MoveCoord};
+/// use codesign_hls::model::HlsEstimator;
+/// use codesign_sim::device::pynq_z1;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bundle = bundle::enumerate_bundles()[12].clone();
+/// let estimator = HlsEstimator::new(calibrate_bundle(&bundle, &pynq_z1())?, pynq_z1());
+/// let point = DesignPoint::initial(bundle, 3);
+/// let mut plan = EstimatePlan::new(&estimator, &point)?;
+///
+/// // Probe a neighbor without committing, then walk to it.
+/// let deeper = point.with_replication_delta(1);
+/// let probed = plan.probe(&deeper)?;
+/// assert_eq!(probed, estimator.estimate_point(&deeper)?); // bit-identical
+/// assert_eq!(plan.apply_move(MoveCoord::Replications, 1)?, probed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EstimatePlan {
+    estimator: HlsEstimator,
+    /// The logical base point ([`point`](Self::point)) with its
+    /// estimate. May run ahead of `slots_point` after cheap
+    /// [`commit_probed`](Self::commit_probed) calls.
+    point: DesignPoint,
+    estimate: Estimate,
+    /// The point `slots` were elaborated for — the diff base of
+    /// [`stage`](Self::stage). Rebased whenever a stage result is
+    /// adopted.
+    slots_point: DesignPoint,
+    cfg: AccelConfig,
+    slots: Vec<Slot>,
+    /// The most recent stage computed by a probe miss, kept so a
+    /// following commit of the same target is free. Interior-mutable
+    /// because probing is logically `&self`.
+    staged: std::cell::RefCell<Option<(DesignPoint, Staged)>>,
+}
+
+impl EstimatePlan {
+    /// Elaborates `point` into per-slot terms under `estimator`'s
+    /// calibration, device and builder (the estimator is cloned once —
+    /// not per probe).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of
+    /// [`estimate_point`](HlsEstimator::estimate_point): an invalid or
+    /// unelaborable point maps to [`EstimateError::Dnn`], an operator
+    /// outside the IP pool to [`EstimateError::Sim`].
+    pub fn new(estimator: &HlsEstimator, point: &DesignPoint) -> Result<Self, EstimateError> {
+        let mut plan = Self {
+            estimator: estimator.clone(),
+            point: point.clone(),
+            estimate: Estimate {
+                latency_cycles: 0,
+                resources: ResourceUsage::zero(),
+            },
+            slots_point: point.clone(),
+            cfg: AccelConfig::new(point.parallel_factor, point.quantization()),
+            slots: Vec::new(),
+            staged: std::cell::RefCell::new(None),
+        };
+        let staged = plan.stage(point)?;
+        plan.adopt(point, staged);
+        Ok(plan)
+    }
+
+    /// Installs a staged result as the new base (and diff base).
+    fn adopt(&mut self, target: &DesignPoint, staged: Staged) {
+        self.cfg = staged.cfg;
+        self.slots = staged.slots;
+        self.estimate = staged.estimate;
+        self.point = target.clone();
+        self.slots_point = target.clone();
+    }
+
+    /// The plan's current base point.
+    pub fn point(&self) -> &DesignPoint {
+        &self.point
+    }
+
+    /// The estimate of the current base point.
+    pub fn estimate(&self) -> Estimate {
+        self.estimate
+    }
+
+    /// The estimator whose model the plan applies.
+    pub fn estimator(&self) -> &HlsEstimator {
+        &self.estimator
+    }
+
+    /// Estimates `target` without committing to it, reusing every slot
+    /// the difference from the base point does not touch.
+    ///
+    /// When the estimator carries a cache this is **one memoized
+    /// lookup** under the same canonical key `estimate_point` would use
+    /// — probe-for-probe parity keeps the flow's deterministic
+    /// total-lookup count intact — and the incremental fold runs only
+    /// on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors `estimate_point(target)` would return (they
+    /// are cached under the same key, like `estimate_point`'s).
+    pub fn probe(&self, target: &DesignPoint) -> Result<Estimate, EstimateError> {
+        let mut fresh: Option<Staged> = None;
+        let result = match self.estimator.cache() {
+            Some(cache) => {
+                let mut key = KeyBuf::new();
+                self.estimator.write_key(target, &mut key);
+                cache.get_or_insert_with(key.as_bytes(), || match self.stage(target) {
+                    Ok(staged) => {
+                        let estimate = staged.estimate;
+                        fresh = Some(staged);
+                        Ok(estimate)
+                    }
+                    Err(e) => Err(e),
+                })
+            }
+            None => match self.stage(target) {
+                Ok(staged) => {
+                    let estimate = staged.estimate;
+                    fresh = Some(staged);
+                    Ok(estimate)
+                }
+                Err(e) => Err(e),
+            },
+        };
+        if let Some(staged) = fresh {
+            // Remember the stage so a commit of this target is free.
+            *self.staged.borrow_mut() = Some((target.clone(), staged));
+        }
+        result
+    }
+
+    /// Makes `target` the plan's new base point, re-deriving only the
+    /// slots the change touches, and returns its estimate.
+    ///
+    /// Does **not** consult the estimate cache: the SCD loop probes a
+    /// point first and commits only accepted moves, so a cache lookup
+    /// here would double-count. On error the plan is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors `estimate_point(target)` would return.
+    pub fn commit(&mut self, target: &DesignPoint) -> Result<Estimate, EstimateError> {
+        if let Some(staged) = self.take_staged(target) {
+            self.adopt(target, staged);
+            return Ok(self.estimate);
+        }
+        let staged = self.stage(target)?;
+        self.adopt(target, staged);
+        Ok(self.estimate)
+    }
+
+    /// Makes `target` — a point whose [`probe`](Self::probe) just
+    /// returned `estimate` — the plan's new base point, for free.
+    ///
+    /// When the probe was a cache **miss**, its staged slots were
+    /// memoized and are adopted here; after a cache **hit** no staging
+    /// ever ran, so the slot base intentionally lags behind (`stage`
+    /// diffs against the slot base, which only costs reuse on the next
+    /// miss, never correctness). This keeps the SCD hot loop free of
+    /// per-accepted-move staging on heavily memoized flows.
+    pub fn commit_probed(&mut self, target: &DesignPoint, estimate: Estimate) {
+        if let Some(staged) = self.take_staged(target) {
+            debug_assert_eq!(staged.estimate, estimate, "probe/stage disagree");
+            self.adopt(target, staged);
+        } else {
+            self.point = target.clone();
+        }
+        self.estimate = estimate;
+    }
+
+    /// Takes the memoized stage if it belongs to `target`.
+    fn take_staged(&self, target: &DesignPoint) -> Option<Staged> {
+        let mut memo = self.staged.borrow_mut();
+        match memo.take() {
+            Some((point, staged)) if point == *target => Some(staged),
+            other => {
+                *memo = other;
+                None
+            }
+        }
+    }
+
+    /// Moves the base point `steps` units along `coord` (recomputing
+    /// only the affected replication slots and their shape-dependent
+    /// downstream slots) and returns the new estimate. Shorthand for
+    /// [`commit`](Self::commit) on [`MoveCoord::applied`].
+    ///
+    /// # Errors
+    ///
+    /// See [`commit`](Self::commit).
+    pub fn apply_move(
+        &mut self,
+        coord: MoveCoord,
+        steps: isize,
+    ) -> Result<Estimate, EstimateError> {
+        let target = coord.applied(&self.point, steps);
+        self.commit(&target)
+    }
+
+    /// Re-estimates `target` against the current slot list: reuse the
+    /// structural prefix, re-elaborate from the first changed
+    /// replication, re-derive terms (for every slot when the accelerator
+    /// config changed, for rebuilt slots otherwise), and fold in
+    /// canonical order.
+    fn stage(&self, target: &DesignPoint) -> Result<Staged, EstimateError> {
+        target.validate()?;
+        let cfg = AccelConfig::new(target.parallel_factor, target.quantization());
+        let builder = self.estimator.builder();
+        let reps = builder.body_replications(target);
+        // Clamp to what actually exists: during construction the plan
+        // stages against an empty slot list.
+        let reuse = self.reusable_slots(target, reps).min(self.slots.len());
+        let same_cfg = cfg == self.cfg;
+
+        let mut slots: Vec<Slot> = Vec::with_capacity(reps + 2);
+        for slot in &self.slots[..reuse] {
+            slots.push(if same_cfg {
+                slot.clone()
+            } else {
+                // PF / quantization changed: the elaborated structure is
+                // untouched, only the terms are re-derived (pure
+                // arithmetic over the slot's invariants).
+                slot.repriced(&cfg)
+            });
+        }
+
+        let mut shape;
+        if slots.is_empty() {
+            let (layers, out) = builder.stem(target)?;
+            shape = out;
+            slots.push(Slot::build(layers, &cfg)?);
+        } else {
+            shape = slots.last().expect("stem pushed").output_shape();
+        }
+        let done_reps = (slots.len() - 1).min(reps);
+        for rep in done_reps..reps {
+            let (layers, out) = builder.replication(target, rep, shape)?;
+            shape = out;
+            slots.push(Slot::build(layers, &cfg)?);
+        }
+        if slots.len() < reps + 2 {
+            slots.push(Slot::build(builder.head(shape)?, &cfg)?);
+        }
+
+        let estimate = fold(
+            &slots,
+            &cfg,
+            self.estimator.params(),
+            self.estimator.device(),
+        );
+        Ok(Staged {
+            cfg,
+            slots,
+            estimate,
+        })
+    }
+
+    /// Number of leading slots of the current plan that stay valid for
+    /// `target`: the stem plus every replication up to the first one
+    /// whose down-sampling flag or channel width differs (widths are
+    /// cumulative in `Π`, so a changed expansion entry invalidates
+    /// everything downstream of it); the head only survives a full
+    /// structural match.
+    fn reusable_slots(&self, target: &DesignPoint, target_reps: usize) -> usize {
+        let base = &self.slots_point;
+        if target.bundle != base.bundle
+            || target.activation != base.activation
+            || target.base_channels != base.base_channels
+            || target.max_channels != base.max_channels
+        {
+            return 0;
+        }
+        let builder = self.estimator.builder();
+        let base_reps = builder.body_replications(base);
+        let mut matching_reps = 0;
+        for rep in 0..target_reps.min(base_reps) {
+            if builder.downsample_at(target, rep) != builder.downsample_at(base, rep)
+                || target.channels_at(rep) != base.channels_at(rep)
+            {
+                break;
+            }
+            matching_reps += 1;
+        }
+        if matching_reps == target_reps && target_reps == base_reps {
+            target_reps + 2 // stem + every replication + head
+        } else {
+            1 + matching_reps // stem + the matching replication prefix
+        }
+    }
+}
+
+/// Re-sums every slot's terms in canonical group order — Eqs. 2 and 4
+/// for latency, Eqs. 1 and 5 for resources — reproducing
+/// `HlsEstimator::estimate_dnn_at` bit-for-bit.
+fn fold(
+    slots: &[Slot],
+    cfg: &AccelConfig,
+    params: &CalibratedParams,
+    device: &FpgaDevice,
+) -> Estimate {
+    let bw = device.dram_bytes_per_cycle;
+    let mut latency = 0.0f64;
+    let mut inter_bundle_bytes = 0u64;
+    for slot in slots {
+        // f64 addition is not associative: fold in group order, never
+        // "subtract old slot, add new slot".
+        latency += params.alpha * (slot.terms.compute_cycles as f64)
+            + params.beta * (slot.terms.data_bytes as f64) / bw;
+        inter_bundle_bytes += slot.terms.inter_bundle_bytes;
+    }
+    let lat_dm = inter_bundle_bytes as f64 / bw;
+    latency += params.phi * lat_dm;
+
+    let mut union: KindSet<UNION_KINDS> = KindSet::new();
+    let mut max_weight_bytes = 0u64;
+    let mut max_tile_bytes = 0u64;
+    for slot in slots {
+        for kind in slot.body.kinds.iter() {
+            union.insert(kind);
+        }
+        max_weight_bytes = max_weight_bytes.max(slot.terms.max_weight_bytes);
+        max_tile_bytes = max_tile_bytes.max(slot.terms.max_tile_bytes);
+    }
+    let mut base = ResourceUsage::zero();
+    for kind in union.iter() {
+        base += cfg.instance_for_kind(kind).resources();
+    }
+    base.bram_18k += bram_blocks(max_weight_bytes);
+    base.bram_18k += tile_buffer_blocks(max_tile_bytes);
+    base += control_overhead(union.len());
+
+    let resources = ResourceUsage {
+        dsp: base.dsp,
+        lut: (base.lut as f64 * params.gamma).round() as u64,
+        ff: (base.ff as f64 * params.gamma).round() as u64,
+        bram_18k: base.bram_18k,
+    };
+    Estimate {
+        latency_cycles: latency.max(0.0).round() as u64,
+        resources,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::EstimateCache;
+    use crate::calibrate::calibrate_bundle;
+    use codesign_dnn::bundle::{bundle_by_id, BundleId};
+    use codesign_dnn::quant::Activation;
+    use codesign_sim::device::pynq_z1;
+
+    fn estimator_for(id: usize) -> HlsEstimator {
+        let b = bundle_by_id(BundleId(id)).unwrap();
+        let params = calibrate_bundle(&b, &pynq_z1()).unwrap();
+        HlsEstimator::new(params, pynq_z1())
+    }
+
+    #[test]
+    fn plan_matches_full_rebuild_on_construction() {
+        for id in 1..=18 {
+            let est = estimator_for(id);
+            let b = bundle_by_id(BundleId(id)).unwrap();
+            for reps in 1..=4 {
+                let point = DesignPoint::initial(b.clone(), reps);
+                let plan = EstimatePlan::new(&est, &point).unwrap();
+                assert_eq!(
+                    plan.estimate(),
+                    est.estimate_point(&point).unwrap(),
+                    "bundle {id} reps {reps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_and_apply_move_match_full_rebuild() {
+        let est = estimator_for(13);
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let point = DesignPoint::initial(b, 3);
+        let mut plan = EstimatePlan::new(&est, &point).unwrap();
+        for (coord, steps) in [
+            (MoveCoord::Replications, 2),
+            (MoveCoord::Expansion, -1),
+            (MoveCoord::Downsampling, -2),
+            (MoveCoord::Downsampling, 3),
+            (MoveCoord::Replications, -3),
+            (MoveCoord::Expansion, 4),
+        ] {
+            let target = coord.applied(plan.point(), steps);
+            let full = est.estimate_point(&target).unwrap();
+            assert_eq!(plan.probe(&target).unwrap(), full, "{coord:?} x{steps}");
+            assert_eq!(
+                plan.apply_move(coord, steps).unwrap(),
+                full,
+                "{coord:?} x{steps}"
+            );
+            assert_eq!(plan.point(), &target);
+        }
+    }
+
+    #[test]
+    fn pf_probes_reuse_structure() {
+        let est = estimator_for(13);
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let point = DesignPoint::initial(b, 4);
+        let plan = EstimatePlan::new(&est, &point).unwrap();
+        for pf in [4usize, 8, 16, 100, 256, 512] {
+            let mut probe = point.clone();
+            probe.parallel_factor = pf;
+            assert_eq!(
+                plan.probe(&probe).unwrap(),
+                est.estimate_point(&probe).unwrap(),
+                "pf {pf}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_structure_commit_matches_restart() {
+        // A commit to an arbitrary other point (SCD's random restart)
+        // must behave like building a fresh plan.
+        let est = estimator_for(1);
+        let b = bundle_by_id(BundleId(1)).unwrap();
+        let mut plan = EstimatePlan::new(&est, &DesignPoint::initial(b.clone(), 5)).unwrap();
+        let mut restart = DesignPoint::initial(b, 2);
+        restart.activation = Activation::Relu4;
+        restart.parallel_factor = 64;
+        let committed = plan.commit(&restart).unwrap();
+        assert_eq!(committed, est.estimate_point(&restart).unwrap());
+        assert_eq!(
+            committed,
+            EstimatePlan::new(&est, &restart).unwrap().estimate()
+        );
+    }
+
+    #[test]
+    fn invalid_targets_error_like_estimate_point() {
+        let est = estimator_for(1);
+        let b = bundle_by_id(BundleId(1)).unwrap();
+        let point = DesignPoint::initial(b, 3);
+        let mut plan = EstimatePlan::new(&est, &point).unwrap();
+        let mut bad = point.clone();
+        bad.parallel_factor = 3; // illegal rung
+        assert_eq!(
+            plan.probe(&bad).unwrap_err(),
+            est.estimate_point(&bad).unwrap_err()
+        );
+        // A failed commit leaves the plan unchanged.
+        assert!(plan.commit(&bad).is_err());
+        assert_eq!(plan.point(), &point);
+        assert_eq!(plan.estimate(), est.estimate_point(&point).unwrap());
+    }
+
+    #[test]
+    fn probes_are_single_memoized_lookups() {
+        let cache = Arc::new(EstimateCache::new());
+        let est = estimator_for(13).with_cache(Arc::clone(&cache));
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let point = DesignPoint::initial(b, 3);
+        let plan = EstimatePlan::new(&est, &point).unwrap();
+        let target = point.with_replication_delta(1);
+        plan.probe(&target).unwrap();
+        plan.probe(&target).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        // estimate_point shares the same key space.
+        est.estimate_point(&target).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+    }
+}

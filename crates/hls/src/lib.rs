@@ -12,6 +12,10 @@
 //!   Eqs. 1-5: `Res_bund = Σ Res_j + Γ`, `Lat_bund = α·Σ Comp_j +
 //!   β·Θ(Data)/bw`, `Lat_DNN = Σ Lat_bund + φ·Lat_DM`, `Res_DNN =
 //!   Res_bund + γ·Res_ctl`.
+//! * [`incremental`] — the incremental estimation engine: an
+//!   [`incremental::EstimatePlan`] elaborates a design point once into
+//!   per-pipeline-group terms and re-derives only what an SCD move
+//!   touched, bit-identical to the full model.
 //! * [`calibrate`] — determines the model coefficients α, β, Γ, φ, γ per
 //!   Bundle by *Auto-HLS sampling*: a handful of sample designs are run
 //!   through the Tile-Arch simulator (the stand-in for HLS synthesis +
@@ -43,9 +47,11 @@
 pub mod cache;
 pub mod calibrate;
 pub mod codegen;
+pub mod incremental;
 pub mod model;
 
 pub use cache::EstimateCache;
 pub use calibrate::{calibrate_bundle, CalibratedParams};
 pub use codegen::CodeGenerator;
+pub use incremental::{EstimatePlan, MoveCoord};
 pub use model::{Estimate, HlsEstimator};

@@ -17,7 +17,7 @@
 //! * Eq. 5: `Res_DNN = Res_bund + γ · Res_ctl` — accelerator resources
 //!   plus control overhead weighted by `γ`.
 
-use crate::cache::{EstimateCache, Fnv1a};
+use crate::cache::{EstimateCache, KeyBuf};
 use crate::calibrate::CalibratedParams;
 use codesign_dnn::builder::DnnBuilder;
 use codesign_dnn::space::DesignPoint;
@@ -28,7 +28,6 @@ use codesign_sim::pipeline::{accelerator_resources, AccelConfig};
 use codesign_sim::report::ResourceUsage;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::hash::Hash as _;
 use std::sync::Arc;
 
 /// A fast analytic estimate of one design's cost, the quantities
@@ -101,17 +100,20 @@ impl From<SimError> for EstimateError {
 }
 
 /// Sequential compute cycles of one pipeline group (Eq. 3): each layer's
-/// per-tile invocation latency times its tile reuse count.
-pub(crate) fn group_compute_cycles(
-    group: &[&LayerInstance],
+/// per-tile invocation latency times its tile reuse count. Generic over
+/// the layer borrow so both `pipeline_groups` slices (`&[&_]`) and the
+/// incremental plan's owned slots (`&[_]`) share one implementation.
+pub(crate) fn group_compute_cycles<L: std::borrow::Borrow<LayerInstance>>(
+    group: &[L],
     cfg: &AccelConfig,
 ) -> Result<u64, SimError> {
-    let first = group.first().expect("non-empty group");
+    let first = group.first().expect("non-empty group").borrow();
     let tiles_h = first.input.h.div_ceil(cfg.tile_h).max(1);
     let tiles_w = first.input.w.div_ceil(cfg.tile_w).max(1);
     let n_tiles = (tiles_h * tiles_w) as u64;
     let mut cycles = 0u64;
     for layer in group {
+        let layer = layer.borrow();
         let ip = cfg.instance_for(&layer.op)?;
         let th = layer.output.h.div_ceil(tiles_h).clamp(1, layer.output.h);
         let tw = layer.output.w.div_ceil(tiles_w).clamp(1, layer.output.w);
@@ -122,12 +124,21 @@ pub(crate) fn group_compute_cycles(
 
 /// Data volume `Θ(Data_i)` of a group in bytes: Bundle input + output
 /// feature maps plus streamed weights.
-pub(crate) fn group_data_bytes(group: &[&LayerInstance], cfg: &AccelConfig) -> u64 {
-    let first = group.first().expect("non-empty group");
-    let last = group.last().expect("non-empty group");
+pub(crate) fn group_data_bytes<L: std::borrow::Borrow<LayerInstance>>(
+    group: &[L],
+    cfg: &AccelConfig,
+) -> u64 {
+    let first = group.first().expect("non-empty group").borrow();
+    let last = group.last().expect("non-empty group").borrow();
     let qbytes = cfg.quant.bytes() as u64;
     let fm = (first.input.elements() + last.output.elements()) as u64 * qbytes;
-    let weights: u64 = group.iter().map(|l| l.op.params(l.input) * qbytes).sum();
+    let weights: u64 = group
+        .iter()
+        .map(|l| {
+            let l = l.borrow();
+            l.op.params(l.input) * qbytes
+        })
+        .sum();
     fm + weights
 }
 
@@ -153,23 +164,30 @@ pub struct HlsEstimator {
     device: FpgaDevice,
     builder: DnnBuilder,
     cache: Option<Arc<EstimateCache>>,
+    /// Precomputed cache-key salt (see [`Self::write_key`]); recomputed
+    /// whenever a constructor swaps a salted component.
+    salt: Vec<u8>,
 }
 
 impl HlsEstimator {
     /// Creates an estimator from calibrated coefficients and the target
     /// device.
     pub fn new(params: CalibratedParams, device: FpgaDevice) -> Self {
+        let builder = DnnBuilder::new();
+        let salt = Self::compute_salt(&params, &device, &builder);
         Self {
             params,
             device,
-            builder: DnnBuilder::new(),
+            builder,
             cache: None,
+            salt,
         }
     }
 
     /// Replaces the DNN builder (e.g. for a different input resolution).
     pub fn with_builder(mut self, builder: DnnBuilder) -> Self {
         self.builder = builder;
+        self.salt = Self::compute_salt(&self.params, &self.device, &self.builder);
         self
     }
 
@@ -198,15 +216,39 @@ impl HlsEstimator {
         &self.device
     }
 
+    /// The DNN builder used to elaborate design points.
+    pub fn builder(&self) -> &DnnBuilder {
+        &self.builder
+    }
+
     /// Estimates latency (Eqs. 2-4) and resources (Eqs. 1 and 5) of an
-    /// elaborated DNN.
+    /// elaborated DNN at the calibration-time parallel factor.
     ///
     /// # Errors
     ///
     /// Returns [`EstimateError::Sim`] when the DNN contains operators
     /// outside the IP pool.
     pub fn estimate_dnn(&self, dnn: &Dnn) -> Result<Estimate, EstimateError> {
-        let cfg = AccelConfig::new(self.params.parallel_factor, dnn.quantization());
+        self.estimate_dnn_at(dnn, self.params.parallel_factor)
+    }
+
+    /// Estimates an elaborated DNN at an explicit parallel factor.
+    ///
+    /// The PF is threaded through as an argument — design-point
+    /// estimation substitutes the *point's* PF for the calibration-time
+    /// one, and doing so here avoids the estimator self-clone the old
+    /// `estimate_point` paid on every probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::Sim`] when the DNN contains operators
+    /// outside the IP pool.
+    pub fn estimate_dnn_at(
+        &self,
+        dnn: &Dnn,
+        parallel_factor: usize,
+    ) -> Result<Estimate, EstimateError> {
+        let cfg = AccelConfig::new(parallel_factor, dnn.quantization());
         let bw = self.device.dram_bytes_per_cycle;
 
         let mut latency = 0.0f64;
@@ -248,62 +290,64 @@ impl HlsEstimator {
     /// feature maps) as [`EstimateError::Dnn`].
     pub fn estimate_point(&self, point: &DesignPoint) -> Result<Estimate, EstimateError> {
         match &self.cache {
-            Some(cache) => cache.get_or_insert_with(self.cache_key(point), || {
-                self.estimate_point_uncached(point)
-            }),
+            Some(cache) => {
+                let mut key = KeyBuf::new();
+                self.write_key(point, &mut key);
+                cache.get_or_insert_with(key.as_bytes(), || self.estimate_point_uncached(point))
+            }
             None => self.estimate_point_uncached(point),
         }
     }
 
-    fn estimate_point_uncached(&self, point: &DesignPoint) -> Result<Estimate, EstimateError> {
+    /// One full (non-incremental) rebuild: elaborate the point's DNN and
+    /// estimate it at the point's own parallel factor. This is the
+    /// semantics every cached or incremental path must reproduce
+    /// bit-for-bit; the `scd_search` bench uses it as the probe-cost
+    /// baseline.
+    pub(crate) fn estimate_point_uncached(
+        &self,
+        point: &DesignPoint,
+    ) -> Result<Estimate, EstimateError> {
         let dnn = self.builder.build(point)?;
-        let mut with_pf = self.clone();
-        with_pf.params.parallel_factor = point.parallel_factor;
-        with_pf.estimate_dnn(&dnn)
+        self.estimate_dnn_at(&dnn, point.parallel_factor)
     }
 
-    /// Canonical cache key: an estimator salt (calibration coefficients,
-    /// device bandwidth and budget, builder fingerprint) followed by a
-    /// canonical encoding of every design-point field the analytic model
-    /// reads. Full encodings, not digests — collisions cannot return a
-    /// wrong estimate.
-    fn cache_key(&self, point: &DesignPoint) -> Vec<u8> {
-        let mut key = Vec::with_capacity(128);
-        let push = |key: &mut Vec<u8>, v: u64| key.extend_from_slice(&v.to_le_bytes());
-        // Estimator salt.
-        push(&mut key, self.params.alpha.to_bits());
-        push(&mut key, self.params.beta.to_bits());
-        push(&mut key, self.params.phi.to_bits());
-        push(&mut key, self.params.gamma.to_bits());
-        // params.parallel_factor is deliberately omitted: estimation
-        // always substitutes the design point's own PF, so the
-        // calibration-time PF never influences the cached value.
-        push(&mut key, self.device.dram_bytes_per_cycle.to_bits());
-        push(&mut key, self.device.dsp);
-        push(&mut key, self.device.lut);
-        push(&mut key, self.device.ff);
-        push(&mut key, self.device.bram_18k);
-        push(&mut key, self.builder.fingerprint());
-        // Design point.
-        let mut bundle_hash = Fnv1a::new();
-        point.bundle.hash(&mut bundle_hash);
-        push(&mut key, bundle_hash.finish64());
-        push(&mut key, point.n_replications as u64);
-        let mut ds_bits = 0u64;
-        for (i, &d) in point.downsample.iter().enumerate() {
-            ds_bits |= (d as u64) << (i % 64);
+    /// Writes the canonical cache key for `point` into `key`: the
+    /// estimator salt followed by the exact design-point encoding of
+    /// [`DesignPoint::encode_canonical`]. Full encodings, not digests —
+    /// collisions cannot return a wrong estimate.
+    pub(crate) fn write_key(&self, point: &DesignPoint, key: &mut KeyBuf) {
+        key.extend(&self.salt);
+        point.encode_canonical(&mut |w| key.push_u64(w));
+    }
+
+    /// Estimator salt: calibration coefficients, device bandwidth and
+    /// budget, builder fingerprint. Precomputed because it is identical
+    /// for every key this estimator writes.
+    fn compute_salt(
+        params: &CalibratedParams,
+        device: &FpgaDevice,
+        builder: &DnnBuilder,
+    ) -> Vec<u8> {
+        let mut salt = Vec::with_capacity(80);
+        for v in [
+            params.alpha.to_bits(),
+            params.beta.to_bits(),
+            params.phi.to_bits(),
+            params.gamma.to_bits(),
+            // params.parallel_factor is deliberately omitted: estimation
+            // always substitutes the design point's own PF, so the
+            // calibration-time PF never influences the cached value.
+            device.dram_bytes_per_cycle.to_bits(),
+            device.dsp,
+            device.lut,
+            device.ff,
+            device.bram_18k,
+            builder.fingerprint(),
+        ] {
+            salt.extend_from_slice(&v.to_le_bytes());
         }
-        push(&mut key, ds_bits);
-        for &f in &point.expansion {
-            push(&mut key, f.to_bits());
-        }
-        push(&mut key, point.parallel_factor as u64);
-        let mut act_hash = Fnv1a::new();
-        point.activation.hash(&mut act_hash);
-        push(&mut key, act_hash.finish64());
-        push(&mut key, point.base_channels as u64);
-        push(&mut key, point.max_channels as u64);
-        key
+        salt
     }
 
     /// True when the estimate fits the target device.
@@ -434,6 +478,31 @@ mod tests {
         assert_eq!(cache.stats().misses, 2, "salts must not alias");
         assert_eq!(a, est32.estimate_point(&point).unwrap());
         assert_eq!(bst, est96.estimate_point(&point).unwrap());
+    }
+
+    #[test]
+    fn cache_does_not_alias_downsample_slots_64_apart() {
+        // Regression: the old `ds_bits |= (d as u64) << (i % 64)` key
+        // encoding packed the whole down-sampling vector into one word,
+        // aliasing slots i and i + 64 — a slot-64 design could be served
+        // the cached slot-0 estimate. The canonical encoding is chunked
+        // into one word per 64 slots.
+        let cache = Arc::new(EstimateCache::new());
+        let cached = estimator_for(13).with_cache(cache.clone());
+        let plain = estimator_for(13);
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let mut deep_a = DesignPoint::initial(b, 65);
+        deep_a.downsample = vec![false; 65];
+        deep_a.downsample[0] = true;
+        let mut deep_b = deep_a.clone();
+        deep_b.downsample[0] = false;
+        deep_b.downsample[64] = true;
+        let ea = cached.estimate_point(&deep_a).unwrap();
+        let eb = cached.estimate_point(&deep_b).unwrap();
+        assert_eq!(cache.stats().misses, 2, "slots 0 and 64 must not alias");
+        assert_ne!(ea, eb, "the two designs are architecturally distinct");
+        assert_eq!(ea, plain.estimate_point(&deep_a).unwrap());
+        assert_eq!(eb, plain.estimate_point(&deep_b).unwrap());
     }
 
     #[test]

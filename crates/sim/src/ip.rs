@@ -145,7 +145,8 @@ impl IpInstance {
     }
 
     /// Cycles for one invocation of the IP on a tile of spatial size
-    /// `tile_h x tile_w` with the given input/output channel counts.
+    /// `tile_h x tile_w` with the given input/output channel counts:
+    /// `⌈work / lanes⌉` plus the fixed pipeline ramp.
     ///
     /// `op` supplies per-layer details (pooling window, etc.); the
     /// instance's template must match the operator's category.
@@ -157,8 +158,25 @@ impl IpInstance {
         in_ch: usize,
         out_ch: usize,
     ) -> u64 {
+        self.invocation_work(op, tile_h, tile_w, in_ch, out_ch)
+            .div_ceil(self.lanes())
+            + INVOCATION_OVERHEAD
+    }
+
+    /// The lane-independent work of one invocation — the unit count the
+    /// engine's MAC/LUT lanes divide. Exposed separately so incremental
+    /// estimators can precompute it per layer and re-price a design at
+    /// many parallel factors without re-walking shapes.
+    pub fn invocation_work(
+        &self,
+        op: &LayerOp,
+        tile_h: usize,
+        tile_w: usize,
+        in_ch: usize,
+        out_ch: usize,
+    ) -> u64 {
         let pixels = (tile_h * tile_w) as u64;
-        let work = match (*op, self.kind) {
+        match (*op, self.kind) {
             (LayerOp::Conv { k, .. }, IpKind::Conv { .. }) => {
                 (k * k) as u64 * in_ch as u64 * out_ch as u64 * pixels
             }
@@ -178,13 +196,18 @@ impl IpInstance {
             // Mismatched op/template: treated as a full sequential pass
             // so bugs surface as gross latency, never as free compute.
             _ => (in_ch * out_ch) as u64 * pixels,
-        };
-        let lanes = match self.kind {
+        }
+    }
+
+    /// Parallel lanes dividing [`invocation_work`](Self::invocation_work):
+    /// the configured MAC lanes for convolution engines, the fixed
+    /// [`ELEMENTWISE_LANES`] for LUT-level engines, at least 1.
+    pub fn lanes(&self) -> u64 {
+        match self.kind {
             IpKind::Conv { .. } | IpKind::DwConv { .. } => self.pf as u64,
             IpKind::Pool | IpKind::Elementwise => ELEMENTWISE_LANES,
         }
-        .max(1);
-        work.div_ceil(lanes) + INVOCATION_OVERHEAD
+        .max(1)
     }
 
     /// Cycles to stream one layer's weights into the on-chip weight

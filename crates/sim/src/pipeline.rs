@@ -120,21 +120,55 @@ impl AccelConfig {
     /// Returns [`SimError::UnsupportedLayer`] for operators outside the
     /// IP pool.
     pub fn instance_for(&self, op: &LayerOp) -> Result<IpInstance, SimError> {
-        let kind = IpKind::for_op(op)?;
+        Ok(self.instance_for_kind(IpKind::for_op(op)?))
+    }
+
+    /// The IP instance this configuration provisions for an IP template
+    /// kind: full `PF` for convolution engines, the lane-balanced
+    /// [`dw_parallel_factor`](Self::dw_parallel_factor) for depth-wise
+    /// engines, and fixed LUT-level lanes for pooling / element-wise
+    /// engines. [`instance_for`](Self::instance_for) delegates here, so
+    /// resource accounting by layer and by kind can never disagree.
+    pub fn instance_for_kind(&self, kind: IpKind) -> IpInstance {
         let pf = match kind {
             IpKind::Conv { .. } => self.pf,
             IpKind::DwConv { .. } => self.dw_parallel_factor(),
             IpKind::Pool | IpKind::Elementwise => 8,
         };
-        Ok(IpInstance::new(kind, pf, self.quant))
+        IpInstance::new(kind, pf, self.quant)
     }
 }
 
 /// Bytes of one 18 Kbit BRAM block.
 const BRAM_BLOCK_BYTES: u64 = 18 * 1024 / 8;
 
-fn bram_blocks(bytes: u64) -> u64 {
+/// Number of 18 Kbit BRAM blocks needed to hold `bytes` bytes — the
+/// buffer-sizing rule shared by [`accelerator_resources`] and the
+/// analytic resource model in `codesign-hls`.
+pub fn bram_blocks(bytes: u64) -> u64 {
     bytes.div_ceil(BRAM_BLOCK_BYTES)
+}
+
+/// BRAM blocks of the ping-pong tile data buffers: the largest
+/// (input + output) tile footprint plus half a buffer of overlap — the
+/// next tile streams into the half being drained, so the ping-pong
+/// overhead is a factor 1.5, not a full second copy.
+pub fn tile_buffer_blocks(max_tile_bytes: u64) -> u64 {
+    bram_blocks(max_tile_bytes + max_tile_bytes / 2)
+}
+
+/// Control-logic overhead of the accelerator (the `Γ` term of Eq. 1):
+/// FSMs, DMA descriptors and the multiplexers that grow with the number
+/// of distinct IP instances. Shared by [`accelerator_resources`] and
+/// the incremental estimator in `codesign-hls` so the two resource
+/// models cannot drift apart.
+pub fn control_overhead(distinct_ips: usize) -> ResourceUsage {
+    ResourceUsage {
+        dsp: 0,
+        lut: 1_800 + 150 * distinct_ips as u64,
+        ff: 2_500,
+        bram_18k: 4,
+    }
 }
 
 /// Groups a DNN's layers into pipeline groups: one group per Bundle
@@ -180,9 +214,7 @@ pub fn accelerator_resources(dnn: &Dnn, cfg: &AccelConfig) -> Result<ResourceUsa
     total.bram_18k += bram_blocks(max_weight_bytes);
 
     // Tile data buffers: the largest (input + output) tile footprint
-    // across layers. The next tile's input streams into the half being
-    // drained, so the ping-pong overhead is half a buffer (factor 1.5)
-    // rather than a full second copy.
+    // across layers, ping-pong factor included.
     let max_tile_bytes = dnn
         .layers()
         .iter()
@@ -195,12 +227,9 @@ pub fn accelerator_resources(dnn: &Dnn, cfg: &AccelConfig) -> Result<ResourceUsa
         })
         .max()
         .unwrap_or(0);
-    total.bram_18k += bram_blocks(max_tile_bytes + max_tile_bytes / 2);
+    total.bram_18k += tile_buffer_blocks(max_tile_bytes);
 
-    // Control logic, DMA descriptors, multiplexers (Γ of Eq. 1).
-    total.lut += 1_800 + 150 * instances.len() as u64;
-    total.ff += 2_500;
-    total.bram_18k += 4;
+    total += control_overhead(instances.len());
     Ok(total)
 }
 

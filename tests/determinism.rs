@@ -151,6 +151,39 @@ fn proxy_training_is_engine_and_worker_invariant() {
     }
 }
 
+/// Golden pin for the incremental-estimation engine and the sharded
+/// estimate cache: the flow output must be **byte-identical to the
+/// pre-incremental seed** (captured from the full-rebuild,
+/// single-lock-cache implementation of PR 3) at any worker count.
+///
+/// Catches any drift in the `EstimatePlan` fold order, the canonical
+/// cache key, or the cache sharding — all of which must be pure
+/// optimizations. The cache totals are pinned too: the plan issues
+/// exactly one memoized lookup per priced design point, like the old
+/// `estimate_point`-per-probe loop did.
+#[test]
+fn flow_output_matches_full_rebuild_seed_golden() {
+    for threads in [1, parallel_arm()] {
+        let out = run_flow(2019, threads);
+        assert_eq!(out.candidates.len(), 14, "threads={threads}");
+        let d = &out.designs[0];
+        assert_eq!(d.point.bundle.id(), BundleId(13));
+        assert_eq!(d.point.n_replications, 5);
+        assert_eq!(d.point.downsample, vec![true, false, false, false, false]);
+        assert_eq!(d.point.expansion, vec![1.0, 2.0, 2.0, 1.0, 1.0]);
+        assert_eq!(d.point.parallel_factor, 200);
+        assert_eq!(d.point.activation, codesign_dnn::quant::Activation::Relu4);
+        assert_eq!(d.accuracy.to_bits(), 0x3fe676d5ffad6350);
+        assert_eq!(d.latency_ms.to_bits(), 0x404975a1cac08312);
+        assert_eq!(d.report.total_cycles, 5_091_900);
+        assert_eq!(
+            out.cache_stats.total(),
+            5_053,
+            "probe-for-probe parity with the full-rebuild estimator broke"
+        );
+    }
+}
+
 #[test]
 fn cache_stats_report_real_reuse() {
     let out = run_flow(2019, parallel_arm());
