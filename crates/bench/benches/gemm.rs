@@ -1,0 +1,139 @@
+//! GEMM kernel microbench: the packed 4×4 register-blocked `gemm_nt`
+//! against the previous-generation unpacked dot kernel, on a square
+//! matrix and on the conv-shaped operands proxy training actually
+//! produces (patch-matrix rows × weight rows).
+//!
+//! Besides wall clock, every arm cross-checks the two kernels'
+//! checksums: packing must be a pure layout change, so the packed
+//! result has to be **bit-identical** to the old kernel's, element for
+//! element. Emits `BENCH_gemm.json` via `codesign_bench::perf`.
+
+use codesign_bench::{emit_bench_json, BenchRecord};
+use codesign_nn::gemm::gemm_nt;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// The pre-packing `gemm_nt` hot loop (PR 3): per output row, four
+/// independent column accumulators streaming four separate `B` rows —
+/// kept here verbatim as the parity baseline.
+fn gemm_nt_unpacked(a: &[f32], b: &[f32], k: usize, n: usize, bias: Option<&[f32]>) -> Vec<f32> {
+    let m = a.len() / k;
+    let mut out = vec![0.0f32; m * n];
+    for (r, out_row) in out.chunks_mut(n).enumerate() {
+        let a_row = &a[r * k..(r + 1) * k];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = match bias {
+                Some(bias) => (bias[j], bias[j + 1], bias[j + 2], bias[j + 3]),
+                None => (0.0, 0.0, 0.0, 0.0),
+            };
+            for ((((&av, &v0), &v1), &v2), &v3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                s0 += av * v0;
+                s1 += av * v1;
+                s2 += av * v2;
+                s3 += av * v3;
+            }
+            out_row[j] = s0;
+            out_row[j + 1] = s1;
+            out_row[j + 2] = s2;
+            out_row[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = bias.map_or(0.0, |bias| bias[j]);
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out_row[j] = acc;
+            j += 1;
+        }
+    }
+    out
+}
+
+fn ramp(len: usize, scale: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 31 % 113) as f32 - 56.0) * scale)
+        .collect()
+}
+
+/// `(name, m, k, n)` for the measured shapes: one square case and two
+/// conv-shaped cases (batch-of-8 plane rows × `c·k·k` patch columns ×
+/// output channels, the exact geometry `conv_forward_gemm` emits).
+const SHAPES: [(&str, usize, usize, usize); 3] = [
+    ("square_192", 192, 192, 192),
+    ("conv3x3_like", 8 * 16 * 32, 16 * 3 * 3, 32),
+    ("conv1x1_like", 8 * 16 * 32, 64, 64),
+];
+
+fn checksum(v: &[f32]) -> u64 {
+    v.iter()
+        .fold(0u64, |h, &x| h.rotate_left(7) ^ u64::from(x.to_bits()))
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    let mut records = Vec::new();
+    for (name, m, k, n) in SHAPES {
+        let a = ramp(m * k, 0.01);
+        let b = ramp(n * k, 0.02);
+        let bias = ramp(n, 0.1);
+
+        // Bit-identity gate first: packing is a layout change only.
+        let packed = gemm_nt(&a, &b, k, n, Some(&bias), 1);
+        let unpacked = gemm_nt_unpacked(&a, &b, k, n, Some(&bias));
+        assert_eq!(
+            checksum(&packed),
+            checksum(&unpacked),
+            "{name}: packed kernel DIVERGED from the old kernel"
+        );
+        assert_eq!(packed, unpacked, "{name}: element-level divergence");
+
+        group.bench_function(&format!("{name}/packed"), |bch| {
+            bch.iter(|| gemm_nt(&a, &b, k, n, Some(&bias), 1))
+        });
+        group.bench_function(&format!("{name}/unpacked"), |bch| {
+            bch.iter(|| gemm_nt_unpacked(&a, &b, k, n, Some(&bias)))
+        });
+
+        // Timed head-to-head for the committed JSON (mean of `REPS`
+        // full kernels, warm caches).
+        const REPS: u32 = 20;
+        let time = |f: &dyn Fn() -> Vec<f32>| {
+            let _warm = f();
+            let t0 = Instant::now();
+            let mut sink = 0u64;
+            for _ in 0..REPS {
+                sink ^= checksum(&f());
+            }
+            (t0.elapsed() / REPS, sink)
+        };
+        let (t_old, sink_old) = time(&|| gemm_nt_unpacked(&a, &b, k, n, Some(&bias)));
+        let (t_new, sink_new) = time(&|| gemm_nt(&a, &b, k, n, Some(&bias), 1));
+        assert_eq!(sink_old, sink_new, "{name}: checksum parity broke");
+        println!(
+            "gemm {name} (m={m} k={k} n={n}): unpacked {t_old:?} vs packed {t_new:?} ({:.2}x)",
+            t_old.as_secs_f64() / t_new.as_secs_f64().max(1e-12)
+        );
+        records.push(BenchRecord::timing(&format!("{name}_unpacked"), t_old));
+        records.push(BenchRecord::speedup_over(
+            &format!("{name}_packed"),
+            t_new,
+            t_old,
+        ));
+    }
+    group.finish();
+    match emit_bench_json("gemm", &records) {
+        Ok(path) => println!("gemm: wrote {}", path.display()),
+        Err(e) => eprintln!("gemm: could not write BENCH_gemm.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -97,7 +97,7 @@ pub fn coarse_evaluate(
     coarse_evaluate_parallel(bundles, device, pf_sweep, method, model, clock_mhz, 1)
 }
 
-/// [`coarse_evaluate`] fanned out over a scoped-thread work queue: each
+/// [`coarse_evaluate`] fanned out over the persistent worker pool: each
 /// Bundle is one work item, results are merged in Bundle order, so the
 /// output is byte-identical to the sequential run for any `threads`.
 ///

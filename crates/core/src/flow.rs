@@ -51,7 +51,7 @@ pub struct FlowConfig {
     /// Seed of the stochastic search.
     pub seed: u64,
     /// Worker-thread knob: Bundle evaluations, calibrations and SCD
-    /// searches fan out across scoped threads, each work item with a
+    /// searches fan out across pooled workers, each work item with a
     /// private SplitMix64-derived seed. `Fixed(1)` is the sequential
     /// legacy path; results are bit-identical for any setting.
     pub parallelism: Parallelism,
@@ -191,7 +191,7 @@ impl CoDesignFlow {
     /// With `parallelism > 1` the independent stages — coarse Bundle
     /// evaluation, per-Bundle calibration, and the per-(Bundle,
     /// FPS-target, quantization-arm) SCD searches — fan out over a
-    /// scoped-thread work queue. Every work item draws a private seed
+    /// persistent worker pool. Every work item draws a private seed
     /// derived from [`FlowConfig::seed`] via SplitMix64 and results are
     /// merged in work-item order, so the output is **bit-identical** to
     /// a sequential run and independent of thread interleaving. One

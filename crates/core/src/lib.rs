@@ -21,7 +21,7 @@
 //! * [`flow`] — the overall co-design flow of Fig. 1 wiring Bundle
 //!   modeling, Bundle selection, SCD search, Auto-HLS generation and
 //!   final simulation together.
-//! * [`parallel`] — the deterministic scoped-thread work queue and
+//! * [`parallel`] — the deterministic pooled work queue and
 //!   SplitMix64 seed-splitting that let the flow fan out across cores
 //!   while staying bit-identical to a sequential run (a re-export of
 //!   the `codesign-parallel` base crate, which the NN compute engine

@@ -1,4 +1,4 @@
-//! Deterministic scoped-thread work queue for the co-design flow.
+//! Deterministic pooled work queue for the co-design flow.
 //!
 //! The implementation lives in the [`codesign_parallel`] base crate so
 //! that `codesign-nn` — which this crate depends on, and which

@@ -24,6 +24,7 @@ use crate::gemm::{gemm_nn_acc, gemm_nt};
 use crate::im2col::{flip_weights, im2row_grid};
 use crate::layers::{ConvParams, DwConvParams};
 use crate::reference;
+use crate::scratch;
 use crate::tensor::Tensor;
 use codesign_parallel::{parallel_chunks_mut, Parallelism};
 use serde::{Deserialize, Serialize};
@@ -96,7 +97,10 @@ impl fmt::Display for Engine {
 /// (`[n * plane][cols]`) into `cols`-major planes (`[n][cols][plane]`,
 /// i.e. `N x C x H x W`).
 fn rows_to_planes(rows: &[f32], n: usize, plane: usize, cols: usize, threads: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; n * cols * plane];
+    // Every element is written below, so the arena buffer needs no
+    // zeroing. (The result usually escapes into a `Tensor`, which is
+    // fine — escaped buffers are just never recycled.)
+    let mut out = scratch::take(n * cols * plane);
     let threads =
         crate::gemm::capped_threads(threads, out.len(), crate::gemm::COPY_ELEMS_PER_WORKER);
     parallel_chunks_mut(&mut out, cols * plane, threads, |img, chunk| {
@@ -114,6 +118,34 @@ fn rows_to_planes(rows: &[f32], n: usize, plane: usize, cols: usize, threads: us
 fn map_images(x: &Tensor, f: impl Fn(&Tensor) -> Tensor) -> Tensor {
     let images: Vec<Tensor> = x.unstack().iter().map(f).collect();
     Tensor::stack(&images)
+}
+
+/// Shared assembly of the per-image reference backward paths: runs
+/// `backward` on every `(image, gradient)` pair and sums the parameter
+/// gradients as per-image subtotals in image order — the canonical
+/// grouping the batched GEMM path reproduces bit-for-bit. One helper
+/// for both conv and dwconv so the two cannot drift.
+fn reference_backward_batch(
+    x: &Tensor,
+    dy: &Tensor,
+    wlen: usize,
+    blen: usize,
+    backward: impl Fn(&Tensor, &Tensor) -> (Tensor, Vec<f32>, Vec<f32>),
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let mut dw = vec![0.0f32; wlen];
+    let mut db = vec![0.0f32; blen];
+    let mut dxs = Vec::with_capacity(x.dims4().0);
+    for (xi, gi) in x.unstack().iter().zip(dy.unstack().iter()) {
+        let (dx, dwi, dbi) = backward(xi, gi);
+        for (d, s) in dw.iter_mut().zip(&dwi) {
+            *d += s;
+        }
+        for (d, s) in db.iter_mut().zip(&dbi) {
+            *d += s;
+        }
+        dxs.push(dx);
+    }
+    (Tensor::stack(&dxs), dw, db)
 }
 
 /// The grouped dot-product kernel shared by the depth-wise forward and
@@ -137,8 +169,31 @@ fn dw_dot_planes(
         let c = g % ch;
         let wrow = &weights[c * kk..(c + 1) * kk];
         let init = bias.map_or(0.0, |b| b[c]);
-        for (pp, o) in chunk.iter_mut().enumerate() {
-            let row = &rows[(g * plane + pp) * kk..(g * plane + pp + 1) * kk];
+        let base = g * plane;
+        // Four pixels at a time: four independent accumulator chains
+        // (each strictly sequential in the patch dimension, preserving
+        // the bit-identity contract) share every `wrow` load.
+        let mut pp = 0;
+        while pp + 4 <= chunk.len() {
+            let quad = &rows[(base + pp) * kk..(base + pp + 4) * kk];
+            let (r0, rest) = quad.split_at(kk);
+            let (r1, rest) = rest.split_at(kk);
+            let (r2, r3) = rest.split_at(kk);
+            let (mut s0, mut s1, mut s2, mut s3) = (init, init, init, init);
+            for ((((&w, &v0), &v1), &v2), &v3) in wrow.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
+                s0 += v0 * w;
+                s1 += v1 * w;
+                s2 += v2 * w;
+                s3 += v3 * w;
+            }
+            chunk[pp] = s0;
+            chunk[pp + 1] = s1;
+            chunk[pp + 2] = s2;
+            chunk[pp + 3] = s3;
+            pp += 4;
+        }
+        for (pp, o) in chunk.iter_mut().enumerate().skip(pp) {
+            let row = &rows[(base + pp) * kk..(base + pp + 1) * kk];
             let mut acc = init;
             for (a, b) in row.iter().zip(wrow) {
                 acc += a * b;
@@ -172,7 +227,10 @@ fn conv_forward_gemm(
         Some(&p.bias),
         threads,
     );
-    rows_to_planes(&ymat, n, h * w, p.out_ch, threads)
+    scratch::recycle(rows);
+    let y = rows_to_planes(&ymat, n, h * w, p.out_ch, threads);
+    scratch::recycle(ymat);
+    y
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -208,16 +266,18 @@ fn conv_backward_gemm(
     // per-image reference path produces).
     let rows_x = im2row_grid(x, n, c, h, w, p.k, 1, pad, (h, w), threads);
     let mut dw = vec![0.0f32; p.weights.len()];
-    let mut scratch = vec![0.0f32; p.weights.len()];
+    let mut subtotal = scratch::take(p.weights.len());
     for img in 0..n {
-        scratch.fill(0.0);
+        subtotal.fill(0.0);
         let g = &dy[img * p.out_ch * plane..(img + 1) * p.out_ch * plane];
         let b = &rows_x[img * plane * ckk..(img + 1) * plane * ckk];
-        gemm_nn_acc(g, b, plane, ckk, &mut scratch, threads);
-        for (d, s) in dw.iter_mut().zip(&scratch) {
+        gemm_nn_acc(g, b, plane, ckk, &mut subtotal, threads);
+        for (d, s) in dw.iter_mut().zip(&subtotal) {
             *d += s;
         }
     }
+    scratch::recycle(subtotal);
+    scratch::recycle(rows_x);
 
     // Data gradient: transposed convolution through the same lowering —
     // im2row over dY, dotted against flipped channel-transposed
@@ -237,7 +297,10 @@ fn conv_backward_gemm(
         threads,
     );
     let dxmat = gemm_nt(&rows_g, &flipped, p.out_ch * p.k * p.k, c, None, threads);
+    scratch::recycle(rows_g);
+    scratch::recycle(flipped);
     let dx = rows_to_planes(&dxmat, n, plane, c, threads);
+    scratch::recycle(dxmat);
     (dx, dw, db)
 }
 
@@ -292,20 +355,9 @@ pub fn conv_backward_batch(
     );
     match engine {
         Engine::Reference => {
-            let mut dw = vec![0.0f32; p.weights.len()];
-            let mut db = vec![0.0f32; p.out_ch];
-            let mut dxs = Vec::with_capacity(n);
-            for (xi, gi) in x.unstack().iter().zip(dy.unstack().iter()) {
-                let (dx, dwi, dbi) = reference::conv_backward(xi, p, gi);
-                for (d, s) in dw.iter_mut().zip(&dwi) {
-                    *d += s;
-                }
-                for (d, s) in db.iter_mut().zip(&dbi) {
-                    *d += s;
-                }
-                dxs.push(dx);
-            }
-            (Tensor::stack(&dxs), dw, db)
+            reference_backward_batch(x, dy, p.weights.len(), p.out_ch, |xi, gi| {
+                reference::conv_backward(xi, p, gi)
+            })
         }
         Engine::Gemm(par) => {
             let (dx, dw, db) =
@@ -354,7 +406,7 @@ fn dwconv_forward_gemm(
     // group's patch matrix in one buffer; the output grid is pinned to
     // the input grid ("same" convolution, any kernel size).
     let rows = im2row_grid(x, groups * ch, 1, h, w, p.k, 1, p.k / 2, (h, w), threads);
-    let mut y = vec![0.0f32; groups * ch * plane];
+    let mut y = scratch::take(groups * ch * plane);
     dw_dot_planes(
         &rows,
         &p.weights,
@@ -365,6 +417,7 @@ fn dwconv_forward_gemm(
         threads,
         &mut y,
     );
+    scratch::recycle(rows);
     y
 }
 
@@ -397,23 +450,25 @@ fn dwconv_backward_gemm(
 
     let rows_x = im2row_grid(x, groups * ch, 1, h, w, p.k, 1, pad, (h, w), threads);
     let mut dw = vec![0.0f32; p.weights.len()];
-    let mut scratch = vec![0.0f32; kk];
+    let mut subtotal = scratch::take(kk);
     for img in 0..groups {
         for c in 0..ch {
             let plane_idx = img * ch + c;
             let g = &dy[plane_idx * plane..(plane_idx + 1) * plane];
-            scratch.fill(0.0);
+            subtotal.fill(0.0);
             for (pp, &gv) in g.iter().enumerate() {
                 let row = &rows_x[(plane_idx * plane + pp) * kk..(plane_idx * plane + pp + 1) * kk];
-                for (s, &b) in scratch.iter_mut().zip(row) {
+                for (s, &b) in subtotal.iter_mut().zip(row) {
                     *s += gv * b;
                 }
             }
-            for (d, s) in dw[c * kk..(c + 1) * kk].iter_mut().zip(&scratch) {
+            for (d, s) in dw[c * kk..(c + 1) * kk].iter_mut().zip(&subtotal) {
                 *d += s;
             }
         }
     }
+    scratch::recycle(subtotal);
+    scratch::recycle(rows_x);
 
     // Data gradient: per-channel transposed convolution. Each channel
     // is its own single-input-channel group, so the standard flip with
@@ -432,8 +487,10 @@ fn dwconv_backward_gemm(
         (h, w),
         threads,
     );
-    let mut dx = vec![0.0f32; groups * ch * plane];
+    let mut dx = scratch::take(groups * ch * plane);
     dw_dot_planes(&rows_g, &flipped, None, ch, plane, kk, threads, &mut dx);
+    scratch::recycle(rows_g);
+    scratch::recycle(flipped);
     (dx, dw, db)
 }
 
@@ -482,22 +539,9 @@ pub fn dwconv_backward_batch(
     assert_eq!(c, p.ch, "dwconv channel mismatch");
     assert_eq!(dy.dims4(), (n, c, h, w), "dwconv gradient shape mismatch");
     match engine {
-        Engine::Reference => {
-            let mut dw = vec![0.0f32; p.weights.len()];
-            let mut db = vec![0.0f32; c];
-            let mut dxs = Vec::with_capacity(n);
-            for (xi, gi) in x.unstack().iter().zip(dy.unstack().iter()) {
-                let (dx, dwi, dbi) = reference::dwconv_backward(xi, p, gi);
-                for (d, s) in dw.iter_mut().zip(&dwi) {
-                    *d += s;
-                }
-                for (d, s) in db.iter_mut().zip(&dbi) {
-                    *d += s;
-                }
-                dxs.push(dx);
-            }
-            (Tensor::stack(&dxs), dw, db)
-        }
+        Engine::Reference => reference_backward_batch(x, dy, p.weights.len(), c, |xi, gi| {
+            reference::dwconv_backward(xi, p, gi)
+        }),
         Engine::Gemm(par) => {
             let (dx, dw, db) =
                 dwconv_backward_gemm(x.data(), dy.data(), n, c, h, w, p, par.threads());

@@ -1,5 +1,5 @@
-//! Blocked, multi-threaded GEMM kernels with a bit-reproducibility
-//! contract.
+//! Packed, register-blocked, multi-threaded GEMM kernels with a
+//! bit-reproducibility contract.
 //!
 //! The compute engine lowers every convolution to matrix multiply (the
 //! standard accelerator-modeling practice), so these two kernels carry
@@ -7,10 +7,18 @@
 //!
 //! * [`gemm_nt`] — `C = init + A · Bᵀ` with both operands row-major, the
 //!   cache-friendly "dot-product" form used by the forward and
-//!   backward-data passes (each output element is one dot product of
-//!   two contiguous rows);
+//!   backward-data passes. The hot loop is a 4×4 register-blocked
+//!   micro-kernel over *packed panels*: 4 `A` rows and 4 `B` rows are
+//!   interleaved k-major into contiguous `[k][4]` panels (reused from
+//!   the thread-local scratch arena), so the inner loop reads exactly
+//!   two contiguous streams and every load feeds four multiply-adds.
+//!   The panel layout is `chunks_exact(4)`-shaped on both operands,
+//!   which is what lets the autovectorizer turn the 16 independent
+//!   accumulator chains into 4-lane vector ops. Leftover rows/columns
+//!   (`m % 4`, `n % 4`) fall back to the scalar dot kernel.
 //! * [`gemm_nn_acc`] — `C += A · B`, the accumulating "axpy" form used
-//!   by the weight-gradient pass.
+//!   by the weight-gradient pass (row-parallel; its inner loop already
+//!   streams both operands contiguously, so it needs no packing).
 //!
 //! # Determinism contract
 //!
@@ -22,10 +30,12 @@
 //! byte-identical to a sequential run at any worker count, and
 //! byte-identical to any other kernel that sums the same terms in the
 //! same order (in particular the naive loops in [`crate::reference`]).
-//! The manual four-column unrolling in [`gemm_nt`] exploits instruction
-//! parallelism *across* output elements while keeping each element's
-//! chain sequential, so it does not weaken the contract.
+//! Packing only permutes *where operands sit in memory*, and the 4×4
+//! register blocking exploits instruction parallelism *across* output
+//! elements while keeping each element's chain sequential in `k` — so
+//! neither weakens the contract.
 
+use crate::scratch;
 use codesign_parallel::parallel_chunks_mut;
 
 /// Rows per parallel work item. Fixed (never derived from the worker
@@ -33,13 +43,33 @@ use codesign_parallel::parallel_chunks_mut;
 /// identical for every `threads` value.
 const ROW_BLOCK: usize = 32;
 
-/// Caps a worker count so each spawned worker gets at least
-/// `min_per_worker` units of work — scoped-thread spawns cost tens of
-/// microseconds, which dwarfs a small kernel's runtime. Worker count
-/// never affects results (see the module docs), so this is purely a
-/// scheduling heuristic.
+/// Micro-kernel tile: `MR x NR` output elements per inner loop, i.e.
+/// `MR` packed `A` rows against `NR` packed `B` rows.
+const MR: usize = 4;
+/// See [`MR`].
+const NR: usize = 4;
+
+/// Hardware thread count, resolved once per process.
+pub(crate) fn hardware_threads() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Caps a worker count so that (a) each worker gets at least
+/// `min_per_worker` units of work — waking a pooled helper is cheap
+/// but not free, and dwarfs a small kernel's runtime — and (b) a
+/// CPU-bound kernel never runs more workers than hardware threads
+/// (oversubscription only adds context switches). Worker count never
+/// affects results (see the module docs), so both caps are purely
+/// scheduling heuristics.
 pub(crate) fn capped_threads(threads: usize, work: usize, min_per_worker: usize) -> usize {
-    threads.clamp(1, 1 + work / min_per_worker.max(1))
+    threads
+        .min(hardware_threads())
+        .clamp(1, 1 + work / min_per_worker.max(1))
 }
 
 /// Work units (multiply-adds) below which a GEMM stays single-threaded
@@ -76,49 +106,104 @@ pub fn gemm_nt(
     }
     let m = a.len() / k;
     let threads = capped_threads(threads, m * n * k, GEMM_FLOPS_PER_WORKER);
-    let mut out = vec![0.0f32; m * n];
+    // Pack full NR-column groups of B once, k-major interleaved, so the
+    // micro-kernel streams one contiguous panel per column group. The
+    // panel for columns [j0, j0+NR) lives at bpack[j0*k..(j0+NR)*k].
+    let n_main = n - n % NR;
+    let mut bpack = scratch::take(n_main * k);
+    for j0 in (0..n_main).step_by(NR) {
+        let panel = &mut bpack[j0 * k..(j0 + NR) * k];
+        let (b0, b1, b2, b3) = (
+            &b[j0 * k..(j0 + 1) * k],
+            &b[(j0 + 1) * k..(j0 + 2) * k],
+            &b[(j0 + 2) * k..(j0 + 3) * k],
+            &b[(j0 + 3) * k..(j0 + 4) * k],
+        );
+        for (kk, slot) in panel.chunks_exact_mut(NR).enumerate() {
+            slot[0] = b0[kk];
+            slot[1] = b1[kk];
+            slot[2] = b2[kk];
+            slot[3] = b3[kk];
+        }
+    }
+    let mut out = scratch::take(m * n);
     parallel_chunks_mut(&mut out, ROW_BLOCK * n, threads, |block, chunk| {
         let row0 = block * ROW_BLOCK;
-        for (r, out_row) in chunk.chunks_mut(n).enumerate() {
-            let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
-            // Four independent output columns at a time: each keeps its
-            // own strictly sequential accumulator, but the four chains
-            // interleave in the pipeline and the `a_row` loads are
-            // shared.
-            let mut j = 0;
-            while j + 4 <= n {
-                let b0 = &b[j * k..(j + 1) * k];
-                let b1 = &b[(j + 1) * k..(j + 2) * k];
-                let b2 = &b[(j + 2) * k..(j + 3) * k];
-                let b3 = &b[(j + 3) * k..(j + 4) * k];
-                let (mut s0, mut s1, mut s2, mut s3) = match bias {
-                    Some(bias) => (bias[j], bias[j + 1], bias[j + 2], bias[j + 3]),
-                    None => (0.0, 0.0, 0.0, 0.0),
-                };
-                for ((((&av, &v0), &v1), &v2), &v3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    s0 += av * v0;
-                    s1 += av * v1;
-                    s2 += av * v2;
-                    s3 += av * v3;
+        let rows = chunk.len() / n;
+        // Per-worker A panel from the thread-local arena: persistent
+        // workers reuse it across every GEMM call they ever run.
+        let mut apack = scratch::take(MR * k);
+        let mut r = 0;
+        while r + MR <= rows {
+            // Pack MR rows of A, k-major interleaved, mirroring bpack.
+            {
+                let (a0, a1, a2, a3) = (
+                    &a[(row0 + r) * k..(row0 + r + 1) * k],
+                    &a[(row0 + r + 1) * k..(row0 + r + 2) * k],
+                    &a[(row0 + r + 2) * k..(row0 + r + 3) * k],
+                    &a[(row0 + r + 3) * k..(row0 + r + 4) * k],
+                );
+                for (kk, slot) in apack.chunks_exact_mut(MR).enumerate() {
+                    slot[0] = a0[kk];
+                    slot[1] = a1[kk];
+                    slot[2] = a2[kk];
+                    slot[3] = a3[kk];
                 }
-                out_row[j] = s0;
-                out_row[j + 1] = s1;
-                out_row[j + 2] = s2;
-                out_row[j + 3] = s3;
-                j += 4;
             }
-            while j < n {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = bias.map_or(0.0, |bias| bias[j]);
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
+            for j0 in (0..n_main).step_by(NR) {
+                // 4x4 micro-kernel: 16 independent accumulators, each a
+                // strictly sequential k-ascending chain seeded with its
+                // column's bias — the same per-element arithmetic as
+                // the naive triple loop, just 16 elements at a time.
+                let init = match bias {
+                    Some(bias) => [bias[j0], bias[j0 + 1], bias[j0 + 2], bias[j0 + 3]],
+                    None => [0.0; NR],
+                };
+                let mut acc = [init; MR];
+                let panel = &bpack[j0 * k..(j0 + NR) * k];
+                for (av, bv) in apack.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
+                    for (acc_row, &ai) in acc.iter_mut().zip(av) {
+                        for (s, &bj) in acc_row.iter_mut().zip(bv) {
+                            *s += ai * bj;
+                        }
+                    }
                 }
-                out_row[j] = acc;
-                j += 1;
+                for (i, acc_row) in acc.iter().enumerate() {
+                    chunk[(r + i) * n + j0..(r + i) * n + j0 + NR].copy_from_slice(acc_row);
+                }
+            }
+            // Leftover columns (n % NR): scalar dot per row, same
+            // k-ascending order.
+            for j in n_main..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                for i in 0..MR {
+                    let a_row = &a[(row0 + r + i) * k..(row0 + r + i + 1) * k];
+                    let mut s = bias.map_or(0.0, |bias| bias[j]);
+                    for (x, y) in a_row.iter().zip(b_row) {
+                        s += x * y;
+                    }
+                    chunk[(r + i) * n + j] = s;
+                }
+            }
+            r += MR;
+        }
+        // Leftover rows (m % MR within this block): scalar dot kernel
+        // over every column.
+        for r in r..rows {
+            let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+            let out_row = &mut chunk[r * n..(r + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut s = bias.map_or(0.0, |bias| bias[j]);
+                for (x, y) in a_row.iter().zip(b_row) {
+                    s += x * y;
+                }
+                *o = s;
             }
         }
+        scratch::recycle(apack);
     });
+    scratch::recycle(bpack);
     out
 }
 

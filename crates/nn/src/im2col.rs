@@ -24,6 +24,7 @@
 //! * patch matrix: `groups * oh * ow` rows of `c * k * k` columns, row
 //!   `g * oh * ow + oy * ow + ox`, column `(ic * k + ky) * k + kx`.
 
+use crate::scratch;
 use codesign_parallel::parallel_chunks_mut;
 
 /// Output spatial size of a `k`-kernel convolution over `h x w` input
@@ -104,7 +105,10 @@ pub fn im2row_grid(
     );
     let ckk = c * k * k;
     let plane_rows = oh * ow * ckk;
-    let mut rows = vec![0.0f32; groups * plane_rows];
+    // Zeroed arena buffer: the patch matrix relies on zero
+    // initialization to materialize padding. Callers on the hot path
+    // recycle it after the GEMM (`crate::scratch::recycle`).
+    let mut rows = scratch::take_zeroed(groups * plane_rows);
     let threads = crate::gemm::capped_threads(
         threads,
         groups * plane_rows,
@@ -147,7 +151,9 @@ pub fn im2row_grid(
 /// ascending `(oc, ky, kx)` order.
 pub fn flip_weights(weights: &[f32], oc: usize, ic: usize, k: usize) -> Vec<f32> {
     assert_eq!(weights.len(), oc * ic * k * k, "weight length disagrees");
-    let mut out = vec![0.0f32; weights.len()];
+    // The flip is a bijection, so every element is written: the arena
+    // buffer needs no zeroing.
+    let mut out = scratch::take(weights.len());
     for o in 0..oc {
         for i in 0..ic {
             for ky in 0..k {
@@ -185,7 +191,10 @@ mod tests {
         pad: usize,
     ) -> Vec<f32> {
         let (oh, ow) = conv_output_size(h, w, k, stride, pad);
-        let mut rows = Vec::new();
+        // Exact capacity from the output geometry: one push per
+        // (group, output pixel, patch element), so the oracle never
+        // reallocates mid-gather.
+        let mut rows = Vec::with_capacity(groups * oh * ow * c * k * k);
         for g in 0..groups {
             for oy in 0..oh {
                 for ox in 0..ow {

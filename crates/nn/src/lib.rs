@@ -56,6 +56,7 @@ pub mod layers;
 pub mod network;
 pub mod quantized;
 pub mod reference;
+mod scratch;
 pub mod tensor;
 pub mod train;
 

@@ -130,18 +130,30 @@ impl Trainer {
             .zip(boxes.chunks(bs))
             .map(|(bi, bb)| (Tensor::stack(bi), bb))
             .collect();
+        // Reusable loss-gradient buffers (lazily shaped from the first
+        // forward pass): at most two batch shapes exist — full batches
+        // and an optional shorter final batch — so two slots cover the
+        // whole run. Every element is rewritten each step, so reuse
+        // cannot change results — it only drops the per-step
+        // allocation from the hot loop.
+        let (mut grad_full, mut grad_tail): (Option<Tensor>, Option<Tensor>) = (None, None);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         for _epoch in 0..self.config.epochs {
             let mut epoch_loss = 0.0f32;
             for (batch, batch_boxes) in &batches {
                 let (out, cache) = net.forward_train_batch(batch);
-                let mut grad = Tensor::zeros(out.shape());
+                let grad_slot = if batch_boxes.len() == bs {
+                    &mut grad_full
+                } else {
+                    &mut grad_tail
+                };
+                let grad = grad_slot.get_or_insert_with(|| Tensor::zeros(out.shape()));
                 for (i, target) in batch_boxes.iter().enumerate() {
                     let (loss, g) = Self::mse_loss_slice(out.image(i), target);
                     epoch_loss += loss;
                     grad.image_mut(i).copy_from_slice(&g);
                 }
-                net.backward_batch(&cache, &grad);
+                net.backward_batch(&cache, grad);
                 net.sgd_step(
                     self.config.learning_rate / batch_boxes.len() as f32,
                     self.config.momentum,

@@ -1,4 +1,4 @@
-//! Deterministic scoped-thread parallelism primitives shared across the
+//! Deterministic pooled parallelism primitives shared across the
 //! co-design workspace.
 //!
 //! Both halves of the methodology are embarrassingly parallel: the
@@ -7,10 +7,11 @@
 //! fans its GEMM kernel out over row blocks. This base crate provides
 //! the primitives that make both *reproducible*:
 //!
-//! * [`parallel_map`] — a scoped-thread work queue (`std::thread::scope`,
-//!   no external dependencies) whose results are merged **by item
-//!   index**, so the output is byte-identical to a sequential run no
-//!   matter how threads interleave;
+//! * [`parallel_map`] — a work queue over a persistent [`WorkerPool`]
+//!   (long-lived threads, no per-call spawn cost, no external
+//!   dependencies) whose results are merged **by item index**, so the
+//!   output is byte-identical to a sequential run no matter how
+//!   threads interleave;
 //! * [`parallel_chunks_mut`] — a partitioned in-place variant: disjoint
 //!   mutable chunks of one output buffer are filled concurrently, each
 //!   chunk by exactly one worker, so no reduction (and no copy) is
@@ -20,18 +21,23 @@
 //!   seed instead of sharing one generator across threads.
 //!
 //! The [`Parallelism`] knob picks the worker count; `Fixed(1)` is the
-//! legacy sequential path (which runs the exact same code, just inline).
+//! legacy sequential path (which runs the exact same code, just inline,
+//! without touching the pool).
 //!
 //! The crate sits *below* `codesign-nn` and `codesign-core` in the
 //! dependency graph so both can share one work queue; `codesign-core`
 //! re-exports it as `codesign_core::parallel` for compatibility.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `allow`ed only in `pool`'s lifetime-erased dispatch
 #![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::WorkerPool;
 
 use serde::{Deserialize, Serialize};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Worker-count knob of the co-design flow.
@@ -99,13 +105,14 @@ pub fn derive_seed(root: u64, stream: u64) -> u64 {
     splitmix64(root ^ splitmix64(stream))
 }
 
-/// Maps `f` over `items` with up to `threads` scoped workers, returning
+/// Maps `f` over `items` with up to `threads` pooled workers, returning
 /// results **in item order**.
 ///
 /// With `threads <= 1` (or fewer than two items) the closure runs inline
-/// on the caller's thread — the legacy sequential path. Otherwise
-/// workers claim item indices from an atomic counter and write results
-/// into per-index slots, so the merged output is identical to the
+/// on the caller's thread — the legacy sequential path. Otherwise the
+/// caller and up to `threads - 1` persistent [`WorkerPool`] helpers
+/// claim item indices from an atomic counter and write results into
+/// per-index slots, so the merged output is identical to the
 /// sequential one regardless of scheduling. A panicking closure
 /// propagates the panic to the caller.
 pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
@@ -117,19 +124,11 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(i, &items[i]);
-                *slots[i].lock().expect("result slot") = Some(out);
-            });
-        }
+    let abort = AtomicBool::new(false);
+    WorkerPool::global().run_scoped(items.len(), threads - 1, &abort, &|i| {
+        let out = f(i, &items[i]);
+        *slots[i].lock().expect("result slot") = Some(out);
     });
     slots
         .into_iter()
@@ -156,26 +155,17 @@ where
         // `collect` into `Result` short-circuits at the first error.
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Result<U, E>>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            scope.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(i, &items[i]);
-                if out.is_err() {
-                    abort.store(true, Ordering::Relaxed);
-                }
-                *slots[i].lock().expect("result slot") = Some(out);
-            });
+    // The pool checks `abort` *before* claiming an index, so a claimed
+    // item always runs to completion and fills its slot — exactly the
+    // early-return shape of a sequential loop.
+    WorkerPool::global().run_scoped(items.len(), threads - 1, &abort, &|i| {
+        let out = f(i, &items[i]);
+        if out.is_err() {
+            abort.store(true, Ordering::Relaxed);
         }
+        *slots[i].lock().expect("result slot") = Some(out);
     });
     // Indices are claimed consecutively, so every slot before the first
     // error is filled; the scan below hits that error before any
@@ -192,7 +182,7 @@ where
 }
 
 /// Splits `out` into chunks of `chunk_len` elements and runs
-/// `f(chunk_index, chunk)` on each with up to `threads` scoped workers.
+/// `f(chunk_index, chunk)` on each with up to `threads` pooled workers.
 ///
 /// This is the in-place sibling of [`parallel_map`] for kernels that
 /// fill one large output buffer (the GEMM row blocks of the NN compute
@@ -225,28 +215,21 @@ where
     // One claimable slot per chunk: (chunk index, chunk).
     type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
     let slots: Vec<ChunkSlot<'_, T>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(slots.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
-                }
-                let (idx, chunk) = slots[i]
-                    .lock()
-                    .expect("chunk slot")
-                    .take()
-                    .expect("chunk claimed once");
-                f(idx, chunk);
-            });
-        }
+    let abort = AtomicBool::new(false);
+    WorkerPool::global().run_scoped(slots.len(), threads - 1, &abort, &|i| {
+        let (idx, chunk) = slots[i]
+            .lock()
+            .expect("chunk slot")
+            .take()
+            .expect("chunk claimed once");
+        f(idx, chunk);
     });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn parallel_matches_sequential_order() {
