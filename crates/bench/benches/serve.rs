@@ -1,0 +1,110 @@
+//! Job-server load bench: 1 / 4 / 16 concurrent clients submitting
+//! small co-design flows over HTTP and waiting for their results.
+//!
+//! Each client submits a batch of jobs back-to-back; a request's
+//! latency is submit → result downloaded, so it includes queueing,
+//! flow execution, and the event stream. Because every job shares the
+//! process-wide estimate cache, later jobs run mostly cache-hot — the
+//! multi-tenant scenario the server exists for. Emits
+//! `BENCH_serve.json` (req/s plus p50/p99 latency per concurrency
+//! level) via `codesign_bench::perf`.
+
+use codesign_bench::{emit_bench_json, BenchRecord};
+use codesign_serve::job::ServeConfig;
+use codesign_serve::metrics::percentile;
+use codesign_serve::{Client, Server};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::net::SocketAddr;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Concurrent client counts, per the acceptance checklist.
+const CONCURRENCY: [usize; 3] = [1, 4, 16];
+
+/// Jobs each client submits back-to-back.
+const JOBS_PER_CLIENT: usize = 3;
+
+/// A deliberately small flow so the bench measures the serving stack,
+/// not minutes of search: one target, a narrow sweep, one worker per
+/// job (concurrency comes from the job mix, not intra-job fan-out).
+const REQUEST_BODY: &str =
+    r#"{"targets_fps":[15.0],"candidates_per_bundle":2,"coarse_pf_sweep":[16],"parallelism":1}"#;
+
+/// Runs one load wave and returns total wall clock plus per-request
+/// latencies in milliseconds.
+fn drive(addr: SocketAddr, concurrency: usize) -> (Duration, Vec<f64>) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..concurrency)
+        .map(|_| {
+            thread::spawn(move || {
+                let client = Client::new(addr);
+                let mut latencies = Vec::with_capacity(JOBS_PER_CLIENT);
+                for _ in 0..JOBS_PER_CLIENT {
+                    let t0 = Instant::now();
+                    let job_id = client.submit_job(REQUEST_BODY).expect("submit");
+                    let (status, body) = client.wait_result(job_id).expect("result");
+                    assert_eq!(status, 200, "result fetch failed: {body}");
+                    assert!(body.contains("\"pareto\""), "result body has no pareto set");
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for handle in handles {
+        all.extend(handle.join().expect("client thread"));
+    }
+    (start.elapsed(), all)
+}
+
+fn bench_serve(_c: &mut Criterion) {
+    let mut server = Server::start(ServeConfig {
+        max_queue: 64,
+        executors: 8,
+    })
+    .expect("start server");
+    let addr = server.addr();
+
+    // Warm the shared estimate cache once so the measured waves compare
+    // concurrency levels, not cold-vs-hot cache states.
+    let (_, warm) = drive(addr, 1);
+    println!("serve: warmup request {:.1} ms", warm[0]);
+
+    let mut records = Vec::new();
+    for concurrency in CONCURRENCY {
+        let (wall, latencies) = drive(addr, concurrency);
+        let jobs = (concurrency * JOBS_PER_CLIENT) as f64;
+        let req_per_s = jobs / wall.as_secs_f64().max(1e-9);
+        let p50 = percentile(&latencies, 50.0).unwrap();
+        let p99 = percentile(&latencies, 99.0).unwrap();
+        println!(
+            "serve: {concurrency:>2} clients x {JOBS_PER_CLIENT} jobs -> {:.1} req/s, \
+             p50 {p50:.1} ms, p99 {p99:.1} ms ({:.0} ms total)",
+            req_per_s,
+            wall.as_secs_f64() * 1e3,
+        );
+        records.push(
+            BenchRecord::timing(&format!("serve_c{concurrency}"), wall)
+                .with_metric("jobs", jobs)
+                .with_metric("req_per_s", req_per_s)
+                .with_metric("p50_ms", p50)
+                .with_metric("p99_ms", p99),
+        );
+    }
+
+    let metrics = Client::new(addr).metrics().expect("metrics");
+    println!(
+        "serve: server-side counters after load: {}",
+        metrics.encode()
+    );
+    server.shutdown();
+
+    match emit_bench_json("serve", &records) {
+        Ok(path) => println!("serve: wrote {}", path.display()),
+        Err(err) => eprintln!("serve: could not write BENCH_serve.json: {err}"),
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

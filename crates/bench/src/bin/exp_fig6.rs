@@ -7,8 +7,10 @@ fn main() {
     let parallelism = parallelism_from_env();
     println!("parallelism: {parallelism} workers (set CODESIGN_PARALLELISM to override)");
     let out = fig6(&default_device(), parallelism).expect("fig6 search");
-    let ids: Vec<usize> = out.selected_bundles.iter().map(|b| b.0).collect();
-    println!("== Fig. 6 - DNN exploration (selected bundles {ids:?}) ==");
+    println!(
+        "== Fig. 6 - DNN exploration (selected bundles {:?}) ==",
+        out.selected_bundles
+    );
     println!(
         "{} candidate DNNs met a target band (paper: 68)",
         out.explored.len()

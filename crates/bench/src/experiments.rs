@@ -114,8 +114,8 @@ pub struct ExploredDesign {
 /// target.
 #[derive(Debug, Clone)]
 pub struct Fig6Output {
-    /// Bundles selected by the coarse evaluation.
-    pub selected_bundles: Vec<BundleId>,
+    /// Ids of the Bundles selected by the coarse evaluation.
+    pub selected_bundles: Vec<usize>,
     /// Every candidate in some target band.
     pub explored: Vec<ExploredDesign>,
     /// `(target fps, best candidate)` per target.
@@ -132,42 +132,32 @@ pub fn fig6(
     device: &FpgaDevice,
     parallelism: Parallelism,
 ) -> Result<Fig6Output, codesign_core::flow::FlowError> {
-    let flow = CoDesignFlow::new(FlowConfig {
-        candidates_per_bundle: 5,
-        coarse_pf_sweep: vec![16],
-        parallelism,
-        ..FlowConfig::for_device(device.clone())
-    });
+    let config = FlowConfig::builder()
+        .device(device.clone())
+        .candidates_per_bundle(5)
+        .coarse_pf_sweep([16])
+        .parallelism(parallelism)
+        .build()?;
+    let flow = CoDesignFlow::new(config);
     let out = flow.run()?;
     let to_row = |target: f64, c: &codesign_core::search::Candidate| ExploredDesign {
         target_fps: target,
         bundle: c.point.bundle.id().0,
         replications: c.point.n_replications,
-        max_channels: c.point.max_channels.min(
-            // report the realized width, not just the cap
-            (0..c.point.n_replications)
-                .map(|i| c.point.channels_at(i))
-                .max()
-                .unwrap_or(c.point.max_channels),
-        ),
+        max_channels: c.point.realized_max_channels(),
         activation: c.point.activation.to_string(),
         fps: 1000.0 / c.latency_ms,
         accuracy: c.accuracy,
     };
     let explored: Vec<ExploredDesign> = out.candidates.iter().map(|(t, c)| to_row(*t, c)).collect();
-    let mut best = Vec::new();
-    for &t in &flow.config().targets_fps {
-        if let Some(b) = out
-            .candidates
-            .iter()
-            .filter(|(bt, _)| *bt == t)
-            .max_by(|a, b| a.1.accuracy.total_cmp(&b.1.accuracy))
-        {
-            best.push(to_row(t, &b.1));
-        }
-    }
+    let best: Vec<ExploredDesign> = flow
+        .config()
+        .targets_fps
+        .iter()
+        .filter_map(|&t| out.best_candidate_for(t).map(|c| to_row(t, c)))
+        .collect();
     Ok(Fig6Output {
-        selected_bundles: out.selected_bundles,
+        selected_bundles: out.selected_bundle_ids(),
         explored,
         best,
     })
@@ -464,15 +454,15 @@ pub fn portability(
     use codesign_sim::device::{ultra96, zcu104};
     let mut rows = Vec::new();
     for device in [pynq_z1(), ultra96(), zcu104()] {
-        let flow = CoDesignFlow::new(FlowConfig {
-            targets_fps: vec![15.0],
-            candidates_per_bundle: 2,
-            coarse_pf_sweep: vec![16],
-            parallelism,
-            ..FlowConfig::for_device(device.clone())
-        });
-        let out = flow.run()?;
-        if let Some(d) = out.designs.first() {
+        let config = FlowConfig::builder()
+            .device(device.clone())
+            .targets_fps([15.0])
+            .candidates_per_bundle(2)
+            .coarse_pf_sweep([16])
+            .parallelism(parallelism)
+            .build()?;
+        let out = CoDesignFlow::new(config).run()?;
+        if let Some(d) = out.design_for(15.0) {
             rows.push(PortabilityRow {
                 device: device.name.clone(),
                 target_fps: d.target_fps,

@@ -34,6 +34,9 @@ pub struct BenchRecord {
     pub wall_ms: f64,
     /// Speedup over the baseline arm, when the record is a comparison.
     pub speedup: Option<f64>,
+    /// Extra named scalar metrics (throughput, percentiles, …),
+    /// serialized as additional keys in emission order.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchRecord {
@@ -43,6 +46,7 @@ impl BenchRecord {
             name: name.to_string(),
             wall_ms: wall.as_secs_f64() * 1e3,
             speedup: None,
+            extras: Vec::new(),
         }
     }
 
@@ -52,7 +56,15 @@ impl BenchRecord {
             name: name.to_string(),
             wall_ms: wall.as_secs_f64() * 1e3,
             speedup: Some(baseline.as_secs_f64() / wall.as_secs_f64().max(1e-12)),
+            extras: Vec::new(),
         }
+    }
+
+    /// Attaches one extra named metric (chainable).
+    #[must_use]
+    pub fn with_metric(mut self, name: &str, value: f64) -> Self {
+        self.extras.push((name.to_string(), value));
+        self
     }
 }
 
@@ -79,6 +91,9 @@ pub fn emit_bench_json(bench: &str, records: &[BenchRecord]) -> std::io::Result<
         if let Some(s) = r.speedup {
             out.push_str(&format!(", \"speedup\": {s:.2}"));
         }
+        for (key, value) in &r.extras {
+            out.push_str(&format!(", \"{key}\": {value:.3}"));
+        }
         out.push_str(" }");
         if i + 1 < records.len() {
             out.push(',');
@@ -104,6 +119,9 @@ mod tests {
         let records = [
             BenchRecord::timing("baseline", Duration::from_millis(10)),
             BenchRecord::speedup_over("fast", Duration::from_millis(2), Duration::from_millis(10)),
+            BenchRecord::timing("served", Duration::from_millis(4))
+                .with_metric("req_per_s", 250.0)
+                .with_metric("p99_ms", 6.5),
         ];
         let path = emit_bench_json("unit_test", &records).unwrap();
         std::env::remove_var("BENCH_JSON_DIR");
@@ -111,6 +129,9 @@ mod tests {
         assert!(text.contains("\"bench\": \"unit_test\""));
         assert!(text.contains("\"name\": \"baseline\", \"wall_ms\": 10.000 }"));
         assert!(text.contains("\"name\": \"fast\", \"wall_ms\": 2.000, \"speedup\": 5.00 }"));
+        assert!(text.contains(
+            "\"name\": \"served\", \"wall_ms\": 4.000, \"req_per_s\": 250.000, \"p99_ms\": 6.500 }"
+        ));
         std::fs::remove_file(path).unwrap();
     }
 }

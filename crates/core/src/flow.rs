@@ -7,10 +7,17 @@
 //! resource constraints and performance targets; outputs are DNN models
 //! *and* their FPGA accelerators (synthesizable C plus a synthesis-style
 //! report).
+//!
+//! Configurations are built with [`FlowConfig::builder`] (paper
+//! defaults, typed validation), runs are observed and cancelled through
+//! [`CoDesignFlow::run_observed`], and results are presented through
+//! [`FlowOutput`]'s accessors and [`FlowOutput::summary`] — the same
+//! presentation path the serving layer JSON-encodes.
 
 use crate::accuracy::AccuracyModel;
 use crate::evaluate::{coarse_evaluate_parallel, select_bundles, BundleEvaluation, EvalMethod};
-use crate::parallel::{derive_seed, parallel_map, try_parallel_map, Parallelism};
+use crate::observe::{CancelToken, FlowEvent, FlowObserver, NullObserver};
+use crate::parallel::{derive_seed, try_parallel_map, Parallelism};
 use crate::search::{scd_search_with_activation, Candidate, ScdConfig};
 use codesign_dnn::builder::DnnBuilder;
 use codesign_dnn::bundle::{enumerate_bundles, Bundle, BundleId};
@@ -21,15 +28,20 @@ use codesign_hls::cache::EstimateCache;
 use codesign_hls::calibrate::calibrate_bundle_with;
 use codesign_hls::codegen::CodeGenerator;
 use codesign_hls::model::HlsEstimator;
-use codesign_sim::device::FpgaDevice;
+use codesign_sim::device::{pynq_z1, FpgaDevice};
 use codesign_sim::error::SimError;
 use codesign_sim::pipeline::{simulate, AccelConfig};
 use codesign_sim::report::{CacheStats, SimReport};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Configuration of a full co-design run.
+///
+/// Construct with [`FlowConfig::builder`] for validated configs, or
+/// [`FlowConfig::for_device`] for the paper's exact experimental setup;
+/// the fields stay public for struct-update syntax in existing callers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlowConfig {
     /// Target FPGA device (resource constraints).
@@ -74,6 +86,153 @@ impl FlowConfig {
             parallelism: Parallelism::Auto,
         }
     }
+
+    /// A builder seeded with the paper's settings on its board (the
+    /// PYNQ-Z1); every knob has a setter and [`FlowConfigBuilder::build`]
+    /// validates the result.
+    ///
+    /// ```
+    /// use codesign_core::flow::FlowConfig;
+    ///
+    /// let config = FlowConfig::builder()
+    ///     .targets_fps([15.0])
+    ///     .candidates_per_bundle(2)
+    ///     .build()
+    ///     .expect("paper defaults validate");
+    /// assert_eq!(config.clock_mhz, 100.0);
+    /// ```
+    pub fn builder() -> FlowConfigBuilder {
+        FlowConfigBuilder {
+            config: FlowConfig::for_device(pynq_z1()),
+        }
+    }
+
+    /// Checks the configuration for values that would otherwise surface
+    /// as downstream panics or degenerate searches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] naming the first offending
+    /// field (see [`ConfigError`]).
+    pub fn validate(&self) -> Result<(), FlowError> {
+        if self.targets_fps.is_empty() {
+            return Err(ConfigError::EmptyTargets.into());
+        }
+        for &fps in &self.targets_fps {
+            if !fps.is_finite() || fps <= 0.0 {
+                return Err(ConfigError::NonPositiveTarget { fps }.into());
+            }
+        }
+        if !self.clock_mhz.is_finite() || self.clock_mhz <= 0.0 {
+            return Err(ConfigError::NonPositiveClock {
+                clock_mhz: self.clock_mhz,
+            }
+            .into());
+        }
+        if !self.fps_tolerance.is_finite() || self.fps_tolerance <= 0.0 {
+            return Err(ConfigError::NonPositiveTolerance {
+                fps_tolerance: self.fps_tolerance,
+            }
+            .into());
+        }
+        if self.candidates_per_bundle == 0 {
+            return Err(ConfigError::ZeroCandidates.into());
+        }
+        if self.coarse_pf_sweep.is_empty() {
+            return Err(ConfigError::EmptyPfSweep.into());
+        }
+        if self.coarse_pf_sweep.contains(&0) {
+            return Err(ConfigError::ZeroPf.into());
+        }
+        if self.eval_replications == 0 {
+            return Err(ConfigError::ZeroReplications.into());
+        }
+        if let Err(e) = self.device.validate() {
+            return Err(ConfigError::InvalidDevice {
+                reason: e.to_string(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FlowConfig`], seeded with the paper's defaults.
+///
+/// Obtained from [`FlowConfig::builder`]; [`build`](Self::build) runs
+/// [`FlowConfig::validate`] so an invalid configuration is caught at
+/// construction time with a typed [`ConfigError`] instead of a panic
+/// deep inside the search.
+#[derive(Debug, Clone)]
+pub struct FlowConfigBuilder {
+    config: FlowConfig,
+}
+
+impl FlowConfigBuilder {
+    /// Sets the target FPGA device.
+    pub fn device(mut self, device: FpgaDevice) -> Self {
+        self.config.device = device;
+        self
+    }
+
+    /// Sets the FPS targets searched for.
+    pub fn targets_fps(mut self, targets: impl IntoIterator<Item = f64>) -> Self {
+        self.config.targets_fps = targets.into_iter().collect();
+        self
+    }
+
+    /// Sets the accelerator clock in MHz.
+    pub fn clock_mhz(mut self, clock_mhz: f64) -> Self {
+        self.config.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// Sets the half-width of the FPS acceptance window.
+    pub fn fps_tolerance(mut self, fps_tolerance: f64) -> Self {
+        self.config.fps_tolerance = fps_tolerance;
+        self
+    }
+
+    /// Sets the candidate count `K` collected per Bundle per target.
+    pub fn candidates_per_bundle(mut self, k: usize) -> Self {
+        self.config.candidates_per_bundle = k;
+        self
+    }
+
+    /// Sets the parallel-factor sweep of the coarse evaluation.
+    pub fn coarse_pf_sweep(mut self, sweep: impl IntoIterator<Item = usize>) -> Self {
+        self.config.coarse_pf_sweep = sweep.into_iter().collect();
+        self
+    }
+
+    /// Sets the replication count of the method#2 evaluation DNNs.
+    pub fn eval_replications(mut self, n: usize) -> Self {
+        self.config.eval_replications = n;
+        self
+    }
+
+    /// Sets the root seed of the stochastic search.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread knob.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] naming the first offending
+    /// field.
+    pub fn build(self) -> Result<FlowConfig, FlowError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// A finished design: the DNN model plus its FPGA implementation.
@@ -97,6 +256,95 @@ pub struct DesignOutcome {
     pub code: String,
 }
 
+impl DesignOutcome {
+    /// One presentation row for this design (the shape printed by the
+    /// CLI examples and JSON-encoded by the serving layer).
+    pub fn summary(&self) -> DesignSummary {
+        DesignSummary {
+            target_fps: self.target_fps,
+            bundle: self.point.bundle.id().0,
+            replications: self.point.n_replications,
+            max_channels: self.point.realized_max_channels(),
+            activation: self.point.activation,
+            accuracy: self.accuracy,
+            latency_ms: self.latency_ms,
+            fps: self.fps,
+        }
+    }
+}
+
+/// Presentation row of one finished design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSummary {
+    /// FPS target the design was searched for.
+    pub target_fps: f64,
+    /// Bundle id the design replicates.
+    pub bundle: usize,
+    /// Replication count `N`.
+    pub replications: usize,
+    /// Widest realized channel count.
+    pub max_channels: usize,
+    /// Activation variant (fixes the quantization scheme).
+    pub activation: Activation,
+    /// Estimated accuracy (IoU).
+    pub accuracy: f64,
+    /// Simulated single-frame latency in milliseconds.
+    pub latency_ms: f64,
+    /// Simulated throughput in frames per second.
+    pub fps: f64,
+}
+
+impl fmt::Display for DesignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "target {:.0} FPS -> bundle {} x{}, max {} ch, {}: IoU {:.3}, {:.1} ms ({:.1} FPS)",
+            self.target_fps,
+            self.bundle,
+            self.replications,
+            self.max_channels,
+            self.activation,
+            self.accuracy,
+            self.latency_ms,
+            self.fps
+        )
+    }
+}
+
+/// One-glance summary of a whole co-design run: what
+/// [`FlowOutput::summary`] returns, the CLI examples print, and the
+/// serving layer JSON-encodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSummary {
+    /// Bundle ids surviving the coarse Pareto selection.
+    pub selected_bundles: Vec<usize>,
+    /// Candidates that met some FPS target band.
+    pub candidates: usize,
+    /// Presentation rows of the published designs, one per satisfiable
+    /// target.
+    pub designs: Vec<DesignSummary>,
+    /// Hit rate of the shared analytic-estimate cache over this run's
+    /// lookups (cumulative when the cache is shared across runs).
+    pub cache_hit_rate: f64,
+}
+
+impl fmt::Display for FlowSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "selected bundles {:?}; {} candidates met a target band; \
+             estimate-cache hit rate {:.1}%",
+            self.selected_bundles,
+            self.candidates,
+            self.cache_hit_rate * 100.0
+        )?;
+        for d in &self.designs {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Output of a full co-design run.
 #[derive(Debug, Clone)]
 pub struct FlowOutput {
@@ -113,11 +361,130 @@ pub struct FlowOutput {
     /// much of the search's modeling work was memoized.
     ///
     /// The bit-identical-output guarantee covers the search results
-    /// (coarse records, selection, candidates, designs) and the *total*
-    /// lookup count here; the hit/miss split may shift by a few counts
-    /// between runs when workers race to compute the same key.
+    /// (coarse records, selection, candidates, designs) and — for a
+    /// run-private cache — the *total* lookup count here; the hit/miss
+    /// split may shift by a few counts between runs when workers race
+    /// to compute the same key, and a cache installed with
+    /// [`CoDesignFlow::with_estimate_cache`] reports cumulative
+    /// process-wide counters.
     pub cache_stats: CacheStats,
 }
+
+impl FlowOutput {
+    /// Bundle ids surviving the coarse Pareto selection, as plain
+    /// numbers (the paper's {1, 3, 13, 15, 17}).
+    pub fn selected_bundle_ids(&self) -> Vec<usize> {
+        self.selected_bundles.iter().map(|b| b.0).collect()
+    }
+
+    /// Number of candidates that met some target band.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Candidates collected for one FPS target, in deterministic search
+    /// order.
+    pub fn candidates_for(&self, target_fps: f64) -> impl Iterator<Item = &Candidate> + '_ {
+        self.candidates
+            .iter()
+            .filter(move |(t, _)| *t == target_fps)
+            .map(|(_, c)| c)
+    }
+
+    /// The highest-accuracy candidate for one FPS target (the one
+    /// [`FlowOutput::designs`] publishes).
+    pub fn best_candidate_for(&self, target_fps: f64) -> Option<&Candidate> {
+        self.candidates_for(target_fps)
+            .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
+    }
+
+    /// The published design for one FPS target, when the target was
+    /// satisfiable.
+    pub fn design_for(&self, target_fps: f64) -> Option<&DesignOutcome> {
+        self.designs.iter().find(|d| d.target_fps == target_fps)
+    }
+
+    /// The one-glance presentation summary: selection, candidate count,
+    /// design rows, cache hit rate. CLI examples print its `Display`;
+    /// the serving layer JSON-encodes its fields — one presentation
+    /// path for both.
+    pub fn summary(&self) -> FlowSummary {
+        FlowSummary {
+            selected_bundles: self.selected_bundle_ids(),
+            candidates: self.candidate_count(),
+            designs: self.designs.iter().map(DesignOutcome::summary).collect(),
+            cache_hit_rate: self.cache_stats.hit_rate(),
+        }
+    }
+}
+
+/// A structurally invalid [`FlowConfig`], caught by
+/// [`FlowConfig::validate`] before any search work starts.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `targets_fps` is empty — nothing to search for.
+    EmptyTargets,
+    /// An FPS target is non-positive or non-finite.
+    NonPositiveTarget {
+        /// The offending target.
+        fps: f64,
+    },
+    /// `clock_mhz` is non-positive or non-finite.
+    NonPositiveClock {
+        /// The offending clock.
+        clock_mhz: f64,
+    },
+    /// `fps_tolerance` is non-positive or non-finite (an empty
+    /// acceptance window can never admit a candidate).
+    NonPositiveTolerance {
+        /// The offending tolerance.
+        fps_tolerance: f64,
+    },
+    /// `candidates_per_bundle` is zero — every SCD cell would return
+    /// nothing.
+    ZeroCandidates,
+    /// `coarse_pf_sweep` is empty — coarse evaluation would be skipped
+    /// and no Bundle selected.
+    EmptyPfSweep,
+    /// `coarse_pf_sweep` contains a zero parallel factor.
+    ZeroPf,
+    /// `eval_replications` is zero — method#2 evaluation DNNs cannot be
+    /// built.
+    ZeroReplications,
+    /// The device description fails its own validation.
+    InvalidDevice {
+        /// The device's validation error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyTargets => write!(f, "targets_fps is empty"),
+            ConfigError::NonPositiveTarget { fps } => {
+                write!(f, "fps target {fps} is not positive and finite")
+            }
+            ConfigError::NonPositiveClock { clock_mhz } => {
+                write!(f, "clock_mhz {clock_mhz} is not positive and finite")
+            }
+            ConfigError::NonPositiveTolerance { fps_tolerance } => {
+                write!(
+                    f,
+                    "fps_tolerance {fps_tolerance} is not positive and finite"
+                )
+            }
+            ConfigError::ZeroCandidates => write!(f, "candidates_per_bundle is zero"),
+            ConfigError::EmptyPfSweep => write!(f, "coarse_pf_sweep is empty"),
+            ConfigError::ZeroPf => write!(f, "coarse_pf_sweep contains a zero parallel factor"),
+            ConfigError::ZeroReplications => write!(f, "eval_replications is zero"),
+            ConfigError::InvalidDevice { reason } => write!(f, "invalid device: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Errors of the co-design flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,15 +492,19 @@ pub struct FlowOutput {
 pub enum FlowError {
     /// A hardware-side step failed.
     Sim(SimError),
-    /// The flow was configured without FPS targets.
-    NoTargets,
+    /// The configuration failed [`FlowConfig::validate`].
+    InvalidConfig(ConfigError),
+    /// The run's [`CancelToken`] fired; the flow stopped at a work-item
+    /// boundary.
+    Cancelled,
 }
 
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Sim(e) => write!(f, "hardware step failed: {e}"),
-            FlowError::NoTargets => write!(f, "no fps targets configured"),
+            FlowError::InvalidConfig(e) => write!(f, "invalid flow config: {e}"),
+            FlowError::Cancelled => write!(f, "flow cancelled"),
         }
     }
 }
@@ -146,6 +517,12 @@ impl From<SimError> for FlowError {
     }
 }
 
+impl From<ConfigError> for FlowError {
+    fn from(e: ConfigError) -> Self {
+        FlowError::InvalidConfig(e)
+    }
+}
+
 /// The automatic co-design flow driver.
 ///
 /// # Example
@@ -155,8 +532,9 @@ impl From<SimError> for FlowError {
 /// use codesign_sim::device::pynq_z1;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let out = CoDesignFlow::new(FlowConfig::for_device(pynq_z1())).run()?;
-/// println!("{} candidate DNNs explored", out.candidates.len());
+/// let config = FlowConfig::builder().device(pynq_z1()).build()?;
+/// let out = CoDesignFlow::new(config).run()?;
+/// println!("{}", out.summary());
 /// # Ok(())
 /// # }
 /// ```
@@ -164,6 +542,7 @@ impl From<SimError> for FlowError {
 pub struct CoDesignFlow {
     config: FlowConfig,
     model: AccuracyModel,
+    cache: Option<Arc<EstimateCache>>,
 }
 
 impl CoDesignFlow {
@@ -172,6 +551,7 @@ impl CoDesignFlow {
         Self {
             config,
             model: AccuracyModel::paper_calibrated(),
+            cache: None,
         }
     }
 
@@ -181,12 +561,30 @@ impl CoDesignFlow {
         self
     }
 
+    /// Installs a shared analytic-estimate cache instead of the
+    /// run-private one.
+    ///
+    /// A long-running server passes one process-wide sharded
+    /// [`EstimateCache`] here so concurrent flows on the same device
+    /// reuse each other's modeling work. Sharing never changes results
+    /// — cached estimates are bit-identical to recomputed ones — but
+    /// [`FlowOutput::cache_stats`] then reports cumulative process-wide
+    /// counters.
+    pub fn with_estimate_cache(mut self, cache: Arc<EstimateCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &FlowConfig {
         &self.config
     }
 
-    /// Runs the three co-design steps end to end.
+    /// Runs the three co-design steps end to end (blocking, silent).
+    ///
+    /// This is a thin wrapper over [`run_observed`](Self::run_observed)
+    /// with a no-op observer and a token nobody cancels — the legacy
+    /// surface every pre-serving caller uses.
     ///
     /// With `parallelism > 1` the independent stages — coarse Bundle
     /// evaluation, per-Bundle calibration, and the per-(Bundle,
@@ -204,21 +602,72 @@ impl CoDesignFlow {
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::NoTargets`] for an empty target list and
-    /// propagates simulator failures.
+    /// Returns [`FlowError::InvalidConfig`] for a configuration that
+    /// fails [`FlowConfig::validate`] and propagates simulator
+    /// failures.
     pub fn run(&self) -> Result<FlowOutput, FlowError> {
-        if self.config.targets_fps.is_empty() {
-            return Err(FlowError::NoTargets);
+        self.run_observed(&NullObserver, &CancelToken::new())
+    }
+
+    /// Runs the flow, streaming progress events into `observer` and
+    /// checking `cancel` at every work-item boundary.
+    ///
+    /// Events are emitted from worker threads as items complete (see
+    /// [`FlowEvent`] for the schedule); observing never changes
+    /// results. Cancellation is cooperative: after `cancel` fires, no
+    /// new work item starts, in-flight items finish, and the run
+    /// returns [`FlowError::Cancelled`] (after emitting
+    /// [`FlowEvent::Cancelled`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] for an invalid
+    /// configuration, [`FlowError::Cancelled`] when the token fired,
+    /// and propagates simulator failures.
+    pub fn run_observed(
+        &self,
+        observer: &dyn FlowObserver,
+        cancel: &CancelToken,
+    ) -> Result<FlowOutput, FlowError> {
+        let result = self.run_observed_inner(observer, cancel);
+        if matches!(result, Err(FlowError::Cancelled)) {
+            observer.on_event(&FlowEvent::Cancelled);
         }
+        result
+    }
+
+    fn run_observed_inner(
+        &self,
+        observer: &dyn FlowObserver,
+        cancel: &CancelToken,
+    ) -> Result<FlowOutput, FlowError> {
+        self.config.validate()?;
         let cfg = &self.config;
         let threads = cfg.parallelism.threads();
-        let cache = Arc::new(EstimateCache::new());
+        let cache = self
+            .cache
+            .clone()
+            .unwrap_or_else(|| Arc::new(EstimateCache::new()));
+        let checkpoint = || -> Result<(), FlowError> {
+            if cancel.is_cancelled() {
+                Err(FlowError::Cancelled)
+            } else {
+                Ok(())
+            }
+        };
+
+        let all_bundles = enumerate_bundles();
+        observer.on_event(&FlowEvent::Started {
+            targets: cfg.targets_fps.len(),
+            bundles: all_bundles.len(),
+        });
 
         // Step 2: coarse evaluation (one work item per Bundle) + Bundle
         // selection. (Step 1, the analytic modeling, happens inside
         // calibrate_bundle_with below.)
+        checkpoint()?;
         let coarse = coarse_evaluate_parallel(
-            &enumerate_bundles(),
+            &all_bundles,
             &cfg.device,
             &cfg.coarse_pf_sweep,
             EvalMethod::Replicated {
@@ -235,20 +684,31 @@ impl CoDesignFlow {
             .cloned()
             .collect();
         let selected = select_bundles(&at_max_pf);
+        observer.on_event(&FlowEvent::BundlesSelected {
+            selected: selected.iter().map(|b| b.0).collect(),
+        });
 
         // Step 1: analytic-model calibration, once per selected Bundle
         // (shared across every FPS target) in the deployment PF regime —
         // the overlap factors fitted at tiny PFs do not transfer to the
         // near-full-DSP designs the search emits. All estimators share
         // one estimate cache.
-        let bundles = enumerate_bundles();
+        checkpoint()?;
+        let calibrated = AtomicUsize::new(0);
         let estimators: Vec<(Bundle, HlsEstimator)> =
             try_parallel_map(&selected, threads, |_, id| {
-                let bundle = bundles[id.0 - 1].clone();
-                let params = calibrate_bundle_with(&bundle, &cfg.device, &[1, 2, 3, 4], 96)?;
+                checkpoint()?;
+                let bundle = all_bundles[id.0 - 1].clone();
+                let params = calibrate_bundle_with(&bundle, &cfg.device, &[1, 2, 3, 4], 96)
+                    .map_err(FlowError::Sim)?;
                 let estimator =
                     HlsEstimator::new(params, cfg.device.clone()).with_cache(Arc::clone(&cache));
-                Ok::<_, SimError>((bundle, estimator))
+                observer.on_event(&FlowEvent::BundleCalibrated {
+                    bundle: id.0,
+                    done: calibrated.fetch_add(1, Ordering::Relaxed) + 1,
+                    total: selected.len(),
+                });
+                Ok::<_, FlowError>((bundle, estimator))
             })?;
 
         // Step 3: SCD searches, one work item per (FPS target, Bundle,
@@ -281,7 +741,9 @@ impl CoDesignFlow {
                 }
             }
         }
-        let found: Vec<Vec<Candidate>> = parallel_map(&items, threads, |_, item| {
+        let searched = AtomicUsize::new(0);
+        let found: Vec<Vec<Candidate>> = try_parallel_map(&items, threads, |_, item| {
+            checkpoint()?;
             let target_ms = 1000.0 / item.fps;
             let tolerance_ms = target_ms - 1000.0 / (item.fps + cfg.fps_tolerance);
             // The stream id depends only on what the item *is* (target,
@@ -295,19 +757,28 @@ impl CoDesignFlow {
                 max_iterations: 400,
                 seed: derive_seed(cfg.seed, stream),
             };
-            scd_search_with_activation(
+            let cell = scd_search_with_activation(
                 item.bundle,
                 item.estimator,
                 &self.model,
                 &scd,
                 item.activation,
-            )
-        });
+            );
+            observer.on_event(&FlowEvent::ScdSearchFinished {
+                target_fps: item.fps,
+                bundle: item.bundle.id().0,
+                activation: item.activation,
+                found: cell.len(),
+                done: searched.fetch_add(1, Ordering::Relaxed) + 1,
+                total: items.len(),
+            });
+            Ok::<_, FlowError>(cell)
+        })?;
 
         // Deterministic merge: item order reproduces the legacy nested
         // target → Bundle → arm loop exactly.
         let mut candidates: Vec<(f64, Candidate)> = Vec::new();
-        let mut designs: Vec<DesignOutcome> = Vec::new();
+        let mut best_per_target: Vec<(f64, Candidate)> = Vec::new();
         for (ti, &fps) in cfg.targets_fps.iter().enumerate() {
             let target_candidates: Vec<Candidate> = items
                 .iter()
@@ -321,11 +792,28 @@ impl CoDesignFlow {
                 .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
                 .cloned()
             {
-                designs.push(self.finalize(fps, &best)?);
+                best_per_target.push((fps, best));
             }
             candidates.extend(target_candidates.into_iter().map(|c| (fps, c)));
         }
+        let mut designs: Vec<DesignOutcome> = Vec::new();
+        for (fps, best) in &best_per_target {
+            checkpoint()?;
+            let design = self.finalize(*fps, best)?;
+            observer.on_event(&FlowEvent::DesignFinalized {
+                target_fps: *fps,
+                accuracy: design.accuracy,
+                latency_ms: design.latency_ms,
+                done: designs.len() + 1,
+                total: best_per_target.len(),
+            });
+            designs.push(design);
+        }
 
+        observer.on_event(&FlowEvent::Finished {
+            candidates: candidates.len(),
+            designs: designs.len(),
+        });
         Ok(FlowOutput {
             coarse,
             selected_bundles: selected,
@@ -360,7 +848,7 @@ impl CoDesignFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use codesign_sim::device::pynq_z1;
+    use std::sync::Mutex;
 
     fn small_flow() -> CoDesignFlow {
         CoDesignFlow::new(FlowConfig {
@@ -415,7 +903,88 @@ mod tests {
             targets_fps: vec![],
             ..FlowConfig::for_device(pynq_z1())
         });
-        assert!(matches!(flow.run(), Err(FlowError::NoTargets)));
+        assert!(matches!(
+            flow.run(),
+            Err(FlowError::InvalidConfig(ConfigError::EmptyTargets))
+        ));
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_setup() {
+        let built = FlowConfig::builder().build().unwrap();
+        assert_eq!(built, FlowConfig::for_device(pynq_z1()));
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        use codesign_sim::device::ultra96;
+        let cfg = FlowConfig::builder()
+            .device(ultra96())
+            .targets_fps([30.0])
+            .clock_mhz(150.0)
+            .fps_tolerance(2.0)
+            .candidates_per_bundle(7)
+            .coarse_pf_sweep([8, 16])
+            .eval_replications(2)
+            .seed(7)
+            .parallelism(Parallelism::Fixed(3))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.device, ultra96());
+        assert_eq!(cfg.targets_fps, vec![30.0]);
+        assert_eq!(cfg.clock_mhz, 150.0);
+        assert_eq!(cfg.fps_tolerance, 2.0);
+        assert_eq!(cfg.candidates_per_bundle, 7);
+        assert_eq!(cfg.coarse_pf_sweep, vec![8, 16]);
+        assert_eq!(cfg.eval_replications, 2);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.parallelism, Parallelism::Fixed(3));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_with_typed_errors() {
+        let err = |b: FlowConfigBuilder| match b.build() {
+            Err(FlowError::InvalidConfig(e)) => e,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        assert_eq!(
+            err(FlowConfig::builder().targets_fps([])),
+            ConfigError::EmptyTargets
+        );
+        assert_eq!(
+            err(FlowConfig::builder().targets_fps([-1.0])),
+            ConfigError::NonPositiveTarget { fps: -1.0 }
+        );
+        assert_eq!(
+            err(FlowConfig::builder().clock_mhz(0.0)),
+            ConfigError::NonPositiveClock { clock_mhz: 0.0 }
+        );
+        assert!(matches!(
+            err(FlowConfig::builder().clock_mhz(f64::NAN)),
+            ConfigError::NonPositiveClock { clock_mhz } if clock_mhz.is_nan()
+        ));
+        assert_eq!(
+            err(FlowConfig::builder().fps_tolerance(-0.5)),
+            ConfigError::NonPositiveTolerance {
+                fps_tolerance: -0.5
+            }
+        );
+        assert_eq!(
+            err(FlowConfig::builder().candidates_per_bundle(0)),
+            ConfigError::ZeroCandidates
+        );
+        assert_eq!(
+            err(FlowConfig::builder().coarse_pf_sweep([])),
+            ConfigError::EmptyPfSweep
+        );
+        assert_eq!(
+            err(FlowConfig::builder().coarse_pf_sweep([16, 0])),
+            ConfigError::ZeroPf
+        );
+        assert_eq!(
+            err(FlowConfig::builder().eval_replications(0)),
+            ConfigError::ZeroReplications
+        );
     }
 
     #[test]
@@ -463,5 +1032,170 @@ mod tests {
             "estimate-cache hit rate {:.1}% too low ({stats})",
             stats.hit_rate() * 100.0
         );
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_silent_run() {
+        let silent = small_flow().run().unwrap();
+        let events = Mutex::new(Vec::new());
+        let sink = |e: &FlowEvent| events.lock().unwrap().push(e.clone());
+        let observed = small_flow()
+            .run_observed(&sink, &CancelToken::new())
+            .unwrap();
+        assert_eq!(silent.coarse, observed.coarse);
+        assert_eq!(silent.selected_bundles, observed.selected_bundles);
+        assert_eq!(silent.candidates, observed.candidates);
+        assert_eq!(silent.designs.len(), observed.designs.len());
+        for (a, b) in silent.designs.iter().zip(&observed.designs) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.code, b.code);
+        }
+    }
+
+    #[test]
+    fn observer_sees_the_full_event_schedule() {
+        let events = Mutex::new(Vec::new());
+        let sink = |e: &FlowEvent| events.lock().unwrap().push(e.clone());
+        let out = small_flow()
+            .run_observed(&sink, &CancelToken::new())
+            .unwrap();
+        let events = events.into_inner().unwrap();
+        assert!(matches!(
+            events.first(),
+            Some(FlowEvent::Started {
+                targets: 1,
+                bundles: 18
+            })
+        ));
+        let selected = events
+            .iter()
+            .find_map(|e| match e {
+                FlowEvent::BundlesSelected { selected } => Some(selected.clone()),
+                _ => None,
+            })
+            .expect("selection event");
+        assert_eq!(selected, vec![1, 3, 13, 15, 17]);
+        let calibrations = events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::BundleCalibrated { .. }))
+            .count();
+        assert_eq!(calibrations, 5, "one calibration event per bundle");
+        let scd_cells: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                FlowEvent::ScdSearchFinished { done, total, .. } => {
+                    assert_eq!(*total, 10); // 1 target x 5 bundles x 2 arms
+                    Some(*done)
+                }
+                _ => None,
+            })
+            .collect();
+        let mut sorted = scd_cells.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=10).collect::<Vec<_>>(), "done counts 1..=10");
+        assert!(matches!(
+            events.last(),
+            Some(FlowEvent::Finished { designs: 1, .. })
+        ));
+        let finalized = events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::DesignFinalized { .. }))
+            .count();
+        assert_eq!(finalized, out.designs.len());
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_work() {
+        let token = CancelToken::new();
+        token.cancel();
+        let events = Mutex::new(Vec::new());
+        let sink = |e: &FlowEvent| events.lock().unwrap().push(e.clone());
+        let result = small_flow().run_observed(&sink, &token);
+        assert!(matches!(result, Err(FlowError::Cancelled)));
+        let events = events.into_inner().unwrap();
+        // Started fires (config was valid), then the first checkpoint
+        // trips and the terminal Cancelled event closes the stream.
+        assert_eq!(events.last(), Some(&FlowEvent::Cancelled));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::ScdSearchFinished { .. })));
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_at_a_work_item_boundary() {
+        let token = CancelToken::new();
+        let cancel_from_observer = token.clone();
+        // Cancel as soon as the first SCD cell completes; the remaining
+        // cells must never start.
+        let seen = Mutex::new(Vec::new());
+        let sink = move |e: &FlowEvent| {
+            if matches!(e, FlowEvent::ScdSearchFinished { .. }) {
+                cancel_from_observer.cancel();
+            }
+            seen.lock().unwrap().push(e.clone());
+        };
+        let result = small_flow().run_observed(&sink, &token);
+        assert!(matches!(result, Err(FlowError::Cancelled)));
+    }
+
+    #[test]
+    fn shared_cache_reuses_estimates_across_runs() {
+        let cache = Arc::new(EstimateCache::new());
+        let first = CoDesignFlow::new(small_flow().config().clone())
+            .with_estimate_cache(Arc::clone(&cache))
+            .run()
+            .unwrap();
+        let after_first = cache.stats();
+        let second = CoDesignFlow::new(small_flow().config().clone())
+            .with_estimate_cache(Arc::clone(&cache))
+            .run()
+            .unwrap();
+        // Identical config => identical probes => the second run is
+        // ~fully memoized (only racy-insert slack allowed) and results
+        // are bit-identical to the run with a private cache.
+        let after_second = cache.stats();
+        assert!(after_second.hits > after_first.hits);
+        assert_eq!(
+            after_second.entries, after_first.entries,
+            "second run added cache entries despite identical probes"
+        );
+        assert_eq!(first.candidates, second.candidates);
+        let private = small_flow().run().unwrap();
+        assert_eq!(first.candidates, private.candidates);
+        assert_eq!(first.designs[0].code, private.designs[0].code);
+    }
+
+    #[test]
+    fn summary_mirrors_designs() {
+        let out = small_flow().run().unwrap();
+        let summary = out.summary();
+        assert_eq!(summary.selected_bundles, vec![1, 3, 13, 15, 17]);
+        assert_eq!(summary.candidates, out.candidates.len());
+        assert_eq!(summary.designs.len(), out.designs.len());
+        let d = &out.designs[0];
+        let row = &summary.designs[0];
+        assert_eq!(row.bundle, d.point.bundle.id().0);
+        assert_eq!(row.target_fps, d.target_fps);
+        assert_eq!(row.accuracy, d.accuracy);
+        assert!(summary.cache_hit_rate > 0.5);
+        let text = summary.to_string();
+        assert!(text.contains("selected bundles"));
+        assert!(text.contains("bundle 13") || text.contains("bundle 1"));
+    }
+
+    #[test]
+    fn accessors_agree_with_fields() {
+        let out = small_flow().run().unwrap();
+        assert_eq!(out.selected_bundle_ids(), vec![1, 3, 13, 15, 17]);
+        assert_eq!(out.candidate_count(), out.candidates.len());
+        assert_eq!(out.candidates_for(15.0).count(), out.candidates.len());
+        assert_eq!(out.candidates_for(99.0).count(), 0);
+        let best = out.best_candidate_for(15.0).expect("candidates exist");
+        assert_eq!(best.point, out.designs[0].point);
+        assert_eq!(
+            out.design_for(15.0).map(|d| &d.point),
+            Some(&out.designs[0].point)
+        );
+        assert!(out.design_for(99.0).is_none());
     }
 }

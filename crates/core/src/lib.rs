@@ -20,7 +20,11 @@
 //!   under latency and resource constraints.
 //! * [`flow`] — the overall co-design flow of Fig. 1 wiring Bundle
 //!   modeling, Bundle selection, SCD search, Auto-HLS generation and
-//!   final simulation together.
+//!   final simulation together, configured through a validating
+//!   builder ([`flow::FlowConfig::builder`]).
+//! * [`observe`] — progress observation ([`observe::FlowObserver`])
+//!   and cooperative cancellation ([`observe::CancelToken`]) for
+//!   long-running flows; the surface the serving layer builds on.
 //! * [`parallel`] — the deterministic pooled work queue and
 //!   SplitMix64 seed-splitting that let the flow fan out across cores
 //!   while staying bit-identical to a sequential run (a re-export of
@@ -34,14 +38,13 @@
 //! use codesign_sim::device::pynq_z1;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let flow = CoDesignFlow::new(FlowConfig {
-//!     targets_fps: vec![10.0, 15.0, 20.0],
-//!     ..FlowConfig::for_device(pynq_z1())
-//! });
-//! let out = flow.run()?;
-//! for design in &out.designs {
-//!     println!("{}: {:.1}% IoU @ {:.1} FPS", design.point.bundle.id(),
-//!              design.accuracy * 100.0, design.fps);
+//! let config = FlowConfig::builder()
+//!     .device(pynq_z1())
+//!     .targets_fps([10.0, 15.0, 20.0])
+//!     .build()?;
+//! let out = CoDesignFlow::new(config).run()?;
+//! for design in &out.summary().designs {
+//!     println!("{design}");
 //! }
 //! # Ok(())
 //! # }
@@ -53,13 +56,15 @@
 pub mod accuracy;
 pub mod evaluate;
 pub mod flow;
+pub mod observe;
 pub mod parallel;
 pub mod pareto;
 pub mod search;
 
 pub use accuracy::{AccuracyModel, ProxyEvaluator};
 pub use evaluate::{coarse_evaluate, coarse_evaluate_parallel, select_bundles, BundleEvaluation};
-pub use flow::{CoDesignFlow, FlowConfig, FlowOutput};
+pub use flow::{CoDesignFlow, FlowConfig, FlowConfigBuilder, FlowOutput, FlowSummary};
+pub use observe::{CancelToken, FlowEvent, FlowObserver, NullObserver};
 pub use parallel::{derive_seed, parallel_map, Parallelism};
 pub use pareto::pareto_front;
 pub use search::{random_search, scd_search, scd_search_with_activation, Candidate, ScdConfig};

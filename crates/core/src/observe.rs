@@ -1,0 +1,197 @@
+//! Observation and cancellation for long-running co-design flows.
+//!
+//! [`CoDesignFlow::run`](crate::flow::CoDesignFlow::run) is a blocking
+//! call that can take seconds to minutes; a serving layer (or an
+//! interactive CLI) needs to see progress while it runs and to stop it
+//! early. This module provides the two halves of that contract:
+//!
+//! * [`FlowObserver`] — a thread-safe progress-event sink. The flow
+//!   calls [`FlowObserver::on_event`] at every stage transition and at
+//!   every completed work item, from whichever worker thread finished
+//!   the item. Events never influence results: the flow's bit-identical
+//!   determinism guarantee is about its *output*, and observers only
+//!   read.
+//! * [`CancelToken`] — a cooperative cancellation flag, checked at
+//!   work-item boundaries (never mid-kernel). Cancelling a flow makes
+//!   [`run_observed`](crate::flow::CoDesignFlow::run_observed) return
+//!   [`FlowError::Cancelled`](crate::flow::FlowError::Cancelled) after
+//!   in-flight items finish; no new items start.
+//!
+//! Event *ordering within one stage* is a scheduling artifact (worker
+//! threads race to finish items); the per-event `done`/`total` counters
+//! are the monotone progress signal to surface to users.
+
+use codesign_dnn::quant::Activation;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cooperative cancellation handle for a co-design flow run.
+///
+/// Clones share one flag: any clone can [`cancel`](CancelToken::cancel),
+/// every clone observes it. The flow checks the token **between** work
+/// items (a Bundle calibration, one SCD search, one design
+/// finalization), so cancellation latency is bounded by the longest
+/// single work item, not the whole flow.
+///
+/// ```
+/// use codesign_core::observe::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let handle = token.clone();
+/// assert!(!token.is_cancelled());
+/// handle.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once any clone has called [`cancel`](CancelToken::cancel).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// One progress event of a co-design flow run.
+///
+/// Work-item events carry `done`/`total` pairs counting *completed*
+/// items of their stage; `done` is unique per event but events may
+/// arrive out of `done`-order when worker threads race.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowEvent {
+    /// The flow started: configuration validated, caches wired.
+    Started {
+        /// Number of FPS targets to search for.
+        targets: usize,
+        /// Number of Bundles entering coarse evaluation.
+        bundles: usize,
+    },
+    /// Coarse Bundle evaluation finished and Bundles were selected.
+    BundlesSelected {
+        /// Bundle ids surviving Pareto selection (paper: {1, 3, 13, 15, 17}).
+        selected: Vec<usize>,
+    },
+    /// One selected Bundle's analytic model was calibrated.
+    BundleCalibrated {
+        /// Bundle id whose estimator is now calibrated.
+        bundle: usize,
+        /// Calibrations completed so far.
+        done: usize,
+        /// Total calibrations this run.
+        total: usize,
+    },
+    /// One SCD search work item — a (FPS target, Bundle, quantization
+    /// arm) cell — completed.
+    ScdSearchFinished {
+        /// FPS target of the finished cell.
+        target_fps: f64,
+        /// Bundle id of the finished cell.
+        bundle: usize,
+        /// Quantization arm of the finished cell.
+        activation: Activation,
+        /// In-window candidates the cell found.
+        found: usize,
+        /// SCD cells completed so far.
+        done: usize,
+        /// Total SCD cells this run.
+        total: usize,
+    },
+    /// One winning design was fully simulated and its C generated.
+    DesignFinalized {
+        /// FPS target the design was searched for.
+        target_fps: f64,
+        /// Estimated accuracy (IoU) of the design.
+        accuracy: f64,
+        /// Simulated single-frame latency in milliseconds.
+        latency_ms: f64,
+        /// Designs finalized so far.
+        done: usize,
+        /// Total designs to finalize.
+        total: usize,
+    },
+    /// The flow completed successfully.
+    Finished {
+        /// Candidates that met some target band.
+        candidates: usize,
+        /// Designs published (one per satisfiable target).
+        designs: usize,
+    },
+    /// The flow stopped early because its [`CancelToken`] fired.
+    Cancelled,
+}
+
+/// A thread-safe sink for [`FlowEvent`]s.
+///
+/// Implementations must tolerate concurrent calls: work-item events are
+/// emitted from pooled worker threads as items complete. Closures work
+/// directly:
+///
+/// ```
+/// use codesign_core::observe::{FlowEvent, FlowObserver};
+///
+/// let sink = |event: &FlowEvent| println!("{event:?}");
+/// FlowObserver::on_event(&sink, &FlowEvent::Cancelled);
+/// ```
+pub trait FlowObserver: Sync {
+    /// Called once per event, possibly from a worker thread.
+    fn on_event(&self, event: &FlowEvent);
+}
+
+/// The no-op observer behind the legacy blocking
+/// [`run`](crate::flow::CoDesignFlow::run).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl FlowObserver for NullObserver {
+    fn on_event(&self, _event: &FlowEvent) {}
+}
+
+impl<F: Fn(&FlowEvent) + Sync> FlowObserver for F {
+    fn on_event(&self, event: &FlowEvent) {
+        self(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_shares_state_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        use std::sync::Mutex;
+        let events = Mutex::new(Vec::new());
+        let sink = |e: &FlowEvent| events.lock().unwrap().push(e.clone());
+        sink.on_event(&FlowEvent::Cancelled);
+        sink.on_event(&FlowEvent::Finished {
+            candidates: 3,
+            designs: 1,
+        });
+        let got = events.into_inner().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], FlowEvent::Cancelled);
+    }
+}

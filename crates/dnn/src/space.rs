@@ -133,6 +133,19 @@ impl DesignPoint {
         rounded.min(self.max_channels)
     }
 
+    /// Widest channel count the design actually reaches: the realized
+    /// maximum of [`channels_at`](Self::channels_at) over every
+    /// replication, which can sit below the `max_channels` cap when the
+    /// expansion vector never saturates it. This is the width the
+    /// paper's Fig. 6 labels report.
+    pub fn realized_max_channels(&self) -> usize {
+        (0..self.n_replications)
+            .map(|i| self.channels_at(i))
+            .max()
+            .unwrap_or(self.max_channels)
+            .min(self.max_channels)
+    }
+
     /// Number of down-sampling layers in the design.
     pub fn downsample_count(&self) -> usize {
         self.downsample.iter().filter(|&&d| d).count()

@@ -1,0 +1,640 @@
+//! Job lifecycle and scheduling: a bounded admission queue feeding a
+//! fixed pool of executor threads.
+//!
+//! Each submitted co-design request becomes a [`Job`] with its own
+//! [`CancelToken`] and an append-only event log. Executors run jobs via
+//! [`CoDesignFlow::run_observed`], pushing each progress event as an
+//! NDJSON line; the HTTP layer streams those lines to clients as they
+//! appear. Admission control is strict: when the queue holds
+//! `max_queue` jobs, new submissions are rejected immediately instead
+//! of queueing unboundedly. Cancelling a queued job removes it from the
+//! queue on the spot, freeing its slot; cancelling a running job trips
+//! its token, which the flow honours at the next work-item boundary.
+//!
+//! `executors: 0` is a deliberate test knob — jobs are admitted but
+//! never started, which makes queue-bound and cancellation semantics
+//! deterministic to assert.
+
+use crate::encode::{event_json, flow_result_body};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use codesign_core::flow::{CoDesignFlow, FlowConfig, FlowError};
+use codesign_core::observe::{CancelToken, FlowEvent};
+use codesign_hls::cache::EstimateCache;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum number of *queued* (admitted, not yet running) jobs.
+    /// Submissions beyond this bound are rejected with
+    /// [`SubmitError::QueueFull`].
+    pub max_queue: usize,
+    /// Number of executor threads. `0` admits jobs without ever running
+    /// them — useful for deterministic admission/cancellation tests.
+    pub executors: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_queue: 16,
+            executors: 2,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted, waiting for an executor.
+    Queued,
+    /// Executing on a worker thread.
+    Running,
+    /// Finished with a result.
+    Completed,
+    /// Finished with a flow error.
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl JobPhase {
+    /// Wire name of the phase.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Completed => "completed",
+            JobPhase::Failed => "failed",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job has reached a final state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobPhase::Completed | JobPhase::Failed | JobPhase::Cancelled
+        )
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    phase: JobPhase,
+    /// NDJSON event lines, append-only.
+    events: Vec<String>,
+    /// Encoded result body, present iff `phase == Completed`.
+    result: Option<String>,
+    /// Flow error text, present iff `phase == Failed`.
+    error: Option<String>,
+}
+
+/// One admitted co-design request.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id, dense from 1.
+    pub id: u64,
+    /// The validated flow configuration this job runs.
+    pub config: FlowConfig,
+    /// Cooperative cancellation token, shared with the running flow.
+    pub cancel: CancelToken,
+    submitted_at: Instant,
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn new(id: u64, config: FlowConfig) -> Self {
+        Self {
+            id,
+            config,
+            cancel: CancelToken::new(),
+            submitted_at: Instant::now(),
+            state: Mutex::new(JobState {
+                phase: JobPhase::Queued,
+                events: Vec::new(),
+                result: None,
+                error: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> JobPhase {
+        self.state.lock().expect("job lock").phase
+    }
+
+    /// The encoded result body, if the job completed.
+    pub fn result_body(&self) -> Option<String> {
+        self.state.lock().expect("job lock").result.clone()
+    }
+
+    /// The flow error text, if the job failed.
+    pub fn error_text(&self) -> Option<String> {
+        self.state.lock().expect("job lock").error.clone()
+    }
+
+    /// Appends one NDJSON event line and wakes any streaming readers.
+    fn push_line(&self, line: String) {
+        let mut state = self.state.lock().expect("job lock");
+        state.events.push(line);
+        self.cv.notify_all();
+    }
+
+    fn set_phase(&self, phase: JobPhase) {
+        let mut state = self.state.lock().expect("job lock");
+        state.phase = phase;
+        self.cv.notify_all();
+    }
+
+    fn finish(&self, phase: JobPhase, result: Option<String>, error: Option<String>) {
+        let mut state = self.state.lock().expect("job lock");
+        state.phase = phase;
+        state.result = result;
+        state.error = error;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the job reaches a terminal phase, up to `timeout`.
+    /// Returns `None` on timeout.
+    pub fn wait_terminal_for(&self, timeout: Duration) -> Option<JobPhase> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("job lock");
+        while !state.phase.is_terminal() {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (next, wait) = self.cv.wait_timeout(state, remaining).expect("job lock");
+            state = next;
+            if wait.timed_out() && !state.phase.is_terminal() {
+                return None;
+            }
+        }
+        Some(state.phase)
+    }
+
+    /// Returns event lines starting at index `from`, blocking until at
+    /// least one new line exists or the job is terminal. The bool is
+    /// `true` when the job is terminal and no further lines will come.
+    pub fn events_from(&self, from: usize) -> (Vec<String>, bool) {
+        let mut state = self.state.lock().expect("job lock");
+        while state.events.len() <= from && !state.phase.is_terminal() {
+            state = self.cv.wait(state).expect("job lock");
+        }
+        let lines = state.events[from.min(state.events.len())..].to_vec();
+        (lines, state.phase.is_terminal())
+    }
+
+    /// The status document served by `GET /jobs/<id>`.
+    pub fn status_json(&self) -> Json {
+        let state = self.state.lock().expect("job lock");
+        Json::Obj(vec![
+            ("job_id".into(), Json::num(self.id as f64)),
+            ("status".into(), Json::str(state.phase.as_str())),
+            ("events".into(), Json::num(state.events.len() as f64)),
+            ("result_ready".into(), Json::Bool(state.result.is_some())),
+            (
+                "error".into(),
+                match &state.error {
+                    Some(e) => Json::str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; retry later (HTTP 429).
+    QueueFull {
+        /// The configured bound that was hit.
+        max_queue: usize,
+    },
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { max_queue } => {
+                write!(f, "queue full ({max_queue} jobs queued); retry later")
+            }
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What [`Scheduler::cancel`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: removed immediately, slot freed.
+    DequeuedAndCancelled,
+    /// The job was running: its token is tripped, the flow stops at the
+    /// next work-item boundary.
+    SignalledRunning,
+    /// The job had already finished; nothing to do.
+    AlreadyFinished(JobPhase),
+}
+
+struct Inner {
+    queue: VecDeque<Arc<Job>>,
+    jobs: HashMap<u64, Arc<Job>>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    queue_cv: Condvar,
+    metrics: Metrics,
+    cache: Arc<EstimateCache>,
+    max_queue: usize,
+}
+
+/// The job scheduler: bounded admission queue + executor pool + job
+/// registry. Cheap to share behind an `Arc`; all methods take `&self`.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    executors: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts a scheduler with `config.executors` worker threads and a
+    /// process-wide shared estimate cache (cached estimates are
+    /// bit-identical to recomputed ones, so sharing across jobs never
+    /// changes results).
+    pub fn new(config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                next_id: 1,
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            metrics: Metrics::default(),
+            cache: Arc::new(EstimateCache::new()),
+            max_queue: config.max_queue,
+        });
+        let executors = (0..config.executors)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("serve-exec-{i}"))
+                    .spawn(move || run_executor(&shared))
+                    .expect("spawn executor")
+            })
+            .collect();
+        Self {
+            shared,
+            executors: Mutex::new(executors),
+        }
+    }
+
+    /// Server-wide counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The shared estimate cache all jobs run against.
+    pub fn cache(&self) -> &Arc<EstimateCache> {
+        &self.shared.cache
+    }
+
+    /// The configured admission bound.
+    pub fn max_queue(&self) -> usize {
+        self.shared.max_queue
+    }
+
+    /// Number of admitted jobs waiting for an executor.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .expect("scheduler lock")
+            .queue
+            .len()
+    }
+
+    /// Admits a job, or rejects it when the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at the bound,
+    /// [`SubmitError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit(&self, config: FlowConfig) -> Result<Arc<Job>, SubmitError> {
+        let mut inner = self.shared.inner.lock().expect("scheduler lock");
+        if inner.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if inner.queue.len() >= self.shared.max_queue {
+            self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull {
+                max_queue: self.shared.max_queue,
+            });
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let job = Arc::new(Job::new(id, config));
+        inner.queue.push_back(Arc::clone(&job));
+        inner.jobs.insert(id, Arc::clone(&job));
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.queue_cv.notify_one();
+        Ok(job)
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.shared
+            .inner
+            .lock()
+            .expect("scheduler lock")
+            .jobs
+            .get(&id)
+            .cloned()
+    }
+
+    /// Cancels a job. Queued jobs leave the queue immediately (their
+    /// slot is freed for new submissions); running jobs stop
+    /// cooperatively at the next work-item boundary. Returns `None` for
+    /// unknown ids.
+    pub fn cancel(&self, id: u64) -> Option<CancelOutcome> {
+        let (job, was_queued) = {
+            let mut inner = self.shared.inner.lock().expect("scheduler lock");
+            let job = Arc::clone(inner.jobs.get(&id)?);
+            let pos = inner.queue.iter().position(|j| j.id == id);
+            if let Some(pos) = pos {
+                inner.queue.remove(pos);
+            }
+            (job, pos.is_some())
+        };
+        if was_queued {
+            job.cancel.cancel();
+            self.mark_cancelled(&job);
+            return Some(CancelOutcome::DequeuedAndCancelled);
+        }
+        let phase = job.phase();
+        if phase.is_terminal() {
+            return Some(CancelOutcome::AlreadyFinished(phase));
+        }
+        job.cancel.cancel();
+        Some(CancelOutcome::SignalledRunning)
+    }
+
+    fn mark_cancelled(&self, job: &Job) {
+        self.shared
+            .metrics
+            .cancelled
+            .fetch_add(1, Ordering::Relaxed);
+        job.push_line(terminal_line(job.id, "cancelled", None));
+        job.finish(JobPhase::Cancelled, None, None);
+    }
+
+    /// Stops the scheduler: cancels every non-terminal job, wakes the
+    /// executors, and joins them. Idempotent.
+    pub fn shutdown(&self) {
+        let abandoned = {
+            let mut inner = self.shared.inner.lock().expect("scheduler lock");
+            inner.shutdown = true;
+            for job in inner.jobs.values() {
+                job.cancel.cancel();
+            }
+            inner.queue.drain(..).collect::<Vec<_>>()
+        };
+        for job in &abandoned {
+            self.mark_cancelled(job);
+        }
+        self.shared.queue_cv.notify_all();
+        let handles = std::mem::take(&mut *self.executors.lock().expect("executor lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn terminal_line(job_id: u64, event: &str, error: Option<&str>) -> String {
+    let mut fields = vec![
+        ("job_id".to_string(), Json::num(job_id as f64)),
+        ("event".to_string(), Json::str(event)),
+    ];
+    if let Some(error) = error {
+        fields.push(("error".to_string(), Json::str(error)));
+    }
+    Json::Obj(fields).encode()
+}
+
+fn run_executor(shared: &Shared) {
+    loop {
+        let job = {
+            let mut inner = shared.inner.lock().expect("scheduler lock");
+            loop {
+                if inner.shutdown {
+                    return;
+                }
+                if let Some(job) = inner.queue.pop_front() {
+                    break job;
+                }
+                inner = shared.queue_cv.wait(inner).expect("scheduler lock");
+            }
+        };
+        shared
+            .metrics
+            .jobs_in_flight
+            .fetch_add(1, Ordering::Relaxed);
+        job.set_phase(JobPhase::Running);
+        let flow =
+            CoDesignFlow::new(job.config.clone()).with_estimate_cache(Arc::clone(&shared.cache));
+        let job_ref: &Job = &job;
+        let observer = move |event: &FlowEvent| {
+            if let Some(line) = event_json(job_ref.id, event) {
+                job_ref.push_line(line.encode());
+            }
+        };
+        let outcome = flow.run_observed(&observer, &job.cancel);
+        shared
+            .metrics
+            .jobs_in_flight
+            .fetch_sub(1, Ordering::Relaxed);
+        let elapsed_ms = job.submitted_at.elapsed().as_secs_f64() * 1e3;
+        // Metrics are committed BEFORE the terminal `finish`: the
+        // moment a client sees the job terminal (event stream ends),
+        // `/metrics` must already account for it.
+        match outcome {
+            Ok(out) => {
+                shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.record_latency(elapsed_ms);
+                job.finish(JobPhase::Completed, Some(flow_result_body(&out)), None);
+            }
+            Err(FlowError::Cancelled) => {
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                job.push_line(terminal_line(job.id, "cancelled", None));
+                job.finish(JobPhase::Cancelled, None, None);
+            }
+            Err(err) => {
+                let text = err.to_string();
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                job.push_line(terminal_line(job.id, "failed", Some(&text)));
+                job.finish(JobPhase::Failed, None, Some(text));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_sim::device::pynq_z1;
+
+    fn small_config() -> FlowConfig {
+        FlowConfig::builder()
+            .device(pynq_z1())
+            .targets_fps([15.0])
+            .candidates_per_bundle(2)
+            .coarse_pf_sweep([16])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn admission_control_pins_the_queue_bound() {
+        let scheduler = Scheduler::new(ServeConfig {
+            max_queue: 3,
+            executors: 0,
+        });
+        for _ in 0..3 {
+            scheduler.submit(small_config()).unwrap();
+        }
+        assert_eq!(
+            scheduler.submit(small_config()).map(|_| ()),
+            Err(SubmitError::QueueFull { max_queue: 3 }),
+            "submission 4 must be rejected at bound 3"
+        );
+        assert_eq!(scheduler.queue_depth(), 3);
+        assert_eq!(scheduler.metrics().submitted.load(Ordering::Relaxed), 3);
+        assert_eq!(scheduler.metrics().rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_frees_its_slot() {
+        let scheduler = Scheduler::new(ServeConfig {
+            max_queue: 1,
+            executors: 0,
+        });
+        let first = scheduler.submit(small_config()).unwrap();
+        assert!(matches!(
+            scheduler.submit(small_config()),
+            Err(SubmitError::QueueFull { .. })
+        ));
+        assert_eq!(
+            scheduler.cancel(first.id),
+            Some(CancelOutcome::DequeuedAndCancelled)
+        );
+        assert_eq!(first.phase(), JobPhase::Cancelled);
+        assert_eq!(scheduler.queue_depth(), 0);
+        scheduler
+            .submit(small_config())
+            .expect("cancelled job must free its queue slot");
+        assert_eq!(scheduler.metrics().cancelled.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn executor_completes_jobs_and_matches_a_direct_run() {
+        let scheduler = Scheduler::new(ServeConfig {
+            max_queue: 4,
+            executors: 1,
+        });
+        let job = scheduler.submit(small_config()).unwrap();
+        assert_eq!(
+            job.wait_terminal_for(Duration::from_secs(120)),
+            Some(JobPhase::Completed)
+        );
+        let direct = CoDesignFlow::new(small_config()).run().unwrap();
+        assert_eq!(
+            job.result_body().unwrap(),
+            flow_result_body(&direct),
+            "server job result must be byte-identical to a direct run"
+        );
+        let (lines, terminal) = job.events_from(0);
+        assert!(terminal);
+        assert!(lines.first().unwrap().contains("\"started\""));
+        assert!(lines.last().unwrap().contains("\"finished\""));
+        assert_eq!(scheduler.metrics().completed.load(Ordering::Relaxed), 1);
+        assert_eq!(scheduler.metrics().latency_count(), 1);
+        assert_eq!(
+            scheduler.metrics().jobs_in_flight.load(Ordering::Relaxed),
+            0
+        );
+    }
+
+    #[test]
+    fn invalid_configs_fail_the_job_not_the_executor() {
+        let scheduler = Scheduler::new(ServeConfig {
+            max_queue: 4,
+            executors: 1,
+        });
+        let mut config = FlowConfig::for_device(pynq_z1());
+        config.targets_fps.clear();
+        let job = scheduler.submit(config).unwrap();
+        assert_eq!(
+            job.wait_terminal_for(Duration::from_secs(60)),
+            Some(JobPhase::Failed)
+        );
+        assert!(job.error_text().unwrap().contains("targets_fps"));
+        assert_eq!(scheduler.metrics().failed.load(Ordering::Relaxed), 1);
+        // The executor survives a failed job and keeps serving.
+        let ok = scheduler.submit(small_config()).unwrap();
+        assert_eq!(
+            ok.wait_terminal_for(Duration::from_secs(120)),
+            Some(JobPhase::Completed)
+        );
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs_and_joins() {
+        let scheduler = Scheduler::new(ServeConfig {
+            max_queue: 4,
+            executors: 0,
+        });
+        let job = scheduler.submit(small_config()).unwrap();
+        scheduler.shutdown();
+        assert_eq!(job.phase(), JobPhase::Cancelled);
+        assert_eq!(
+            scheduler.submit(small_config()).map(|_| ()),
+            Err(SubmitError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn status_json_reflects_the_lifecycle() {
+        let scheduler = Scheduler::new(ServeConfig {
+            max_queue: 4,
+            executors: 0,
+        });
+        let job = scheduler.submit(small_config()).unwrap();
+        let doc = job.status_json();
+        assert_eq!(doc.get("job_id").unwrap().as_uint(), Some(job.id));
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("queued"));
+        assert_eq!(doc.get("result_ready"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("error"), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,146 @@
+//! Server-wide counters and job-latency percentiles for `/metrics`.
+
+use crate::json::Json;
+use codesign_hls::cache::EstimateCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters of the job server. All monotonically increasing except
+/// `jobs_in_flight`, which tracks currently executing jobs.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs admitted to the queue.
+    pub submitted: AtomicU64,
+    /// Jobs that finished with a result.
+    pub completed: AtomicU64,
+    /// Jobs that finished with a flow error.
+    pub failed: AtomicU64,
+    /// Jobs cancelled (queued or running).
+    pub cancelled: AtomicU64,
+    /// Submissions rejected by admission control (HTTP 429).
+    pub rejected: AtomicU64,
+    /// Jobs currently executing on a worker.
+    pub jobs_in_flight: AtomicU64,
+    /// End-to-end (submit → finish) latencies of completed jobs, ms.
+    latencies_ms: Mutex<Vec<f64>>,
+}
+
+impl Metrics {
+    /// Records one completed job's end-to-end latency.
+    pub fn record_latency(&self, ms: f64) {
+        self.latencies_ms.lock().expect("latency lock").push(ms);
+    }
+
+    /// The `p`-th percentile (0-100, nearest-rank on a sorted copy) of
+    /// completed-job latency; `None` before the first completion.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        let latencies = self.latencies_ms.lock().expect("latency lock");
+        percentile(&latencies, p)
+    }
+
+    /// Number of recorded latencies.
+    pub fn latency_count(&self) -> usize {
+        self.latencies_ms.lock().expect("latency lock").len()
+    }
+
+    /// Encodes the `/metrics` document. `queue_depth` comes from the
+    /// scheduler; the estimate cache is the process-wide shared one.
+    pub fn to_json(&self, queue_depth: usize, max_queue: usize, cache: &EstimateCache) -> Json {
+        let stats = cache.stats();
+        let latency = |p: f64| match self.latency_percentile(p) {
+            Some(ms) => Json::num(ms),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("queue_depth".into(), Json::num(queue_depth as f64)),
+            ("max_queue".into(), Json::num(max_queue as f64)),
+            (
+                "jobs_in_flight".into(),
+                Json::num(self.jobs_in_flight.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "submitted".into(),
+                Json::num(self.submitted.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "completed".into(),
+                Json::num(self.completed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "failed".into(),
+                Json::num(self.failed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "cancelled".into(),
+                Json::num(self.cancelled.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected".into(),
+                Json::num(self.rejected.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "job_latency_ms".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::num(self.latency_count() as f64)),
+                    ("p50".into(), latency(50.0)),
+                    ("p99".into(), latency(99.0)),
+                ]),
+            ),
+            (
+                "estimate_cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::num(stats.hits as f64)),
+                    ("misses".into(), Json::num(stats.misses as f64)),
+                    ("entries".into(), Json::num(stats.entries as f64)),
+                    ("hit_rate".into(), Json::num(stats.hit_rate())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sample.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|n| n as f64).collect();
+        assert_eq!(percentile(&samples, 50.0), Some(51.0));
+        assert_eq!(percentile(&samples, 99.0), Some(99.0));
+        assert_eq!(percentile(&samples, 0.0), Some(1.0));
+        assert_eq!(percentile(&samples, 100.0), Some(100.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.5], 99.0), Some(7.5));
+    }
+
+    #[test]
+    fn metrics_document_shape() {
+        let metrics = Metrics::default();
+        metrics.submitted.store(3, Ordering::Relaxed);
+        metrics.completed.store(2, Ordering::Relaxed);
+        metrics.record_latency(10.0);
+        metrics.record_latency(20.0);
+        metrics.record_latency(30.0);
+        let cache = EstimateCache::new();
+        let doc = metrics.to_json(1, 8, &cache);
+        assert_eq!(doc.get("queue_depth").unwrap().as_uint(), Some(1));
+        assert_eq!(doc.get("max_queue").unwrap().as_uint(), Some(8));
+        assert_eq!(doc.get("submitted").unwrap().as_uint(), Some(3));
+        let lat = doc.get("job_latency_ms").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_uint(), Some(3));
+        assert_eq!(lat.get("p50").unwrap().as_num(), Some(20.0));
+        assert_eq!(lat.get("p99").unwrap().as_num(), Some(30.0));
+    }
+}

@@ -1,0 +1,173 @@
+//! Co-design request parsing: wire JSON → validated [`FlowConfig`].
+//!
+//! Every field is optional — omitted knobs fall back to the paper's
+//! defaults via [`FlowConfig::builder`] — but present fields are
+//! strictly checked: unknown keys, wrong types, and out-of-domain
+//! values are all 400-class errors, surfaced with the flow API's typed
+//! [`ConfigError`](codesign_core::flow::ConfigError) text where
+//! applicable. The server never panics on client input.
+
+use crate::json::Json;
+use codesign_core::flow::FlowConfig;
+use codesign_core::parallel::Parallelism;
+use codesign_sim::device::{pynq_z1, ultra96, zcu104, FpgaDevice};
+
+/// Devices a request may name. The ladder matches `exp_portability`.
+pub fn device_by_name(name: &str) -> Option<FpgaDevice> {
+    match name.to_lowercase().replace('-', "_").as_str() {
+        "pynq_z1" => Some(pynq_z1()),
+        "ultra96" => Some(ultra96()),
+        "zcu104" => Some(zcu104()),
+        _ => None,
+    }
+}
+
+fn num_field(value: &Json, key: &str) -> Result<f64, String> {
+    value
+        .as_num()
+        .ok_or_else(|| format!("field `{key}` must be a number"))
+}
+
+fn uint_field(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .as_uint()
+        .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+}
+
+fn num_array_field(value: &Json, key: &str) -> Result<Vec<f64>, String> {
+    value
+        .as_arr()
+        .ok_or_else(|| format!("field `{key}` must be an array of numbers"))?
+        .iter()
+        .map(|v| num_field(v, key))
+        .collect()
+}
+
+/// Parses a job-submission body into a validated [`FlowConfig`].
+///
+/// # Errors
+///
+/// Returns a client-facing message for malformed JSON, unknown fields,
+/// type mismatches, unknown devices, and configurations rejected by
+/// [`FlowConfig::validate`].
+pub fn flow_config_from_body(body: &str) -> Result<FlowConfig, String> {
+    let doc = crate::json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let pairs = doc
+        .as_obj()
+        .ok_or_else(|| "request body must be a JSON object".to_string())?;
+    let mut builder = FlowConfig::builder();
+    for (key, value) in pairs {
+        builder = match key.as_str() {
+            "device" => {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| "field `device` must be a device-name string".to_string())?;
+                let device = device_by_name(name).ok_or_else(|| {
+                    format!("unknown device `{name}` (known: pynq_z1, ultra96, zcu104)")
+                })?;
+                builder.device(device)
+            }
+            "targets_fps" => builder.targets_fps(num_array_field(value, key)?),
+            "clock_mhz" => builder.clock_mhz(num_field(value, key)?),
+            "fps_tolerance" => builder.fps_tolerance(num_field(value, key)?),
+            "candidates_per_bundle" => {
+                builder.candidates_per_bundle(uint_field(value, key)? as usize)
+            }
+            "coarse_pf_sweep" => {
+                let sweep: Vec<usize> = value
+                    .as_arr()
+                    .ok_or_else(|| "field `coarse_pf_sweep` must be an array".to_string())?
+                    .iter()
+                    .map(|v| uint_field(v, key).map(|n| n as usize))
+                    .collect::<Result<_, _>>()?;
+                builder.coarse_pf_sweep(sweep)
+            }
+            "eval_replications" => builder.eval_replications(uint_field(value, key)? as usize),
+            "seed" => builder.seed(uint_field(value, key)?),
+            "parallelism" => match value {
+                Json::Str(s) if s == "auto" => builder.parallelism(Parallelism::Auto),
+                _ => {
+                    let n = uint_field(value, key)? as usize;
+                    if n == 0 {
+                        return Err("field `parallelism` must be positive or \"auto\"".into());
+                    }
+                    builder.parallelism(Parallelism::Fixed(n))
+                }
+            },
+            other => return Err(format!("unknown field `{other}`")),
+        };
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_object_is_the_paper_default() {
+        let cfg = flow_config_from_body("{}").unwrap();
+        assert_eq!(cfg, FlowConfig::for_device(pynq_z1()));
+    }
+
+    #[test]
+    fn full_request_parses() {
+        let cfg = flow_config_from_body(
+            r#"{"device":"ultra96","targets_fps":[15.0],"clock_mhz":100,
+                "fps_tolerance":1.5,"candidates_per_bundle":2,
+                "coarse_pf_sweep":[16],"eval_replications":3,
+                "seed":7,"parallelism":2}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.device, ultra96());
+        assert_eq!(cfg.targets_fps, vec![15.0]);
+        assert_eq!(cfg.candidates_per_bundle, 2);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.parallelism, Parallelism::Fixed(2));
+    }
+
+    #[test]
+    fn parallelism_accepts_auto() {
+        let cfg = flow_config_from_body(r#"{"parallelism":"auto"}"#).unwrap();
+        assert_eq!(cfg.parallelism, Parallelism::Auto);
+    }
+
+    #[test]
+    fn typed_validation_errors_reach_the_client() {
+        let err = flow_config_from_body(r#"{"targets_fps":[]}"#).unwrap_err();
+        assert!(err.contains("targets_fps is empty"), "{err}");
+        let err = flow_config_from_body(r#"{"clock_mhz":0}"#).unwrap_err();
+        assert!(err.contains("clock_mhz"), "{err}");
+        let err = flow_config_from_body(r#"{"candidates_per_bundle":0}"#).unwrap_err();
+        assert!(err.contains("candidates_per_bundle is zero"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_fields_devices_and_types() {
+        assert!(flow_config_from_body(r#"{"tarlets_fps":[10]}"#)
+            .unwrap_err()
+            .contains("unknown field"));
+        assert!(flow_config_from_body(r#"{"device":"virtex"}"#)
+            .unwrap_err()
+            .contains("unknown device"));
+        assert!(flow_config_from_body(r#"{"seed":-3}"#)
+            .unwrap_err()
+            .contains("non-negative integer"));
+        assert!(flow_config_from_body(r#"{"targets_fps":15}"#)
+            .unwrap_err()
+            .contains("array"));
+        assert!(flow_config_from_body("[1,2]")
+            .unwrap_err()
+            .contains("JSON object"));
+        assert!(flow_config_from_body("{nope")
+            .unwrap_err()
+            .contains("invalid JSON"));
+    }
+
+    #[test]
+    fn device_names_normalize() {
+        assert_eq!(device_by_name("PYNQ-Z1").unwrap(), pynq_z1());
+        assert_eq!(device_by_name("zcu104").unwrap(), zcu104());
+        assert!(device_by_name("unknown").is_none());
+    }
+}

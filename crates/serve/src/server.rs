@@ -1,0 +1,254 @@
+//! The HTTP front end: accept loop, routing, and the streaming events
+//! endpoint.
+//!
+//! # Wire protocol
+//!
+//! One request per connection, `Connection: close`. Endpoints:
+//!
+//! | Method | Path                  | Response |
+//! |--------|-----------------------|----------|
+//! | POST   | `/jobs`               | `202 {"job_id":N,"status":"queued"}`, `400` on bad request, `429` when the queue is full |
+//! | GET    | `/jobs/<id>`          | `200` status document |
+//! | GET    | `/jobs/<id>/events`   | `200` chunked NDJSON progress stream, one event per line, ends when the job finishes |
+//! | POST   | `/jobs/<id>/cancel`   | `200 {"job_id":N,"cancel":"..."}` |
+//! | GET    | `/jobs/<id>/result`   | `200` result body, `409` until completed |
+//! | GET    | `/metrics`            | `200` counters + latency percentiles + cache stats |
+//! | GET    | `/healthz`            | `200 {"ok":true}` |
+//!
+//! Every error body is `{"error":"<message>"}`.
+
+use crate::http::{read_request, write_json_response, ChunkedWriter, Request};
+use crate::job::{CancelOutcome, Scheduler, ServeConfig, SubmitError};
+use crate::json::Json;
+use crate::request::flow_config_from_body;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+fn error_body(message: &str) -> String {
+    Json::Obj(vec![("error".to_string(), Json::str(message))]).encode()
+}
+
+/// A running job server bound to a local address.
+///
+/// Dropping (or [`shutdown`](Server::shutdown)) stops the accept loop,
+/// cancels all jobs, and joins the executors.
+pub struct Server {
+    scheduler: Arc<Scheduler>,
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds an ephemeral port on localhost and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start(config: ServeConfig) -> io::Result<Self> {
+        Self::bind("127.0.0.1:0", config)
+    }
+
+    /// Binds `addr` and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let scheduler = Arc::new(Scheduler::new(config));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let scheduler = Arc::clone(&scheduler);
+            let stopping = Arc::clone(&stopping);
+            thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stopping.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let scheduler = Arc::clone(&scheduler);
+                        let _ = thread::Builder::new()
+                            .name("serve-conn".to_string())
+                            .spawn(move || handle_connection(stream, &scheduler));
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+        Ok(Self {
+            scheduler,
+            addr,
+            stopping,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler behind this server (for in-process inspection).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Stops accepting connections, cancels all jobs, and joins the
+    /// accept loop and executors. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stopping.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.scheduler.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, scheduler: &Scheduler) {
+    let request = match read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(err) => {
+            let _ = write_json_response(&mut stream, 400, &error_body(&err.to_string()));
+            return;
+        }
+    };
+    let _ = route(&mut stream, &request, scheduler);
+}
+
+fn route(stream: &mut TcpStream, request: &Request, scheduler: &Scheduler) -> io::Result<()> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit_job(stream, request, scheduler),
+        ("GET", ["jobs", id]) => with_job(stream, scheduler, id, |stream, _, job| {
+            write_json_response(stream, 200, &job.status_json().encode())
+        }),
+        ("GET", ["jobs", id, "events"]) => with_job(stream, scheduler, id, |stream, _, job| {
+            let mut writer = ChunkedWriter::start(stream, 200)?;
+            let mut cursor = 0usize;
+            loop {
+                let (lines, terminal) = job.events_from(cursor);
+                cursor += lines.len();
+                for line in &lines {
+                    writer.chunk(&format!("{line}\n"))?;
+                }
+                if terminal {
+                    return writer.finish();
+                }
+            }
+        }),
+        ("POST", ["jobs", id, "cancel"]) => {
+            with_job(stream, scheduler, id, |stream, scheduler, job| {
+                let outcome = match scheduler.cancel(job.id) {
+                    Some(CancelOutcome::DequeuedAndCancelled) => "cancelled",
+                    Some(CancelOutcome::SignalledRunning) => "cancelling",
+                    Some(CancelOutcome::AlreadyFinished(phase)) => phase.as_str(),
+                    None => unreachable!("job was just looked up"),
+                };
+                let body = Json::Obj(vec![
+                    ("job_id".to_string(), Json::num(job.id as f64)),
+                    ("cancel".to_string(), Json::str(outcome)),
+                ])
+                .encode();
+                write_json_response(stream, 200, &body)
+            })
+        }
+        ("GET", ["jobs", id, "result"]) => with_job(stream, scheduler, id, |stream, _, job| {
+            match job.result_body() {
+                Some(body) => write_json_response(stream, 200, &body),
+                None => {
+                    let phase = job.phase();
+                    write_json_response(
+                        stream,
+                        409,
+                        &error_body(&format!("job is {}, result not available", phase.as_str())),
+                    )
+                }
+            }
+        }),
+        ("GET", ["metrics"]) => {
+            let body = scheduler
+                .metrics()
+                .to_json(
+                    scheduler.queue_depth(),
+                    scheduler.max_queue(),
+                    scheduler.cache(),
+                )
+                .encode();
+            write_json_response(stream, 200, &body)
+        }
+        ("GET", ["healthz"]) => write_json_response(
+            stream,
+            200,
+            &Json::Obj(vec![("ok".to_string(), Json::Bool(true))]).encode(),
+        ),
+        (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["metrics"]) | (_, ["healthz"]) => {
+            write_json_response(stream, 405, &error_body("method not allowed"))
+        }
+        _ => write_json_response(stream, 404, &error_body("no such endpoint")),
+    }
+}
+
+fn submit_job(stream: &mut TcpStream, request: &Request, scheduler: &Scheduler) -> io::Result<()> {
+    let body = match request.body_text() {
+        Ok(body) if !body.trim().is_empty() => body,
+        Ok(_) => "{}",
+        Err(err) => return write_json_response(stream, 400, &error_body(&err)),
+    };
+    let config = match flow_config_from_body(body) {
+        Ok(config) => config,
+        Err(err) => return write_json_response(stream, 400, &error_body(&err)),
+    };
+    match scheduler.submit(config) {
+        Ok(job) => {
+            let body = Json::Obj(vec![
+                ("job_id".to_string(), Json::num(job.id as f64)),
+                ("status".to_string(), Json::str(job.phase().as_str())),
+            ])
+            .encode();
+            write_json_response(stream, 202, &body)
+        }
+        Err(err @ SubmitError::QueueFull { max_queue }) => {
+            let body = Json::Obj(vec![
+                ("error".to_string(), Json::str(err.to_string())),
+                ("max_queue".to_string(), Json::num(max_queue as f64)),
+            ])
+            .encode();
+            write_json_response(stream, 429, &body)
+        }
+        Err(err @ SubmitError::ShuttingDown) => {
+            write_json_response(stream, 429, &error_body(&err.to_string()))
+        }
+    }
+}
+
+fn with_job(
+    stream: &mut TcpStream,
+    scheduler: &Scheduler,
+    id: &str,
+    then: impl FnOnce(&mut TcpStream, &Scheduler, &crate::job::Job) -> io::Result<()>,
+) -> io::Result<()> {
+    let Ok(id) = id.parse::<u64>() else {
+        return write_json_response(stream, 400, &error_body("job id must be an integer"));
+    };
+    match scheduler.get(id) {
+        Some(job) => then(stream, scheduler, &job),
+        None => write_json_response(stream, 404, &error_body(&format!("no job {id}"))),
+    }
+}

@@ -3,7 +3,9 @@
 //! Runs the automatic flow of Fig. 1 end to end on a PYNQ-Z1 — coarse
 //! Bundle evaluation, Pareto selection, SCD search per FPS target —
 //! and prints the explored candidates and the winning design per
-//! target, like Fig. 6.
+//! target, like Fig. 6. Uses the validated builder and the output
+//! accessors, so this example and the job server share one
+//! presentation path.
 //!
 //! Run with: `cargo run --release --example explore_dnns`
 
@@ -11,12 +13,13 @@ use fpga_dnn_codesign::core::flow::{CoDesignFlow, FlowConfig};
 use fpga_dnn_codesign::sim::device::pynq_z1;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let flow = CoDesignFlow::new(FlowConfig {
-        targets_fps: vec![10.0, 15.0, 20.0],
-        candidates_per_bundle: 3,
-        coarse_pf_sweep: vec![16],
-        ..FlowConfig::for_device(pynq_z1())
-    });
+    let config = FlowConfig::builder()
+        .device(pynq_z1())
+        .targets_fps([10.0, 15.0, 20.0])
+        .candidates_per_bundle(3)
+        .coarse_pf_sweep([16])
+        .build()?;
+    let flow = CoDesignFlow::new(config);
     println!(
         "exploring DNNs for {:?} FPS targets at {} MHz on {}",
         flow.config().targets_fps,
@@ -25,33 +28,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let out = flow.run()?;
-    let ids: Vec<usize> = out.selected_bundles.iter().map(|b| b.0).collect();
-    println!("\nbundles selected by coarse evaluation: {ids:?}");
-    println!("candidates meeting a target band: {}", out.candidates.len());
+    println!(
+        "\nbundles selected by coarse evaluation: {:?}",
+        out.selected_bundle_ids()
+    );
+    println!(
+        "candidates meeting a target band: {}",
+        out.candidate_count()
+    );
 
     println!(
         "\n{:>9} {:>20} {:>8} {:>9}",
         "target", "design", "FPS", "IoU(est)"
     );
-    for (target, c) in &out.candidates {
-        println!(
-            "{:>9.0} {:>20} {:>8.1} {:>9.3}",
-            target,
-            format!("{} x{}", c.point.bundle.id(), c.point.n_replications),
-            1000.0 / c.latency_ms,
-            c.accuracy
-        );
+    for &target in &flow.config().targets_fps {
+        for c in out.candidates_for(target) {
+            println!(
+                "{:>9.0} {:>20} {:>8.1} {:>9.3}",
+                target,
+                format!("{} x{}", c.point.bundle.id(), c.point.n_replications),
+                1000.0 / c.latency_ms,
+                c.accuracy
+            );
+        }
     }
 
-    println!("\nwinning design per target:");
+    println!("\n{}", out.summary());
+
+    println!("resource utilization per winning design:");
     for d in &out.designs {
         println!(
-            "  {:>4.0} FPS target -> {}: IoU {:.3}, {:.1} ms ({:.1} FPS), {}",
+            "  {:>4.0} FPS target -> {}",
             d.target_fps,
-            d.point,
-            d.accuracy,
-            d.latency_ms,
-            d.fps,
             d.report.utilization(&flow.config().device.budget()),
         );
     }

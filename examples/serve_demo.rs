@@ -1,0 +1,67 @@
+//! Co-design-as-a-service walkthrough: start the job server, submit a
+//! request over HTTP, watch the progress stream, download the result,
+//! and read the metrics endpoint.
+//!
+//! Exits non-zero unless the job completes with HTTP 200 and a
+//! non-empty Pareto set, so CI can use it as a serving smoke test.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+
+use fpga_dnn_codesign::serve::job::ServeConfig;
+use fpga_dnn_codesign::serve::json::parse;
+use fpga_dnn_codesign::serve::{Client, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut server = Server::start(ServeConfig::default())?;
+    println!("job server listening on http://{}", server.addr());
+    let client = Client::new(server.addr());
+
+    // One tenant: a PYNQ-Z1 search for a 15 FPS target, small knobs so
+    // the demo finishes in seconds.
+    let request = r#"{"device":"pynq_z1","targets_fps":[15.0],"candidates_per_bundle":2,"coarse_pf_sweep":[16],"seed":42}"#;
+    println!("\nPOST /jobs\n  {request}");
+    let job_id = client
+        .submit_job(request)
+        .map_err(|e| format!("submit failed: {e}"))?;
+    println!("  -> job {job_id} accepted");
+
+    println!("\nGET /jobs/{job_id}/events (chunked NDJSON):");
+    let events = client.events(job_id)?;
+    for line in &events {
+        println!("  {line}");
+    }
+
+    let (status, body) = client.get(&format!("/jobs/{job_id}/result"))?;
+    println!("\nGET /jobs/{job_id}/result -> {status}");
+    if status != 200 {
+        return Err(format!("expected 200 from the result endpoint, got {status}: {body}").into());
+    }
+    let result = parse(&body)?;
+    let pareto = result
+        .get("pareto")
+        .and_then(|p| p.as_arr())
+        .ok_or("result body has no pareto array")?;
+    if pareto.is_empty() {
+        return Err("served Pareto set is empty".into());
+    }
+    println!(
+        "  selected bundles: {}",
+        result.get("selected_bundles").unwrap().encode()
+    );
+    println!("  pareto candidates: {}", pareto.len());
+    if let Some(designs) = result.get("designs").and_then(|d| d.as_arr()) {
+        for design in designs {
+            println!(
+                "  design: target {} FPS -> {} (IoU {})",
+                design.get("target_fps").unwrap().encode(),
+                design.get("point").and_then(|p| p.as_str()).unwrap_or("?"),
+                design.get("accuracy").unwrap().encode(),
+            );
+        }
+    }
+
+    println!("\nGET /metrics:\n  {}", client.metrics()?.encode());
+    server.shutdown();
+    println!("\nserve_demo: OK");
+    Ok(())
+}

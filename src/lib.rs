@@ -6,4 +6,5 @@ pub use codesign_dataset as dataset;
 pub use codesign_dnn as dnn;
 pub use codesign_hls as hls;
 pub use codesign_nn as nn;
+pub use codesign_serve as serve;
 pub use codesign_sim as sim;

@@ -87,11 +87,15 @@ fn scd_with_impossible_target_terminates_empty() {
 
 #[test]
 fn flow_without_targets_errors() {
+    use fpga_dnn_codesign::core::flow::ConfigError;
     let flow = CoDesignFlow::new(FlowConfig {
         targets_fps: vec![],
         ..FlowConfig::for_device(pynq_z1())
     });
-    assert!(matches!(flow.run(), Err(FlowError::NoTargets)));
+    assert!(matches!(
+        flow.run(),
+        Err(FlowError::InvalidConfig(ConfigError::EmptyTargets))
+    ));
 }
 
 #[test]
