@@ -1,0 +1,151 @@
+//! Warm-vs-cold persistence bench: the same co-design flow run against
+//! an empty estimate cache, against a cache preloaded from a persistent
+//! [`EstimateStore`], and resumed from a [`FlowCheckpoint`] that
+//! already holds every stage.
+//!
+//! The contract being measured is the tentpole of the persistence
+//! layer: a warm start must be *bit-identical* to a cold run (same
+//! Pareto designs, same generated C) while skipping the closed-form
+//! estimate re-derivation for every design point priced before. Emits
+//! `BENCH_persist.json` (cold wall clock, warm speedup + store hit
+//! rate, resume speedup) via `codesign_bench::perf`.
+
+use codesign_bench::{emit_bench_json, BenchRecord};
+use codesign_core::checkpoint::FlowCheckpoint;
+use codesign_core::flow::{CoDesignFlow, FlowConfig, FlowError, FlowOutput};
+use codesign_core::observe::{CancelToken, FlowEvent};
+use codesign_hls::cache::EstimateCache;
+use codesign_hls::store::EstimateStore;
+use codesign_sim::device::pynq_z1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The full default flow (three FPS targets, default sweep) — enough
+/// estimator traffic for the warm/cold gap to be measurable.
+fn config() -> FlowConfig {
+    FlowConfig::builder()
+        .device(pynq_z1())
+        .targets_fps([10.0, 15.0, 20.0])
+        .build()
+        .expect("valid bench config")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("codesign_bench_persist");
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    dir.join(format!("{name}_{}.log", std::process::id()))
+}
+
+/// Runs the flow against `cache` and returns (output, wall clock).
+fn run_with_cache(cache: &Arc<EstimateCache>) -> (FlowOutput, Duration) {
+    let flow = CoDesignFlow::new(config()).with_estimate_cache(Arc::clone(cache));
+    let t0 = Instant::now();
+    let out = flow.run().expect("flow run");
+    (out, t0.elapsed())
+}
+
+fn assert_bit_identical(cold: &FlowOutput, other: &FlowOutput, what: &str) {
+    assert_eq!(cold.candidates, other.candidates, "{what}: candidates");
+    assert_eq!(cold.designs.len(), other.designs.len(), "{what}: designs");
+    for (a, b) in cold.designs.iter().zip(&other.designs) {
+        assert_eq!(a.point, b.point, "{what}: design point");
+        assert_eq!(a.report, b.report, "{what}: simulation report");
+        assert_eq!(a.code, b.code, "{what}: generated C");
+    }
+}
+
+fn bench_persist(_c: &mut Criterion) {
+    let store_path = temp_path("store");
+    let ckpt_path = temp_path("ckpt");
+    let _ = std::fs::remove_file(&store_path);
+    let _ = std::fs::remove_file(&ckpt_path);
+
+    // Cold: empty cache, then spill everything the run priced.
+    let cold_cache = Arc::new(EstimateCache::new());
+    let (cold_out, cold_wall) = run_with_cache(&cold_cache);
+    let mut store = EstimateStore::open(&store_path).expect("open store");
+    let persisted = store.persist_from(&cold_cache).expect("persist estimates");
+    drop(store);
+    println!(
+        "persist: cold flow {:.1} ms, {persisted} estimates persisted ({} bytes on disk)",
+        cold_wall.as_secs_f64() * 1e3,
+        std::fs::metadata(&store_path).map(|m| m.len()).unwrap_or(0),
+    );
+
+    // Warm: a "restarted process" preloads the store, then reruns the
+    // identical flow. Every estimate it needs is already priced.
+    let warm_cache = Arc::new(EstimateCache::new());
+    let mut store = EstimateStore::open(&store_path).expect("reopen store");
+    let loaded = store.load_into(&warm_cache);
+    let (warm_out, warm_wall) = run_with_cache(&warm_cache);
+    assert_bit_identical(&cold_out, &warm_out, "warm start");
+    let stats = warm_cache.stats();
+    let lookups = (stats.hits + stats.misses) as f64;
+    let store_hit_rate = warm_cache.store_hits() as f64 / lookups.max(1.0);
+    println!(
+        "persist: warm flow {:.1} ms ({:.2}x), {loaded} estimates loaded, \
+         store hit rate {:.1}%",
+        warm_wall.as_secs_f64() * 1e3,
+        cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9),
+        store_hit_rate * 1e2,
+    );
+    assert!(
+        store_hit_rate > 0.5,
+        "warm start must serve most estimates from the store (got {:.1}%)",
+        store_hit_rate * 1e2
+    );
+
+    // Resume: interrupt a checkpointed run after its last SCD cell,
+    // then resume — all stages replay from disk, only finalization
+    // recomputes.
+    {
+        let flow = CoDesignFlow::new(config());
+        let ckpt = FlowCheckpoint::open(&ckpt_path, flow.config()).expect("open checkpoint");
+        let token = CancelToken::new();
+        let trip = token.clone();
+        let observer = move |event: &FlowEvent| {
+            if matches!(event, FlowEvent::ScdSearchFinished { done, total, .. } if done == total) {
+                trip.cancel();
+            }
+        };
+        let interrupted = flow.run_checkpointed(&ckpt, &observer, &token);
+        assert!(matches!(interrupted, Err(FlowError::Cancelled)));
+    }
+    let flow = CoDesignFlow::new(config());
+    let ckpt = FlowCheckpoint::open(&ckpt_path, flow.config()).expect("reopen checkpoint");
+    let t0 = Instant::now();
+    let resumed_out = flow
+        .run_checkpointed(
+            &ckpt,
+            &codesign_core::observe::NullObserver,
+            &CancelToken::new(),
+        )
+        .expect("resume");
+    let resume_wall = t0.elapsed();
+    assert_bit_identical(&cold_out, &resumed_out, "checkpoint resume");
+    println!(
+        "persist: resume {:.1} ms ({:.2}x over cold)",
+        resume_wall.as_secs_f64() * 1e3,
+        cold_wall.as_secs_f64() / resume_wall.as_secs_f64().max(1e-9),
+    );
+
+    let records = [
+        BenchRecord::timing("cold_flow", cold_wall)
+            .with_metric("estimates_persisted", persisted as f64),
+        BenchRecord::speedup_over("warm_flow", warm_wall, cold_wall)
+            .with_metric("estimates_loaded", loaded as f64)
+            .with_metric("store_hits", warm_cache.store_hits() as f64)
+            .with_metric("store_hit_rate", store_hit_rate),
+        BenchRecord::speedup_over("resume_from_checkpoint", resume_wall, cold_wall),
+    ];
+    match emit_bench_json("persist", &records) {
+        Ok(path) => println!("persist: wrote {}", path.display()),
+        Err(err) => eprintln!("persist: could not write BENCH_persist.json: {err}"),
+    }
+    let _ = std::fs::remove_file(&store_path);
+}
+
+criterion_group!(benches, bench_persist);
+criterion_main!(benches);

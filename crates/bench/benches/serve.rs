@@ -62,6 +62,7 @@ fn bench_serve(_c: &mut Criterion) {
     let mut server = Server::start(ServeConfig {
         max_queue: 64,
         executors: 8,
+        ..ServeConfig::default()
     })
     .expect("start server");
     let addr = server.addr();

@@ -15,6 +15,7 @@
 //! presentation path the serving layer JSON-encodes.
 
 use crate::accuracy::AccuracyModel;
+use crate::checkpoint::FlowCheckpoint;
 use crate::evaluate::{coarse_evaluate_parallel, select_bundles, BundleEvaluation, EvalMethod};
 use crate::observe::{CancelToken, FlowEvent, FlowObserver, NullObserver};
 use crate::parallel::{derive_seed, try_parallel_map, Parallelism};
@@ -25,7 +26,7 @@ use codesign_dnn::quant::Activation;
 use codesign_dnn::space::DesignPoint;
 use codesign_dnn::Dnn;
 use codesign_hls::cache::EstimateCache;
-use codesign_hls::calibrate::calibrate_bundle_with;
+use codesign_hls::calibrate::{calibrate_bundle_with, CalibratedParams};
 use codesign_hls::codegen::CodeGenerator;
 use codesign_hls::model::HlsEstimator;
 use codesign_sim::device::{pynq_z1, FpgaDevice};
@@ -497,6 +498,11 @@ pub enum FlowError {
     /// The run's [`CancelToken`] fired; the flow stopped at a work-item
     /// boundary.
     Cancelled,
+    /// Writing a stage record to the run's [`FlowCheckpoint`] failed.
+    Checkpoint {
+        /// Description of the underlying I/O failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -505,6 +511,7 @@ impl fmt::Display for FlowError {
             FlowError::Sim(e) => write!(f, "hardware step failed: {e}"),
             FlowError::InvalidConfig(e) => write!(f, "invalid flow config: {e}"),
             FlowError::Cancelled => write!(f, "flow cancelled"),
+            FlowError::Checkpoint { reason } => write!(f, "checkpoint write failed: {reason}"),
         }
     }
 }
@@ -629,9 +636,43 @@ impl CoDesignFlow {
         observer: &dyn FlowObserver,
         cancel: &CancelToken,
     ) -> Result<FlowOutput, FlowError> {
-        let result = self.run_observed_inner(observer, cancel);
+        let result = self.run_observed_inner(observer, cancel, None);
         if matches!(result, Err(FlowError::Cancelled)) {
             observer.on_event(&FlowEvent::Cancelled);
+        }
+        result
+    }
+
+    /// Runs the flow against a stage checkpoint: completed stages found
+    /// in `checkpoint` are replayed from disk instead of recomputed,
+    /// each stage that *does* run is recorded as it completes, and the
+    /// checkpoint file is deleted when the run finishes successfully.
+    ///
+    /// Resuming never changes results — the flow is deterministic, so a
+    /// replayed stage restores exactly the state an uninterrupted run
+    /// would have computed and the final output is bit-identical (see
+    /// the `checkpoint` module docs). Open the checkpoint with the same
+    /// config via [`FlowCheckpoint::open`], which rejects mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_observed`](Self::run_observed) returns, plus
+    /// [`FlowError::Checkpoint`] when a stage record cannot be written.
+    pub fn run_checkpointed(
+        &self,
+        checkpoint: &FlowCheckpoint,
+        observer: &dyn FlowObserver,
+        cancel: &CancelToken,
+    ) -> Result<FlowOutput, FlowError> {
+        let result = self.run_observed_inner(observer, cancel, Some(checkpoint));
+        if matches!(result, Err(FlowError::Cancelled)) {
+            observer.on_event(&FlowEvent::Cancelled);
+        }
+        if result.is_ok() {
+            // A leftover checkpoint means "interrupted run"; failing to
+            // delete it only costs a redundant replay next time, so it
+            // must not fail an otherwise-successful run.
+            let _ = checkpoint.finish();
         }
         result
     }
@@ -640,6 +681,7 @@ impl CoDesignFlow {
         &self,
         observer: &dyn FlowObserver,
         cancel: &CancelToken,
+        ckpt: Option<&FlowCheckpoint>,
     ) -> Result<FlowOutput, FlowError> {
         self.config.validate()?;
         let cfg = &self.config;
@@ -662,28 +704,41 @@ impl CoDesignFlow {
             bundles: all_bundles.len(),
         });
 
+        let ckpt_write = |e: std::io::Error| FlowError::Checkpoint {
+            reason: e.to_string(),
+        };
+
         // Step 2: coarse evaluation (one work item per Bundle) + Bundle
         // selection. (Step 1, the analytic modeling, happens inside
         // calibrate_bundle_with below.)
         checkpoint()?;
-        let coarse = coarse_evaluate_parallel(
-            &all_bundles,
-            &cfg.device,
-            &cfg.coarse_pf_sweep,
-            EvalMethod::Replicated {
-                n: cfg.eval_replications,
-            },
-            &self.model,
-            cfg.clock_mhz,
-            threads,
-        )?;
-        let max_pf = cfg.coarse_pf_sweep.iter().copied().max().unwrap_or(16);
-        let at_max_pf: Vec<BundleEvaluation> = coarse
-            .iter()
-            .filter(|e| e.parallel_factor == max_pf)
-            .cloned()
-            .collect();
-        let selected = select_bundles(&at_max_pf);
+        let (coarse, selected) = match ckpt.and_then(FlowCheckpoint::take_coarse) {
+            Some(restored) => restored,
+            None => {
+                let coarse = coarse_evaluate_parallel(
+                    &all_bundles,
+                    &cfg.device,
+                    &cfg.coarse_pf_sweep,
+                    EvalMethod::Replicated {
+                        n: cfg.eval_replications,
+                    },
+                    &self.model,
+                    cfg.clock_mhz,
+                    threads,
+                )?;
+                let max_pf = cfg.coarse_pf_sweep.iter().copied().max().unwrap_or(16);
+                let at_max_pf: Vec<BundleEvaluation> = coarse
+                    .iter()
+                    .filter(|e| e.parallel_factor == max_pf)
+                    .cloned()
+                    .collect();
+                let selected = select_bundles(&at_max_pf);
+                if let Some(c) = ckpt {
+                    c.record_coarse(&coarse, &selected).map_err(ckpt_write)?;
+                }
+                (coarse, selected)
+            }
+        };
         observer.on_event(&FlowEvent::BundlesSelected {
             selected: selected.iter().map(|b| b.0).collect(),
         });
@@ -692,24 +747,42 @@ impl CoDesignFlow {
         // (shared across every FPS target) in the deployment PF regime —
         // the overlap factors fitted at tiny PFs do not transfer to the
         // near-full-DSP designs the search emits. All estimators share
-        // one estimate cache.
+        // one estimate cache. A checkpointed resume replays the fitted
+        // coefficients and only rebuilds the (cheap) estimator shells,
+        // skipping the per-Bundle progress events.
         checkpoint()?;
-        let calibrated = AtomicUsize::new(0);
-        let estimators: Vec<(Bundle, HlsEstimator)> =
-            try_parallel_map(&selected, threads, |_, id| {
-                checkpoint()?;
+        let params_list: Vec<(BundleId, CalibratedParams)> =
+            match ckpt.and_then(FlowCheckpoint::take_calibration) {
+                Some(restored) => restored,
+                None => {
+                    let calibrated = AtomicUsize::new(0);
+                    let list = try_parallel_map(&selected, threads, |_, id| {
+                        checkpoint()?;
+                        let bundle = all_bundles[id.0 - 1].clone();
+                        let params = calibrate_bundle_with(&bundle, &cfg.device, &[1, 2, 3, 4], 96)
+                            .map_err(FlowError::Sim)?;
+                        observer.on_event(&FlowEvent::BundleCalibrated {
+                            bundle: id.0,
+                            done: calibrated.fetch_add(1, Ordering::Relaxed) + 1,
+                            total: selected.len(),
+                        });
+                        Ok::<_, FlowError>((*id, params))
+                    })?;
+                    if let Some(c) = ckpt {
+                        c.record_calibration(&list).map_err(ckpt_write)?;
+                    }
+                    list
+                }
+            };
+        let estimators: Vec<(Bundle, HlsEstimator)> = params_list
+            .into_iter()
+            .map(|(id, params)| {
                 let bundle = all_bundles[id.0 - 1].clone();
-                let params = calibrate_bundle_with(&bundle, &cfg.device, &[1, 2, 3, 4], 96)
-                    .map_err(FlowError::Sim)?;
                 let estimator =
                     HlsEstimator::new(params, cfg.device.clone()).with_cache(Arc::clone(&cache));
-                observer.on_event(&FlowEvent::BundleCalibrated {
-                    bundle: id.0,
-                    done: calibrated.fetch_add(1, Ordering::Relaxed) + 1,
-                    total: selected.len(),
-                });
-                Ok::<_, FlowError>((bundle, estimator))
-            })?;
+                (bundle, estimator)
+            })
+            .collect();
 
         // Step 3: SCD searches, one work item per (FPS target, Bundle,
         // quantization arm). The scheme Q is a co-design variable
@@ -741,39 +814,54 @@ impl CoDesignFlow {
                 }
             }
         }
-        let searched = AtomicUsize::new(0);
-        let found: Vec<Vec<Candidate>> = try_parallel_map(&items, threads, |_, item| {
-            checkpoint()?;
-            let target_ms = 1000.0 / item.fps;
-            let tolerance_ms = target_ms - 1000.0 / (item.fps + cfg.fps_tolerance);
-            // The stream id depends only on what the item *is* (target,
-            // Bundle, arm), never on scheduling.
-            let stream = ((item.ti as u64) << 32) | ((item.bundle.id().0 as u64) << 8) | item.arm;
-            let scd = ScdConfig {
-                latency_target_ms: target_ms,
-                tolerance_ms,
-                clock_mhz: cfg.clock_mhz,
-                candidates: cfg.candidates_per_bundle,
-                max_iterations: 400,
-                seed: derive_seed(cfg.seed, stream),
-            };
-            let cell = scd_search_with_activation(
-                item.bundle,
-                item.estimator,
-                &self.model,
-                &scd,
-                item.activation,
-            );
-            observer.on_event(&FlowEvent::ScdSearchFinished {
-                target_fps: item.fps,
-                bundle: item.bundle.id().0,
-                activation: item.activation,
-                found: cell.len(),
-                done: searched.fetch_add(1, Ordering::Relaxed) + 1,
-                total: items.len(),
-            });
-            Ok::<_, FlowError>(cell)
-        })?;
+        let restored_scd = ckpt.and_then(FlowCheckpoint::take_scd);
+        let found: Vec<Vec<Candidate>> = match restored_scd {
+            // The fingerprint check at open pins everything the item
+            // list is derived from, so a restored stage always aligns
+            // with `items`; a short vector (torn record survived the
+            // tag check) falls through to recompute.
+            Some(restored) if restored.len() == items.len() => restored,
+            _ => {
+                let searched = AtomicUsize::new(0);
+                let found = try_parallel_map(&items, threads, |_, item| {
+                    checkpoint()?;
+                    let target_ms = 1000.0 / item.fps;
+                    let tolerance_ms = target_ms - 1000.0 / (item.fps + cfg.fps_tolerance);
+                    // The stream id depends only on what the item *is*
+                    // (target, Bundle, arm), never on scheduling.
+                    let stream =
+                        ((item.ti as u64) << 32) | ((item.bundle.id().0 as u64) << 8) | item.arm;
+                    let scd = ScdConfig {
+                        latency_target_ms: target_ms,
+                        tolerance_ms,
+                        clock_mhz: cfg.clock_mhz,
+                        candidates: cfg.candidates_per_bundle,
+                        max_iterations: 400,
+                        seed: derive_seed(cfg.seed, stream),
+                    };
+                    let cell = scd_search_with_activation(
+                        item.bundle,
+                        item.estimator,
+                        &self.model,
+                        &scd,
+                        item.activation,
+                    );
+                    observer.on_event(&FlowEvent::ScdSearchFinished {
+                        target_fps: item.fps,
+                        bundle: item.bundle.id().0,
+                        activation: item.activation,
+                        found: cell.len(),
+                        done: searched.fetch_add(1, Ordering::Relaxed) + 1,
+                        total: items.len(),
+                    });
+                    Ok::<_, FlowError>(cell)
+                })?;
+                if let Some(c) = ckpt {
+                    c.record_scd(&found).map_err(ckpt_write)?;
+                }
+                found
+            }
+        };
 
         // Deterministic merge: item order reproduces the legacy nested
         // target → Bundle → arm loop exactly.

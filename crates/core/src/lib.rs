@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod checkpoint;
 pub mod evaluate;
 pub mod flow;
 pub mod observe;
@@ -62,6 +63,7 @@ pub mod pareto;
 pub mod search;
 
 pub use accuracy::{AccuracyModel, ProxyEvaluator};
+pub use checkpoint::FlowCheckpoint;
 pub use evaluate::{coarse_evaluate, coarse_evaluate_parallel, select_bundles, BundleEvaluation};
 pub use flow::{CoDesignFlow, FlowConfig, FlowConfigBuilder, FlowOutput, FlowSummary};
 pub use observe::{CancelToken, FlowEvent, FlowObserver, NullObserver};

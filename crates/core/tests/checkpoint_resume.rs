@@ -1,0 +1,152 @@
+//! Pins the checkpoint/resume contract: a flow interrupted mid-run and
+//! resumed from its [`FlowCheckpoint`] produces output **bit-identical**
+//! to an uninterrupted run, and completed stages are replayed from disk
+//! instead of recomputed.
+
+use codesign_core::checkpoint::FlowCheckpoint;
+use codesign_core::flow::{CoDesignFlow, FlowConfig, FlowError};
+use codesign_core::observe::{CancelToken, FlowEvent, NullObserver};
+use codesign_sim::device::pynq_z1;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+fn small_config() -> FlowConfig {
+    FlowConfig {
+        targets_fps: vec![15.0],
+        candidates_per_bundle: 2,
+        coarse_pf_sweep: vec![16],
+        ..FlowConfig::for_device(pynq_z1())
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("codesign_core_resume_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{name}_{}_{:?}.ckpt",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+#[test]
+fn resumed_run_is_bit_identical_to_uninterrupted() {
+    let baseline = CoDesignFlow::new(small_config()).run().unwrap();
+
+    let path = temp_path("bit_identity");
+    let _ = std::fs::remove_file(&path);
+
+    // First attempt: cancel as soon as the first SCD cell finishes —
+    // the coarse and calibration stages are checkpointed by then, the
+    // SCD stage is not.
+    {
+        let flow = CoDesignFlow::new(small_config());
+        let ckpt = FlowCheckpoint::open(&path, flow.config()).unwrap();
+        let token = CancelToken::new();
+        let cancel_from_observer = token.clone();
+        let sink = move |e: &FlowEvent| {
+            if matches!(e, FlowEvent::ScdSearchFinished { .. }) {
+                cancel_from_observer.cancel();
+            }
+        };
+        let result = flow.run_checkpointed(&ckpt, &sink, &token);
+        assert!(matches!(result, Err(FlowError::Cancelled)));
+    }
+    assert!(path.exists(), "interrupted run must leave its checkpoint");
+
+    // Second attempt: resume. Coarse + calibration replay from disk
+    // (no BundleCalibrated events), SCD recomputes, and the final
+    // output is bit-identical to the uninterrupted baseline.
+    let flow = CoDesignFlow::new(small_config());
+    let ckpt = FlowCheckpoint::open(&path, flow.config()).unwrap();
+    assert!(ckpt.has_restored_stages());
+    let events = Mutex::new(Vec::new());
+    let sink = |e: &FlowEvent| events.lock().unwrap().push(e.clone());
+    let resumed = flow
+        .run_checkpointed(&ckpt, &sink, &CancelToken::new())
+        .unwrap();
+
+    assert_eq!(baseline.coarse, resumed.coarse);
+    assert_eq!(baseline.selected_bundles, resumed.selected_bundles);
+    assert_eq!(baseline.candidates, resumed.candidates);
+    assert_eq!(baseline.designs.len(), resumed.designs.len());
+    for (a, b) in baseline.designs.iter().zip(&resumed.designs) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.code, b.code, "generated C must be byte-stable");
+    }
+
+    let events = events.into_inner().unwrap();
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::BundleCalibrated { .. })),
+        "restored calibration stage must not re-run"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::ScdSearchFinished { .. })),
+        "unfinished SCD stage must recompute"
+    );
+    assert!(
+        !path.exists(),
+        "successful completion must delete the checkpoint"
+    );
+}
+
+#[test]
+fn fully_checkpointed_run_replays_the_search_stage_too() {
+    let path = temp_path("full_replay");
+    let _ = std::fs::remove_file(&path);
+
+    // Cancel after the search stage is already on disk, by cancelling
+    // when the first design is finalized.
+    {
+        let flow = CoDesignFlow::new(small_config());
+        let ckpt = FlowCheckpoint::open(&path, flow.config()).unwrap();
+        let token = CancelToken::new();
+        let cancel_from_observer = token.clone();
+        let sink = move |e: &FlowEvent| {
+            if matches!(e, FlowEvent::ScdSearchFinished { done, total, .. } if done == total) {
+                cancel_from_observer.cancel();
+            }
+        };
+        let result = flow.run_checkpointed(&ckpt, &sink, &token);
+        assert!(matches!(result, Err(FlowError::Cancelled)));
+    }
+
+    let flow = CoDesignFlow::new(small_config());
+    let ckpt = FlowCheckpoint::open(&path, flow.config()).unwrap();
+    let events = Mutex::new(Vec::new());
+    let sink = |e: &FlowEvent| events.lock().unwrap().push(e.clone());
+    let resumed = flow
+        .run_checkpointed(&ckpt, &sink, &CancelToken::new())
+        .unwrap();
+    let events = events.into_inner().unwrap();
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::ScdSearchFinished { .. })),
+        "restored SCD stage must not re-run"
+    );
+    let baseline = CoDesignFlow::new(small_config()).run().unwrap();
+    assert_eq!(baseline.candidates, resumed.candidates);
+    assert_eq!(baseline.designs[0].code, resumed.designs[0].code);
+    assert!(!path.exists());
+}
+
+#[test]
+fn uninterrupted_checkpointed_run_matches_plain_run_and_cleans_up() {
+    let path = temp_path("clean");
+    let _ = std::fs::remove_file(&path);
+    let flow = CoDesignFlow::new(small_config());
+    let ckpt = FlowCheckpoint::open(&path, flow.config()).unwrap();
+    let out = flow
+        .run_checkpointed(&ckpt, &NullObserver, &CancelToken::new())
+        .unwrap();
+    let plain = CoDesignFlow::new(small_config()).run().unwrap();
+    assert_eq!(out.candidates, plain.candidates);
+    assert_eq!(out.designs[0].code, plain.designs[0].code);
+    assert!(!path.exists(), "checkpoint must be deleted on success");
+}

@@ -80,7 +80,16 @@ use std::sync::Mutex;
 /// locks without bloating the empty cache.
 pub const DEFAULT_SHARDS: usize = 16;
 
-type ShardMap = HashMap<Vec<u8>, Result<Estimate, EstimateError>>;
+/// A resident cache value plus its provenance: entries inserted by
+/// [`EstimateCache::preload`] (i.e. loaded from a persistent store) are
+/// flagged so hits on them can be attributed to the store in metrics.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    value: Result<Estimate, EstimateError>,
+    preloaded: bool,
+}
+
+type ShardMap = HashMap<Vec<u8>, CacheEntry>;
 
 /// A thread-safe, sharded memo table for analytic estimates, with
 /// hit/miss counters.
@@ -121,6 +130,7 @@ pub struct EstimateCache {
     shards: Box<[Mutex<ShardMap>]>,
     hits: AtomicU64,
     misses: AtomicU64,
+    store_hits: AtomicU64,
 }
 
 impl Default for EstimateCache {
@@ -144,6 +154,7 @@ impl EstimateCache {
             shards: (0..n).map(|_| Mutex::new(ShardMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
         }
     }
 
@@ -205,6 +216,54 @@ impl EstimateCache {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.store_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Hits served by entries that were [`preload`](Self::preload)ed
+    /// from a persistent store (a subset of `stats().hits`). This is
+    /// the number the warm-start acceptance gate measures: how much of
+    /// a run's lookup traffic the on-disk store actually absorbed.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Inserts an `Ok` estimate loaded from a persistent store, unless
+    /// the key is already resident. Returns `true` if the entry was
+    /// inserted. Counts neither a hit nor a miss — preloading is not
+    /// lookup traffic — but hits later served by the entry increment
+    /// [`store_hits`](Self::store_hits).
+    pub fn preload(&self, key: &[u8], value: Estimate) -> bool {
+        let mut shard = self.shard_for(key).lock().expect("cache shard lock");
+        if shard.contains_key(key) {
+            return false;
+        }
+        shard.insert(
+            key.to_vec(),
+            CacheEntry {
+                value: Ok(value),
+                preloaded: true,
+            },
+        );
+        true
+    }
+
+    /// All resident `Ok` entries as `(key, estimate)` pairs, sorted by
+    /// key bytes so the snapshot order is deterministic regardless of
+    /// shard layout or hash-map iteration order. Cached *errors* are
+    /// excluded: they are cheap to recompute and persisting them would
+    /// pin transient failures across restarts.
+    pub fn snapshot_ok(&self) -> Vec<(Vec<u8>, Estimate)> {
+        let mut entries: Vec<(Vec<u8>, Estimate)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard lock");
+            for (key, entry) in shard.iter() {
+                if let Ok(est) = &entry.value {
+                    entries.push((key.clone(), *est));
+                }
+            }
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
     }
 
     /// Returns the cached result for `key`, computing and inserting it
@@ -214,7 +273,7 @@ impl EstimateCache {
     /// No lock is held while `compute` runs, so concurrent estimates
     /// proceed in parallel; two threads racing on the same key both
     /// compute the (deterministic) value and the insert is idempotent.
-    pub(crate) fn get_or_insert_with(
+    pub fn get_or_insert_with(
         &self,
         key: &[u8],
         compute: impl FnOnce() -> Result<Estimate, EstimateError>,
@@ -226,7 +285,10 @@ impl EstimateCache {
             .get(key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+            if cached.preloaded {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return cached.value.clone();
         }
         let value = compute();
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -234,7 +296,10 @@ impl EstimateCache {
             .lock()
             .expect("cache shard lock")
             .entry(key.to_vec())
-            .or_insert_with(|| value.clone());
+            .or_insert_with(|| CacheEntry {
+                value: value.clone(),
+                preloaded: false,
+            });
         value
     }
 }

@@ -49,9 +49,11 @@ pub mod calibrate;
 pub mod codegen;
 pub mod incremental;
 pub mod model;
+pub mod store;
 
 pub use cache::EstimateCache;
 pub use calibrate::{calibrate_bundle, CalibratedParams};
 pub use codegen::CodeGenerator;
 pub use incremental::{EstimatePlan, MoveCoord};
 pub use model::{Estimate, HlsEstimator};
+pub use store::EstimateStore;

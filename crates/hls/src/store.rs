@@ -1,0 +1,339 @@
+//! A persistent, append-only store for analytic estimates.
+//!
+//! [`EstimateStore`] spills the [`EstimateCache`]'s `Ok` entries to a
+//! [`RecordLog`] on disk and loads them back
+//! on the next start, so a restarted server (or a rerun flow) skips the
+//! closed-form re-derivation for every design point it has ever priced.
+//!
+//! # Record format
+//!
+//! One record per cache entry, encoded with the `codesign-store` codec:
+//!
+//! ```text
+//! key bytes (varint length prefix)   — estimator salt + canonical
+//!                                      DesignPoint encoding, verbatim
+//! latency_cycles varint
+//! dsp / lut / ff / bram_18k varints  — ResourceUsage
+//! ```
+//!
+//! The key is the cache's own canonical key (see
+//! [`cache`](crate::cache) module docs), so a loaded record is
+//! byte-for-byte the entry the cache would have computed: warm-start
+//! results are bit-identical to cold ones by construction. Cached
+//! *errors* are never persisted — they are cheap to recompute and
+//! pinning them would carry transient failures across restarts.
+//!
+//! # Crash safety
+//!
+//! Appends go through the record log's checksummed framing; a crash
+//! mid-append loses at most the record being written, and the torn tail
+//! is truncated on the next [`open`](EstimateStore::open). Duplicate
+//! keys across records are harmless (last write wins on load, and all
+//! writes for a key carry the same deterministic value).
+
+use crate::cache::EstimateCache;
+use crate::model::Estimate;
+use codesign_sim::report::ResourceUsage;
+use codesign_store::{ByteReader, ByteWriter, CodecError, LogError, RecordLog, StreamKind};
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Counters describing a store's activity since it was opened.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records decoded from disk by [`EstimateStore::open`] (corrupt
+    /// records are skipped, not counted).
+    pub loaded: usize,
+    /// Records appended by [`EstimateStore::persist_from`] since open.
+    pub persisted: usize,
+    /// Bytes of torn tail truncated during open (0 after a clean
+    /// shutdown).
+    pub recovered_tail_bytes: u64,
+}
+
+/// A disk-backed extension of the in-memory [`EstimateCache`].
+///
+/// Typical lifecycle: [`open`](Self::open) the log, play it into a
+/// cache with [`load_into`](Self::load_into), run flows against that
+/// cache, then [`persist_from`](Self::persist_from) after each run to
+/// append the entries the run added. The store remembers which keys are
+/// already on disk, so repeated `persist_from` calls append only new
+/// work.
+#[derive(Debug)]
+pub struct EstimateStore {
+    log: RecordLog,
+    /// Decoded records from disk, retained until first `load_into`.
+    pending: Vec<(Vec<u8>, Estimate)>,
+    /// Keys already present in the log (loaded or appended).
+    on_disk: HashSet<Vec<u8>>,
+    stats: StoreStats,
+}
+
+fn encode_record(key: &[u8], est: &Estimate) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(key.len() + 24);
+    w.put_bytes(key);
+    w.put_varint(est.latency_cycles);
+    w.put_varint(est.resources.dsp);
+    w.put_varint(est.resources.lut);
+    w.put_varint(est.resources.ff);
+    w.put_varint(est.resources.bram_18k);
+    w.into_bytes()
+}
+
+fn decode_record(payload: &[u8]) -> Result<(Vec<u8>, Estimate), CodecError> {
+    let mut r = ByteReader::new(payload);
+    let key = r.read_bytes()?.to_vec();
+    let est = Estimate {
+        latency_cycles: r.read_varint()?,
+        resources: ResourceUsage {
+            dsp: r.read_varint()?,
+            lut: r.read_varint()?,
+            ff: r.read_varint()?,
+            bram_18k: r.read_varint()?,
+        },
+    };
+    r.finish()?;
+    Ok((key, est))
+}
+
+impl EstimateStore {
+    /// Opens (creating if absent) the store at `path`, recovering any
+    /// torn tail and decoding every intact record.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a typed [`LogError`] when `path` exists but is
+    /// not an estimate-store log (wrong magic, kind, or a future format
+    /// version).
+    pub fn open(path: &Path) -> Result<Self, LogError> {
+        let (log, raw_records, recovery) = RecordLog::open(path, StreamKind::EstimateStore)?;
+        let mut pending = Vec::with_capacity(raw_records.len());
+        let mut on_disk = HashSet::with_capacity(raw_records.len());
+        for payload in &raw_records {
+            // A record that framed and checksummed correctly but does
+            // not decode is a schema mismatch within the same log
+            // version — skip it rather than poison the whole store.
+            if let Ok((key, est)) = decode_record(payload) {
+                on_disk.insert(key.clone());
+                pending.push((key, est));
+            }
+        }
+        let stats = StoreStats {
+            loaded: pending.len(),
+            persisted: 0,
+            recovered_tail_bytes: recovery.truncated_bytes,
+        };
+        Ok(Self {
+            log,
+            pending,
+            on_disk,
+            stats,
+        })
+    }
+
+    /// Preloads every record decoded at open time into `cache`,
+    /// returning how many entries were actually inserted (keys already
+    /// resident in the cache are left untouched). Idempotent: a second
+    /// call inserts nothing.
+    pub fn load_into(&mut self, cache: &EstimateCache) -> usize {
+        let mut inserted = 0;
+        for (key, est) in self.pending.drain(..) {
+            if cache.preload(&key, est) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Appends every `Ok` cache entry not yet on disk to the log,
+    /// returning how many records were written. Entries are appended in
+    /// sorted-key order, so the log contents are deterministic for a
+    /// given cache state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates append I/O failures; records written before the
+    /// failure are durable.
+    pub fn persist_from(&mut self, cache: &EstimateCache) -> io::Result<usize> {
+        let mut written = 0;
+        for (key, est) in cache.snapshot_ok() {
+            if self.on_disk.contains(&key) {
+                continue;
+            }
+            self.log.append(&encode_record(&key, &est))?;
+            self.on_disk.insert(key);
+            written += 1;
+        }
+        if written > 0 {
+            self.log.sync()?;
+        }
+        self.stats.persisted += written;
+        Ok(written)
+    }
+
+    /// Activity counters since open.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Number of distinct keys currently on disk.
+    pub fn len(&self) -> usize {
+        self.on_disk.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.on_disk.is_empty()
+    }
+
+    /// The file backing this store.
+    pub fn path(&self) -> PathBuf {
+        self.log.path().to_path_buf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EstimateError;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("codesign_hls_store_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!(
+            "{name}_{}_{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn est(cycles: u64) -> Estimate {
+        Estimate {
+            latency_cycles: cycles,
+            resources: ResourceUsage {
+                dsp: cycles + 1,
+                lut: cycles * 3,
+                ff: cycles * 5,
+                bram_18k: cycles / 2,
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let key = vec![9u8, 8, 7, 6, 5];
+        let e = est(123_456_789);
+        let (k2, e2) = decode_record(&encode_record(&key, &e)).unwrap();
+        assert_eq!(k2, key);
+        assert_eq!(e2, e);
+    }
+
+    #[test]
+    fn persist_then_load_restores_cache_entries() {
+        let path = temp_path("round_trip");
+        let _ = std::fs::remove_file(&path);
+
+        let cold = EstimateCache::new();
+        for k in 0u8..20 {
+            cold.get_or_insert_with(&[k, k + 1], || Ok(est(k as u64 * 10)))
+                .unwrap();
+        }
+        {
+            let mut store = EstimateStore::open(&path).unwrap();
+            assert_eq!(store.persist_from(&cold).unwrap(), 20);
+            // Second persist of the same cache appends nothing.
+            assert_eq!(store.persist_from(&cold).unwrap(), 0);
+        }
+
+        let warm = EstimateCache::new();
+        let mut store = EstimateStore::open(&path).unwrap();
+        assert_eq!(store.stats().loaded, 20);
+        assert_eq!(store.load_into(&warm), 20);
+        assert_eq!(warm.len(), 20);
+        // Every lookup is now a store-attributed hit with the exact
+        // cold value.
+        for k in 0u8..20 {
+            let v = warm
+                .get_or_insert_with(&[k, k + 1], || panic!("must hit"))
+                .unwrap();
+            assert_eq!(v, est(k as u64 * 10));
+        }
+        assert_eq!(warm.store_hits(), 20);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn errors_are_not_persisted() {
+        let path = temp_path("errors");
+        let _ = std::fs::remove_file(&path);
+        let cache = EstimateCache::new();
+        cache.get_or_insert_with(&[1], || Ok(est(5))).unwrap();
+        let _ = cache.get_or_insert_with(&[2], || {
+            Err(EstimateError::Sim(
+                codesign_sim::error::SimError::InvalidConfig {
+                    reason: "transient".into(),
+                },
+            ))
+        });
+        let mut store = EstimateStore::open(&path).unwrap();
+        assert_eq!(store.persist_from(&cache).unwrap(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_log_recovers_all_prior_records() {
+        let path = temp_path("crash");
+        let _ = std::fs::remove_file(&path);
+        let cache = EstimateCache::new();
+        for k in 0u8..10 {
+            cache
+                .get_or_insert_with(&[k], || Ok(est(k as u64 + 100)))
+                .unwrap();
+        }
+        {
+            let mut store = EstimateStore::open(&path).unwrap();
+            store.persist_from(&cache).unwrap();
+        }
+        // Simulate a crash mid-append: chop 5 bytes off the last record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let warm = EstimateCache::new();
+        let mut store = EstimateStore::open(&path).unwrap();
+        assert_eq!(store.stats().loaded, 9, "only the torn record is lost");
+        assert!(store.stats().recovered_tail_bytes > 0);
+        assert_eq!(store.load_into(&warm), 9);
+        // The store can keep appending after recovery — including the
+        // record that was torn.
+        assert_eq!(store.persist_from(&cache).unwrap(), 1);
+        drop(store);
+        let mut reopened = EstimateStore::open(&path).unwrap();
+        assert_eq!(reopened.stats().loaded, 10);
+        assert_eq!(reopened.stats().recovered_tail_bytes, 0);
+        let fresh = EstimateCache::new();
+        assert_eq!(reopened.load_into(&fresh), 10);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_into_skips_resident_keys() {
+        let path = temp_path("resident");
+        let _ = std::fs::remove_file(&path);
+        let cache = EstimateCache::new();
+        cache.get_or_insert_with(&[1], || Ok(est(1))).unwrap();
+        {
+            let mut store = EstimateStore::open(&path).unwrap();
+            store.persist_from(&cache).unwrap();
+        }
+        let target = EstimateCache::new();
+        target.get_or_insert_with(&[1], || Ok(est(1))).unwrap();
+        let mut store = EstimateStore::open(&path).unwrap();
+        assert_eq!(store.load_into(&target), 0, "key already resident");
+        // A computed (non-preloaded) entry does not count store hits.
+        target.get_or_insert_with(&[1], || Ok(est(1))).unwrap();
+        assert_eq!(target.store_hits(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

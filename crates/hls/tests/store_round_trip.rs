@@ -1,0 +1,127 @@
+//! Round-trip property tests for the persistent estimate store: random
+//! estimate records keyed by canonical `DesignPoint` encodings must
+//! survive a persist → reopen → load cycle byte-for-byte.
+
+use codesign_dnn::bundle::{bundle_by_id, BundleId};
+use codesign_dnn::quant::Activation;
+use codesign_dnn::space::{DesignPoint, CHANNEL_EXPANSION_FACTORS};
+use codesign_hls::cache::EstimateCache;
+use codesign_hls::model::Estimate;
+use codesign_hls::store::EstimateStore;
+use codesign_sim::report::ResourceUsage;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn temp_path(tag: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("codesign_hls_store_prop");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "case_{tag}_{}_{:?}.log",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Estimates keyed by canonical DesignPoint keys survive
+    /// persist → reopen → load with bit-identical values, and every
+    /// subsequent lookup is a store-attributed hit.
+    #[test]
+    fn prop_design_point_records_round_trip(
+        bundle_id in 1usize..=18,
+        reps in 1usize..=4,
+        pf in 1usize..=8,
+        expansion_idx in 0usize..4,
+        activation_idx in 0usize..3,
+        latency in 1u64..u64::MAX / 2,
+        dsp in 0u64..1_000_000,
+        lut in 0u64..10_000_000,
+        case_tag in 0u64..u64::MAX,
+    ) {
+        let bundle = bundle_by_id(BundleId(bundle_id)).unwrap();
+        let mut point = DesignPoint::initial(bundle, reps);
+        point.parallel_factor = pf;
+        point.activation = Activation::ALL[activation_idx];
+        for slot in point.expansion.iter_mut() {
+            *slot = CHANNEL_EXPANSION_FACTORS[expansion_idx];
+        }
+        let key = point.canonical_key();
+        let est = Estimate {
+            latency_cycles: latency,
+            resources: ResourceUsage { dsp, lut, ff: lut / 2, bram_18k: dsp / 4 },
+        };
+
+        let path = temp_path(case_tag);
+        let _ = std::fs::remove_file(&path);
+
+        let cold = EstimateCache::new();
+        cold.get_or_insert_with(&key, || Ok(est)).unwrap();
+        {
+            let mut store = EstimateStore::open(&path).unwrap();
+            prop_assert_eq!(store.persist_from(&cold).unwrap(), 1);
+        }
+
+        let warm = EstimateCache::new();
+        let mut store = EstimateStore::open(&path).unwrap();
+        prop_assert_eq!(store.stats().loaded, 1);
+        prop_assert_eq!(store.load_into(&warm), 1);
+        let reloaded = warm
+            .get_or_insert_with(&key, || panic!("store must serve this key"))
+            .unwrap();
+        prop_assert_eq!(reloaded, est);
+        prop_assert_eq!(warm.store_hits(), 1);
+
+        // A *different* point must not alias the stored key.
+        let other = point.with_replication_delta(1);
+        if other.canonical_key() != key {
+            let mut computed = false;
+            let _ = warm.get_or_insert_with(&other.canonical_key(), || {
+                computed = true;
+                Ok(est)
+            });
+            prop_assert!(computed, "distinct point must miss the store");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Many records per log: persist a whole cache, reload, and the
+    /// snapshot of the warm cache equals the snapshot of the cold one.
+    #[test]
+    fn prop_multi_record_log_preserves_snapshot(
+        n in 1usize..40,
+        seed in 0u64..u64::MAX / 2,
+        case_tag in 0u64..u64::MAX,
+    ) {
+        let cold = EstimateCache::new();
+        let mut state = seed | 1;
+        for i in 0..n {
+            // Cheap deterministic pseudo-random key/value material.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key: Vec<u8> = state.to_le_bytes().iter().copied().chain([i as u8]).collect();
+            let est = Estimate {
+                latency_cycles: state >> 8,
+                resources: ResourceUsage {
+                    dsp: state % 4096,
+                    lut: state % 100_000,
+                    ff: state % 200_000,
+                    bram_18k: state % 280,
+                },
+            };
+            cold.get_or_insert_with(&key, || Ok(est)).unwrap();
+        }
+
+        let path = temp_path(case_tag ^ 0x5eed);
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = EstimateStore::open(&path).unwrap();
+            prop_assert_eq!(store.persist_from(&cold).unwrap(), cold.len());
+        }
+        let warm = EstimateCache::new();
+        let mut store = EstimateStore::open(&path).unwrap();
+        store.load_into(&warm);
+        prop_assert_eq!(warm.snapshot_ok(), cold.snapshot_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -21,15 +21,18 @@ use crate::metrics::Metrics;
 use codesign_core::flow::{CoDesignFlow, FlowConfig, FlowError};
 use codesign_core::observe::{CancelToken, FlowEvent};
 use codesign_hls::cache::EstimateCache;
+use codesign_hls::store::EstimateStore;
+use codesign_store::LogError;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Scheduler knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Maximum number of *queued* (admitted, not yet running) jobs.
     /// Submissions beyond this bound are rejected with
@@ -38,6 +41,18 @@ pub struct ServeConfig {
     /// Number of executor threads. `0` admits jobs without ever running
     /// them — useful for deterministic admission/cancellation tests.
     pub executors: usize,
+    /// Maximum number of *finished* (completed / failed / cancelled)
+    /// jobs retained for status and result queries. Beyond the bound
+    /// the oldest finished job is evicted, and looking it up reports
+    /// [`JobLookup::Expired`]. Bounds the scheduler's memory on a
+    /// long-lived server — before this knob every job ever submitted
+    /// was kept forever.
+    pub max_finished: usize,
+    /// Optional path of a persistent [`EstimateStore`] log. When set,
+    /// the shared estimate cache is warm-started from the log at
+    /// startup and new estimates are appended after each completed job,
+    /// so a restarted server keeps its priced design points.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -45,6 +60,8 @@ impl Default for ServeConfig {
         Self {
             max_queue: 16,
             executors: 2,
+            max_finished: 64,
+            store: None,
         }
     }
 }
@@ -247,9 +264,28 @@ pub enum CancelOutcome {
     AlreadyFinished(JobPhase),
 }
 
+/// Outcome of [`Scheduler::lookup`]: distinguishes a job that was
+/// evicted from the bounded finished-job registry from an id that was
+/// never issued, so the HTTP layer can report "expired" rather than a
+/// bare "no such job".
+#[derive(Debug, Clone)]
+pub enum JobLookup {
+    /// The job is still tracked (any phase).
+    Found(Arc<Job>),
+    /// The id was issued, but the finished job has since been evicted
+    /// under [`ServeConfig::max_finished`].
+    Expired,
+    /// The id was never issued by this scheduler.
+    Unknown,
+}
+
 struct Inner {
     queue: VecDeque<Arc<Job>>,
     jobs: HashMap<u64, Arc<Job>>,
+    /// Terminal job ids in finish order — the eviction queue. Its
+    /// length (and hence the number of terminal jobs held in `jobs`)
+    /// never exceeds `max_finished`.
+    finished: VecDeque<u64>,
     next_id: u64,
     shutdown: bool,
 }
@@ -259,7 +295,34 @@ struct Shared {
     queue_cv: Condvar,
     metrics: Metrics,
     cache: Arc<EstimateCache>,
+    /// Persistent estimate log; `None` when running purely in memory.
+    store: Option<Mutex<EstimateStore>>,
     max_queue: usize,
+    max_finished: usize,
+}
+
+impl Shared {
+    /// Registers a job that just reached a terminal phase and evicts
+    /// the oldest finished jobs beyond the retention bound.
+    fn note_terminal(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("scheduler lock");
+        inner.finished.push_back(id);
+        while inner.finished.len() > self.max_finished {
+            if let Some(oldest) = inner.finished.pop_front() {
+                inner.jobs.remove(&oldest);
+            }
+        }
+    }
+
+    /// Appends any new `Ok` cache entries to the persistent store.
+    /// Persistence failures are recorded nowhere and never fail the
+    /// job — the store is an accelerator, not a source of truth.
+    fn persist_estimates(&self) {
+        if let Some(store) = &self.store {
+            let mut store = store.lock().expect("store lock");
+            let _ = store.persist_from(&self.cache);
+        }
+    }
 }
 
 /// The job scheduler: bounded admission queue + executor pool + job
@@ -274,18 +337,49 @@ impl Scheduler {
     /// process-wide shared estimate cache (cached estimates are
     /// bit-identical to recomputed ones, so sharing across jobs never
     /// changes results).
+    ///
+    /// # Panics
+    ///
+    /// When `config.store` is set and the log cannot be opened; use
+    /// [`try_new`](Self::try_new) to handle that case.
     pub fn new(config: ServeConfig) -> Self {
+        Self::try_new(config).expect("open estimate store")
+    }
+
+    /// Like [`new`](Self::new), but surfaces estimate-store open
+    /// failures instead of panicking. When `config.store` is set, the
+    /// log is opened (recovering any torn tail) and every persisted
+    /// estimate is preloaded into the shared cache before the first
+    /// job runs.
+    ///
+    /// # Errors
+    ///
+    /// A [`LogError`] when the store path exists but is not a readable
+    /// estimate-store log, or on I/O failure opening it.
+    pub fn try_new(config: ServeConfig) -> Result<Self, LogError> {
+        let cache = Arc::new(EstimateCache::new());
+        let store = match &config.store {
+            Some(path) => {
+                let mut store = EstimateStore::open(path)?;
+                store.load_into(&cache);
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
+                finished: VecDeque::new(),
                 next_id: 1,
                 shutdown: false,
             }),
             queue_cv: Condvar::new(),
             metrics: Metrics::default(),
-            cache: Arc::new(EstimateCache::new()),
+            cache,
+            store,
             max_queue: config.max_queue,
+            max_finished: config.max_finished,
         });
         let executors = (0..config.executors)
             .map(|i| {
@@ -296,10 +390,10 @@ impl Scheduler {
                     .expect("spawn executor")
             })
             .collect();
-        Self {
+        Ok(Self {
             shared,
             executors: Mutex::new(executors),
-        }
+        })
     }
 
     /// Server-wide counters.
@@ -357,7 +451,9 @@ impl Scheduler {
         Ok(job)
     }
 
-    /// Looks up a job by id.
+    /// Looks up a job by id. Returns `None` both for ids never issued
+    /// and for finished jobs already evicted; use
+    /// [`lookup`](Self::lookup) to tell the two apart.
     pub fn get(&self, id: u64) -> Option<Arc<Job>> {
         self.shared
             .inner
@@ -366,6 +462,47 @@ impl Scheduler {
             .jobs
             .get(&id)
             .cloned()
+    }
+
+    /// Looks up a job by id, distinguishing evicted (expired) jobs from
+    /// ids that were never issued. Ids are dense from 1, so an absent
+    /// id below `next_id` must have been evicted.
+    pub fn lookup(&self, id: u64) -> JobLookup {
+        let inner = self.shared.inner.lock().expect("scheduler lock");
+        match inner.jobs.get(&id) {
+            Some(job) => JobLookup::Found(Arc::clone(job)),
+            None if id >= 1 && id < inner.next_id => JobLookup::Expired,
+            None => JobLookup::Unknown,
+        }
+    }
+
+    /// Number of jobs currently held in the registry (queued, running,
+    /// and retained finished jobs). Bounded by queue depth + executors
+    /// + [`ServeConfig::max_finished`].
+    pub fn tracked_jobs(&self) -> usize {
+        self.shared.inner.lock().expect("scheduler lock").jobs.len()
+    }
+
+    /// The `/metrics` section describing the persistent estimate store,
+    /// or `None` when the scheduler runs purely in memory.
+    pub fn store_json(&self) -> Option<Json> {
+        let store = self.shared.store.as_ref()?;
+        let store = store.lock().expect("store lock");
+        let stats = store.stats();
+        Some(Json::Obj(vec![
+            ("path".into(), Json::str(store.path().display().to_string())),
+            ("entries".into(), Json::num(store.len() as f64)),
+            ("loaded".into(), Json::num(stats.loaded as f64)),
+            ("persisted".into(), Json::num(stats.persisted as f64)),
+            (
+                "recovered_tail_bytes".into(),
+                Json::num(stats.recovered_tail_bytes as f64),
+            ),
+            (
+                "store_hits".into(),
+                Json::num(self.shared.cache.store_hits() as f64),
+            ),
+        ]))
     }
 
     /// Cancels a job. Queued jobs leave the queue immediately (their
@@ -402,6 +539,7 @@ impl Scheduler {
             .fetch_add(1, Ordering::Relaxed);
         job.push_line(terminal_line(job.id, "cancelled", None));
         job.finish(JobPhase::Cancelled, None, None);
+        self.shared.note_terminal(job.id);
     }
 
     /// Stops the scheduler: cancels every non-terminal job, wakes the
@@ -484,6 +622,10 @@ fn run_executor(shared: &Shared) {
                 shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.record_latency(elapsed_ms);
                 job.finish(JobPhase::Completed, Some(flow_result_body(&out)), None);
+                // Spill the estimates this job added, after the client
+                // can already see it terminal — disk I/O must not delay
+                // result availability.
+                shared.persist_estimates();
             }
             Err(FlowError::Cancelled) => {
                 shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -497,6 +639,7 @@ fn run_executor(shared: &Shared) {
                 job.finish(JobPhase::Failed, None, Some(text));
             }
         }
+        shared.note_terminal(job.id);
     }
 }
 
@@ -520,6 +663,7 @@ mod tests {
         let scheduler = Scheduler::new(ServeConfig {
             max_queue: 3,
             executors: 0,
+            ..ServeConfig::default()
         });
         for _ in 0..3 {
             scheduler.submit(small_config()).unwrap();
@@ -539,6 +683,7 @@ mod tests {
         let scheduler = Scheduler::new(ServeConfig {
             max_queue: 1,
             executors: 0,
+            ..ServeConfig::default()
         });
         let first = scheduler.submit(small_config()).unwrap();
         assert!(matches!(
@@ -562,6 +707,7 @@ mod tests {
         let scheduler = Scheduler::new(ServeConfig {
             max_queue: 4,
             executors: 1,
+            ..ServeConfig::default()
         });
         let job = scheduler.submit(small_config()).unwrap();
         assert_eq!(
@@ -591,6 +737,7 @@ mod tests {
         let scheduler = Scheduler::new(ServeConfig {
             max_queue: 4,
             executors: 1,
+            ..ServeConfig::default()
         });
         let mut config = FlowConfig::for_device(pynq_z1());
         config.targets_fps.clear();
@@ -614,6 +761,7 @@ mod tests {
         let scheduler = Scheduler::new(ServeConfig {
             max_queue: 4,
             executors: 0,
+            ..ServeConfig::default()
         });
         let job = scheduler.submit(small_config()).unwrap();
         scheduler.shutdown();
@@ -625,10 +773,118 @@ mod tests {
     }
 
     #[test]
+    fn finished_job_retention_stays_bounded_under_load() {
+        const MAX_FINISHED: usize = 8;
+        const TOTAL: u64 = 2_000;
+        let scheduler = Scheduler::new(ServeConfig {
+            max_queue: 1,
+            executors: 0,
+            max_finished: MAX_FINISHED,
+            ..ServeConfig::default()
+        });
+        // Thousands of submit+finish cycles. Before bounded retention
+        // the jobs map grew by one Arc<Job> per cycle, forever.
+        for n in 1..=TOTAL {
+            let job = scheduler.submit(small_config()).unwrap();
+            assert_eq!(job.id, n, "ids are dense from 1");
+            assert_eq!(
+                scheduler.cancel(job.id),
+                Some(CancelOutcome::DequeuedAndCancelled)
+            );
+            assert!(
+                scheduler.tracked_jobs() <= MAX_FINISHED + 1,
+                "registry grew past the retention bound at job {n}: {}",
+                scheduler.tracked_jobs()
+            );
+        }
+        assert_eq!(scheduler.tracked_jobs(), MAX_FINISHED);
+
+        // The newest MAX_FINISHED jobs are still queryable...
+        for id in (TOTAL - MAX_FINISHED as u64 + 1)..=TOTAL {
+            match scheduler.lookup(id) {
+                JobLookup::Found(job) => assert_eq!(job.phase(), JobPhase::Cancelled),
+                other => panic!("job {id} should be retained, got {other:?}"),
+            }
+        }
+        // ...older issued ids are expired, distinct from never-issued.
+        assert!(matches!(scheduler.lookup(1), JobLookup::Expired));
+        assert!(matches!(
+            scheduler.lookup(TOTAL - MAX_FINISHED as u64),
+            JobLookup::Expired
+        ));
+        assert!(matches!(scheduler.lookup(0), JobLookup::Unknown));
+        assert!(matches!(scheduler.lookup(TOTAL + 1), JobLookup::Unknown));
+    }
+
+    #[test]
+    fn scheduler_warm_starts_from_a_store() {
+        let dir = std::env::temp_dir().join("codesign_serve_store_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "warm_{}_{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let config = ServeConfig {
+            max_queue: 4,
+            executors: 1,
+            store: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        // Cold run: completes a job and persists its estimates.
+        let cold_body = {
+            let scheduler = Scheduler::new(config.clone());
+            let job = scheduler.submit(small_config()).unwrap();
+            assert_eq!(
+                job.wait_terminal_for(Duration::from_secs(120)),
+                Some(JobPhase::Completed)
+            );
+            // Persistence happens after the job turns terminal (so
+            // clients never wait on disk I/O) — poll for it.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                let store = scheduler.store_json().unwrap();
+                if store.get("persisted").unwrap().as_uint().unwrap() > 0 {
+                    assert_eq!(store.get("loaded").unwrap().as_uint(), Some(0));
+                    break;
+                }
+                assert!(Instant::now() < deadline, "estimates never persisted");
+                thread::sleep(Duration::from_millis(10));
+            }
+            job.result_body().unwrap()
+        };
+
+        // Warm run in a "restarted server": estimates load from disk,
+        // lookups hit the store, and the result is byte-identical.
+        let scheduler = Scheduler::new(config);
+        let store = scheduler.store_json().unwrap();
+        assert!(store.get("loaded").unwrap().as_uint().unwrap() > 0);
+        let job = scheduler.submit(small_config()).unwrap();
+        assert_eq!(
+            job.wait_terminal_for(Duration::from_secs(120)),
+            Some(JobPhase::Completed)
+        );
+        assert_eq!(
+            job.result_body().unwrap(),
+            cold_body,
+            "warm-started result must be byte-identical to the cold run"
+        );
+        let store = scheduler.store_json().unwrap();
+        assert!(
+            store.get("store_hits").unwrap().as_uint().unwrap() > 0,
+            "warm run must hit preloaded estimates"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn status_json_reflects_the_lifecycle() {
         let scheduler = Scheduler::new(ServeConfig {
             max_queue: 4,
             executors: 0,
+            ..ServeConfig::default()
         });
         let job = scheduler.submit(small_config()).unwrap();
         let doc = job.status_json();

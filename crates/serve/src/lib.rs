@@ -58,5 +58,5 @@ pub mod request;
 pub mod server;
 
 pub use client::Client;
-pub use job::{CancelOutcome, Job, JobPhase, Scheduler, ServeConfig, SubmitError};
+pub use job::{CancelOutcome, Job, JobLookup, JobPhase, Scheduler, ServeConfig, SubmitError};
 pub use server::Server;

@@ -5,6 +5,38 @@ use codesign_hls::cache::EstimateCache;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// How many of the most recent latency samples are retained for
+/// percentile queries. Older samples are overwritten in place, so the
+/// metrics footprint stays constant no matter how many jobs complete.
+pub const LATENCY_WINDOW: usize = 512;
+
+/// Fixed-capacity ring over the most recent latency samples.
+///
+/// `record_latency` used to push into an unbounded `Vec`, which grew
+/// forever on a long-lived server. The ring keeps the last
+/// [`LATENCY_WINDOW`] samples for percentiles and a monotone `total`
+/// for the `count` field.
+#[derive(Debug, Default)]
+struct LatencyReservoir {
+    samples: Vec<f64>,
+    /// Next slot to overwrite once `samples` is at capacity.
+    next: usize,
+    /// Lifetime number of recorded samples (monotone).
+    total: u64,
+}
+
+impl LatencyReservoir {
+    fn record(&mut self, ms: f64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(ms);
+        } else {
+            self.samples[self.next] = ms;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+        self.total += 1;
+    }
+}
+
 /// Counters of the job server. All monotonically increasing except
 /// `jobs_in_flight`, which tracks currently executing jobs.
 #[derive(Debug, Default)]
@@ -21,37 +53,49 @@ pub struct Metrics {
     pub rejected: AtomicU64,
     /// Jobs currently executing on a worker.
     pub jobs_in_flight: AtomicU64,
-    /// End-to-end (submit → finish) latencies of completed jobs, ms.
-    latencies_ms: Mutex<Vec<f64>>,
+    /// End-to-end (submit → finish) latencies of completed jobs, ms —
+    /// the most recent [`LATENCY_WINDOW`] of them.
+    latencies_ms: Mutex<LatencyReservoir>,
 }
 
 impl Metrics {
-    /// Records one completed job's end-to-end latency.
+    /// Records one completed job's end-to-end latency. Memory use is
+    /// bounded: only the last [`LATENCY_WINDOW`] samples are retained.
     pub fn record_latency(&self, ms: f64) {
-        self.latencies_ms.lock().expect("latency lock").push(ms);
+        self.latencies_ms.lock().expect("latency lock").record(ms);
     }
 
     /// The `p`-th percentile (0-100, nearest-rank on a sorted copy) of
-    /// completed-job latency; `None` before the first completion.
+    /// completed-job latency over the retained window; `None` before
+    /// the first completion.
     pub fn latency_percentile(&self, p: f64) -> Option<f64> {
-        let latencies = self.latencies_ms.lock().expect("latency lock");
-        percentile(&latencies, p)
+        let reservoir = self.latencies_ms.lock().expect("latency lock");
+        percentile(&reservoir.samples, p)
     }
 
-    /// Number of recorded latencies.
-    pub fn latency_count(&self) -> usize {
-        self.latencies_ms.lock().expect("latency lock").len()
+    /// Lifetime number of recorded latencies (monotone — not capped at
+    /// the retention window).
+    pub fn latency_count(&self) -> u64 {
+        self.latencies_ms.lock().expect("latency lock").total
     }
 
     /// Encodes the `/metrics` document. `queue_depth` comes from the
-    /// scheduler; the estimate cache is the process-wide shared one.
-    pub fn to_json(&self, queue_depth: usize, max_queue: usize, cache: &EstimateCache) -> Json {
+    /// scheduler; the estimate cache is the process-wide shared one;
+    /// `store` is the persistent-store section (present only when the
+    /// scheduler was started with a `--store` path).
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        max_queue: usize,
+        cache: &EstimateCache,
+        store: Option<Json>,
+    ) -> Json {
         let stats = cache.stats();
         let latency = |p: f64| match self.latency_percentile(p) {
             Some(ms) => Json::num(ms),
             None => Json::Null,
         };
-        Json::Obj(vec![
+        let mut fields = vec![
             ("queue_depth".into(), Json::num(queue_depth as f64)),
             ("max_queue".into(), Json::num(max_queue as f64)),
             (
@@ -95,7 +139,11 @@ impl Metrics {
                     ("hit_rate".into(), Json::num(stats.hit_rate())),
                 ]),
             ),
-        ])
+        ];
+        if let Some(store) = store {
+            fields.push(("estimate_store".into(), store));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -134,7 +182,7 @@ mod tests {
         metrics.record_latency(20.0);
         metrics.record_latency(30.0);
         let cache = EstimateCache::new();
-        let doc = metrics.to_json(1, 8, &cache);
+        let doc = metrics.to_json(1, 8, &cache, None);
         assert_eq!(doc.get("queue_depth").unwrap().as_uint(), Some(1));
         assert_eq!(doc.get("max_queue").unwrap().as_uint(), Some(8));
         assert_eq!(doc.get("submitted").unwrap().as_uint(), Some(3));
@@ -142,5 +190,27 @@ mod tests {
         assert_eq!(lat.get("count").unwrap().as_uint(), Some(3));
         assert_eq!(lat.get("p50").unwrap().as_num(), Some(20.0));
         assert_eq!(lat.get("p99").unwrap().as_num(), Some(30.0));
+        assert!(
+            doc.get("estimate_store").is_none(),
+            "store section only appears when a store is configured"
+        );
+    }
+
+    #[test]
+    fn latency_window_is_bounded_but_count_is_monotone() {
+        let metrics = Metrics::default();
+        // Far more samples than the window holds. The early (large)
+        // samples must be overwritten by the later (small) ones.
+        for n in 0..(LATENCY_WINDOW as u64 * 4) {
+            metrics.record_latency(1e6 - n as f64);
+        }
+        assert_eq!(metrics.latency_count(), LATENCY_WINDOW as u64 * 4);
+        let retained = metrics.latencies_ms.lock().unwrap().samples.len();
+        assert_eq!(retained, LATENCY_WINDOW, "ring never outgrows the window");
+        let p100 = metrics.latency_percentile(100.0).unwrap();
+        assert!(
+            p100 < 1e6 - (LATENCY_WINDOW as f64),
+            "oldest samples must have been evicted (max retained = {p100})"
+        );
     }
 }

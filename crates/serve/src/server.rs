@@ -8,7 +8,7 @@
 //! | Method | Path                  | Response |
 //! |--------|-----------------------|----------|
 //! | POST   | `/jobs`               | `202 {"job_id":N,"status":"queued"}`, `400` on bad request, `429` when the queue is full |
-//! | GET    | `/jobs/<id>`          | `200` status document |
+//! | GET    | `/jobs/<id>`          | `200` status document; `404` for unknown ids, with a distinct "expired" error for finished jobs evicted under the retention bound |
 //! | GET    | `/jobs/<id>/events`   | `200` chunked NDJSON progress stream, one event per line, ends when the job finishes |
 //! | POST   | `/jobs/<id>/cancel`   | `200 {"job_id":N,"cancel":"..."}` |
 //! | GET    | `/jobs/<id>/result`   | `200` result body, `409` until completed |
@@ -18,7 +18,7 @@
 //! Every error body is `{"error":"<message>"}`.
 
 use crate::http::{read_request, write_json_response, ChunkedWriter, Request};
-use crate::job::{CancelOutcome, Scheduler, ServeConfig, SubmitError};
+use crate::job::{CancelOutcome, JobLookup, Scheduler, ServeConfig, SubmitError};
 use crate::json::Json;
 use crate::request::flow_config_from_body;
 use std::io;
@@ -56,11 +56,14 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
+    /// Propagates bind errors; estimate-store open failures (when
+    /// [`ServeConfig::store`] is set) surface as `InvalidData`.
     pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let scheduler = Arc::new(Scheduler::new(config));
+        let scheduler = Scheduler::try_new(config)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        let scheduler = Arc::new(scheduler);
         let stopping = Arc::new(AtomicBool::new(false));
         let accept_thread = {
             let scheduler = Arc::clone(&scheduler);
@@ -189,6 +192,7 @@ fn route(stream: &mut TcpStream, request: &Request, scheduler: &Scheduler) -> io
                     scheduler.queue_depth(),
                     scheduler.max_queue(),
                     scheduler.cache(),
+                    scheduler.store_json(),
                 )
                 .encode();
             write_json_response(stream, 200, &body)
@@ -247,8 +251,18 @@ fn with_job(
     let Ok(id) = id.parse::<u64>() else {
         return write_json_response(stream, 400, &error_body("job id must be an integer"));
     };
-    match scheduler.get(id) {
-        Some(job) => then(stream, scheduler, &job),
-        None => write_json_response(stream, 404, &error_body(&format!("no job {id}"))),
+    match scheduler.lookup(id) {
+        JobLookup::Found(job) => then(stream, scheduler, &job),
+        JobLookup::Expired => write_json_response(
+            stream,
+            404,
+            &error_body(&format!(
+                "job {id} expired: finished jobs are retained up to the \
+                 configured bound, and this one has been evicted"
+            )),
+        ),
+        JobLookup::Unknown => {
+            write_json_response(stream, 404, &error_body(&format!("no job {id}")))
+        }
     }
 }

@@ -36,6 +36,7 @@ fn concurrent_jobs_are_byte_identical_to_direct_runs() {
     let mut server = Server::start(ServeConfig {
         max_queue: 8,
         executors: 2,
+        ..ServeConfig::default()
     })
     .expect("start server");
     let addr = server.addr();
@@ -72,6 +73,7 @@ fn event_stream_is_ordered_ndjson() {
     let mut server = Server::start(ServeConfig {
         max_queue: 4,
         executors: 1,
+        ..ServeConfig::default()
     })
     .expect("start server");
     let client = Client::new(server.addr());
@@ -97,6 +99,7 @@ fn full_queue_rejects_with_429_and_cancel_frees_the_slot() {
     let mut server = Server::start(ServeConfig {
         max_queue: 1,
         executors: 0,
+        ..ServeConfig::default()
     })
     .expect("start server");
     let client = Client::new(server.addr());
@@ -136,6 +139,7 @@ fn metrics_report_counters_latency_and_cache() {
     let mut server = Server::start(ServeConfig {
         max_queue: 4,
         executors: 1,
+        ..ServeConfig::default()
     })
     .expect("start server");
     let client = Client::new(server.addr());
@@ -158,10 +162,48 @@ fn metrics_report_counters_latency_and_cache() {
 }
 
 #[test]
+fn evicted_jobs_return_a_distinct_expired_404() {
+    let mut server = Server::start(ServeConfig {
+        max_queue: 1,
+        executors: 0,
+        max_finished: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let client = Client::new(server.addr());
+
+    // Finish (via cancel) more jobs than the retention bound holds.
+    let mut ids = Vec::new();
+    for seed in 0..5u64 {
+        let (status, doc) = client.submit(&small_body(seed)).expect("submit");
+        assert_eq!(status, 202);
+        let id = doc.get("job_id").unwrap().as_uint().unwrap();
+        let (status, _) = client.cancel(id).expect("cancel");
+        assert_eq!(status, 200);
+        ids.push(id);
+    }
+
+    // The two newest finished jobs are still queryable.
+    for id in &ids[3..] {
+        let (status, body) = client.get(&format!("/jobs/{id}")).expect("status");
+        assert_eq!(status, 200, "{body}");
+    }
+    // Older ones are gone, with an error distinct from never-issued.
+    let (status, body) = client.get(&format!("/jobs/{}", ids[0])).expect("status");
+    assert_eq!(status, 404);
+    assert!(body.contains("expired"), "{body}");
+    let (status, body) = client.get("/jobs/999").expect("status");
+    assert_eq!(status, 404);
+    assert!(!body.contains("expired"), "{body}");
+    server.shutdown();
+}
+
+#[test]
 fn client_errors_get_client_status_codes() {
     let mut server = Server::start(ServeConfig {
         max_queue: 4,
         executors: 0,
+        ..ServeConfig::default()
     })
     .expect("start server");
     let client = Client::new(server.addr());

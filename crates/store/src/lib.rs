@@ -1,0 +1,55 @@
+//! Persistence primitives: a compact binary codec and a crash-safe
+//! append-only record log.
+//!
+//! The workspace's offline `serde` shim is a no-op (the container has no
+//! registry access), so everything that must survive the process — the
+//! sharded analytic-estimate cache, co-design flow checkpoints — is
+//! serialized through this crate's hand-rolled codec instead:
+//!
+//! * [`codec`] — little-endian fixed-width and LEB128 varint primitives
+//!   over byte buffers, with typed decode errors. No data model, no
+//!   reflection: callers write explicit `encode`/`decode` pairs, which
+//!   keeps the wire format auditable and byte-stable across PRs.
+//! * [`log`] — [`RecordLog`], an append-only file of
+//!   checksummed records behind a versioned header. A crash mid-append
+//!   loses at most the record being written: on re-open the log scans
+//!   from the start, keeps every record whose length frame and FNV-1a
+//!   checksum validate, and truncates the torn tail.
+//!
+//! Domain encodings (estimate records, checkpoint stages) live next to
+//! their types in `codesign-hls` and `codesign-core`; this crate stays
+//! std-only and dependency-free so any crate in the workspace can
+//! persist without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod log;
+
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use log::{LogError, RecordLog, StreamKind};
+
+/// FNV-1a over `bytes` — the checksum used for log records and the
+/// fingerprint hash used by flow checkpoints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

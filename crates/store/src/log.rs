@@ -1,0 +1,438 @@
+//! A crash-safe append-only log of checksummed records.
+//!
+//! # File format
+//!
+//! ```text
+//! header:  magic "CDSLOG01" (8) | version u32 LE | kind u32 LE
+//! record:  payload_len u32 LE | fnv1a(payload) u64 LE | payload bytes
+//! record:  ...
+//! ```
+//!
+//! Records are appended and never rewritten, so the only corruption a
+//! crash can produce is a *torn tail*: the last record's frame or
+//! payload only partially on disk. [`RecordLog::open`] therefore scans
+//! the file front to back, keeps every record whose length frame fits
+//! and whose FNV-1a checksum matches, and truncates the file at the
+//! first invalid byte — a crash mid-append loses at most the record
+//! that was being written, never an earlier one.
+//!
+//! The header's [`StreamKind`] tags what the records mean (estimate
+//! store vs flow checkpoint), so pointing one subsystem at the other's
+//! file is a typed [`LogError::WrongKind`] instead of garbage decodes.
+
+use crate::fnv1a;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every log file.
+pub const MAGIC: [u8; 8] = *b"CDSLOG01";
+
+/// Current format version written to new files.
+pub const VERSION: u32 = 1;
+
+const HEADER_LEN: u64 = 16;
+const FRAME_LEN: u64 = 12;
+
+/// What a log's records contain. Stored in the header; checked on open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StreamKind {
+    /// Analytic-estimate records of `codesign_hls::store`.
+    EstimateStore,
+    /// Flow stage checkpoints of `codesign_core::checkpoint`.
+    FlowCheckpoint,
+}
+
+impl StreamKind {
+    fn to_u32(self) -> u32 {
+        match self {
+            StreamKind::EstimateStore => 1,
+            StreamKind::FlowCheckpoint => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            1 => Some(StreamKind::EstimateStore),
+            2 => Some(StreamKind::FlowCheckpoint),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StreamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamKind::EstimateStore => write!(f, "estimate-store"),
+            StreamKind::FlowCheckpoint => write!(f, "flow-checkpoint"),
+        }
+    }
+}
+
+/// Failure to open or append to a log.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LogError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The file exists but does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file holds a different record stream than requested.
+    WrongKind {
+        /// Kind requested by the caller.
+        expected: StreamKind,
+        /// Kind tag found in the header (raw, may be unknown).
+        found: u32,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log io error: {e}"),
+            LogError::BadMagic => write!(f, "not a codesign record log (bad magic)"),
+            LogError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "log format version {found} not supported (max {VERSION})"
+                )
+            }
+            LogError::WrongKind { expected, found } => {
+                write!(f, "log holds stream kind {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// What [`RecordLog::open`] found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Records that validated and were kept.
+    pub records: usize,
+    /// Bytes of torn tail that were truncated away (0 after a clean
+    /// shutdown).
+    pub truncated_bytes: u64,
+}
+
+/// An append-only log open for reading and appending.
+#[derive(Debug)]
+pub struct RecordLog {
+    file: File,
+    path: PathBuf,
+    /// Byte offset appends go to (end of last valid record).
+    end: u64,
+}
+
+impl RecordLog {
+    /// Opens (creating if absent) the log at `path` for `kind`,
+    /// returning the log, every intact record, and a [`Recovery`]
+    /// report. A torn tail from a crashed append is truncated; all
+    /// records before it load normally.
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::BadMagic`] / [`UnsupportedVersion`](LogError::UnsupportedVersion)
+    /// / [`WrongKind`](LogError::WrongKind) for a file that is not this
+    /// stream, and I/O failures.
+    pub fn open(path: &Path, kind: StreamKind) -> Result<(Self, Vec<Vec<u8>>, Recovery), LogError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len == 0 {
+            // Fresh file: write the header.
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(&MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            header.extend_from_slice(&kind.to_u32().to_le_bytes());
+            file.write_all(&header)?;
+            file.flush()?;
+            return Ok((
+                Self {
+                    file,
+                    path: path.to_path_buf(),
+                    end: HEADER_LEN,
+                },
+                Vec::new(),
+                Recovery::default(),
+            ));
+        }
+
+        let mut bytes = Vec::with_capacity(file_len as usize);
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_LEN as usize || bytes[..8] != MAGIC {
+            return Err(LogError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4"));
+        if version > VERSION {
+            return Err(LogError::UnsupportedVersion { found: version });
+        }
+        let found_kind = u32::from_le_bytes(bytes[12..16].try_into().expect("4"));
+        if StreamKind::from_u32(found_kind) != Some(kind) {
+            return Err(LogError::WrongKind {
+                expected: kind,
+                found: found_kind,
+            });
+        }
+
+        let mut records = Vec::new();
+        let mut offset = HEADER_LEN as usize;
+        loop {
+            let rest = &bytes[offset..];
+            if rest.len() < FRAME_LEN as usize {
+                break; // torn frame (or clean EOF when empty)
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
+            let checksum = u64::from_le_bytes(rest[4..12].try_into().expect("8"));
+            let Some(payload) = rest.get(FRAME_LEN as usize..FRAME_LEN as usize + len) else {
+                break; // torn payload
+            };
+            if fnv1a(payload) != checksum {
+                break; // torn or corrupt: stop before it
+            }
+            records.push(payload.to_vec());
+            offset += FRAME_LEN as usize + len;
+        }
+        let truncated_bytes = file_len - offset as u64;
+        if truncated_bytes > 0 {
+            file.set_len(offset as u64)?;
+        }
+        file.seek(SeekFrom::Start(offset as u64))?;
+        let recovery = Recovery {
+            records: records.len(),
+            truncated_bytes,
+        };
+        Ok((
+            Self {
+                file,
+                path: path.to_path_buf(),
+                end: offset as u64,
+            },
+            records,
+            recovery,
+        ))
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; the log position is unchanged on
+    /// error, so a failed append can be retried or abandoned without
+    /// corrupting earlier records.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(FRAME_LEN as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.end += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Forces written records to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `sync_data` failures.
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// The file this log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current end-of-log offset in bytes (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("codesign_store_log_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let unique = format!(
+            "{name}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        );
+        dir.join(unique)
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fresh_log_round_trips_records() {
+        let path = temp_path("fresh");
+        cleanup(&path);
+        {
+            let (mut log, records, recovery) =
+                RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+            assert!(records.is_empty());
+            assert_eq!(recovery, Recovery::default());
+            log.append(b"alpha").unwrap();
+            log.append(b"").unwrap();
+            log.append(&[0xffu8; 300]).unwrap();
+        }
+        let (_log, records, recovery) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        assert_eq!(
+            records,
+            vec![b"alpha".to_vec(), Vec::new(), vec![0xffu8; 300]]
+        );
+        assert_eq!(recovery.truncated_bytes, 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_earlier_records_survive() {
+        let path = temp_path("torn");
+        cleanup(&path);
+        let full_len = {
+            let (mut log, _, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+            log.append(b"first").unwrap();
+            log.append(b"second record").unwrap();
+            log.len_bytes()
+        };
+        // Chop bytes off the tail one at a time: every prefix must
+        // recover cleanly, losing only the record the cut lands in.
+        // (Recovery itself truncates the file, so each cut is taken
+        // from a pristine copy of the full log.)
+        let full_bytes = std::fs::read(&path).unwrap();
+        for keep in (HEADER_LEN..full_len).rev() {
+            std::fs::write(&path, &full_bytes[..keep as usize]).unwrap();
+            let (_, records, recovery) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+            let first_whole = HEADER_LEN + FRAME_LEN + 5;
+            let expected: Vec<Vec<u8>> = if keep >= first_whole {
+                vec![b"first".to_vec()]
+            } else {
+                vec![]
+            };
+            assert_eq!(records, expected, "cut at {keep}");
+            // After recovery the file is truncated to the last good
+            // record, so a second open sees a clean log.
+            assert!(recovery.truncated_bytes <= full_len);
+            let (_, again, clean) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+            assert_eq!(again, records);
+            assert_eq!(clean.truncated_bytes, 0);
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn appends_after_recovery_continue_the_log() {
+        let path = temp_path("resume");
+        cleanup(&path);
+        {
+            let (mut log, _, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+            log.append(b"keep").unwrap();
+            log.append(b"will be torn").unwrap();
+        }
+        // Tear the second record's payload.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        {
+            let (mut log, records, recovery) =
+                RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+            assert_eq!(records, vec![b"keep".to_vec()]);
+            assert!(recovery.truncated_bytes > 0);
+            log.append(b"appended after crash").unwrap();
+        }
+        let (_, records, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        assert_eq!(
+            records,
+            vec![b"keep".to_vec(), b"appended after crash".to_vec()]
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_the_scan() {
+        let path = temp_path("corrupt");
+        cleanup(&path);
+        {
+            let (mut log, _, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+            log.append(b"good").unwrap();
+            log.append(b"flipped").unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // flip one payload bit of the last record
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, records, recovery) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        assert_eq!(records, vec![b"good".to_vec()]);
+        assert!(recovery.truncated_bytes > 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn kind_and_magic_are_enforced() {
+        let path = temp_path("kinds");
+        cleanup(&path);
+        {
+            let (mut log, _, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+            log.append(b"payload").unwrap();
+        }
+        assert!(matches!(
+            RecordLog::open(&path, StreamKind::FlowCheckpoint),
+            Err(LogError::WrongKind { .. })
+        ));
+        std::fs::write(&path, b"definitely not a log file").unwrap();
+        assert!(matches!(
+            RecordLog::open(&path, StreamKind::EstimateStore),
+            Err(LogError::BadMagic)
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let path = temp_path("version");
+        cleanup(&path);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&(VERSION + 1).to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            RecordLog::open(&path, StreamKind::EstimateStore),
+            Err(LogError::UnsupportedVersion { .. })
+        ));
+        cleanup(&path);
+    }
+}

@@ -8,3 +8,4 @@ pub use codesign_hls as hls;
 pub use codesign_nn as nn;
 pub use codesign_serve as serve;
 pub use codesign_sim as sim;
+pub use codesign_store as store;
