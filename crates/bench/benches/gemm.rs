@@ -6,10 +6,13 @@
 //! Besides wall clock, every arm cross-checks the two kernels'
 //! checksums: packing must be a pure layout change, so the packed
 //! result has to be **bit-identical** to the old kernel's, element for
-//! element. Emits `BENCH_gemm.json` via `codesign_bench::perf`.
+//! element — and the `*_simd` arms pin the same contract onto the
+//! runtime-dispatched SSE2/AVX2 micro-kernels against the pinned scalar
+//! tile. Emits `BENCH_gemm.json` via `codesign_bench::perf`.
 
 use codesign_bench::{emit_bench_json, BenchRecord};
-use codesign_nn::gemm::gemm_nt;
+use codesign_nn::gemm::{gemm_nt, gemm_nt_at};
+use codesign_nn::simd::{available_levels, detected_best, SimdLevel};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 
@@ -101,6 +104,11 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_function(&format!("{name}/unpacked"), |bch| {
             bch.iter(|| gemm_nt_unpacked(&a, &b, k, n, Some(&bias)))
         });
+        for level in available_levels() {
+            group.bench_function(&format!("{name}/simd_{level}"), |bch| {
+                bch.iter(|| gemm_nt_at(level, &a, &b, k, n, Some(&bias), 1))
+            });
+        }
 
         // Timed head-to-head for the committed JSON (mean of `REPS`
         // full kernels, warm caches).
@@ -126,6 +134,31 @@ fn bench_gemm(c: &mut Criterion) {
             &format!("{name}_packed"),
             t_new,
             t_old,
+        ));
+
+        // SIMD ladder: the best runtime-detected level against the
+        // pinned scalar tile. The checksum gate makes the dispatch
+        // contract visible here too — every level, same bits.
+        let best = detected_best();
+        let (t_scalar, sink_scalar) =
+            time(&|| gemm_nt_at(SimdLevel::Scalar, &a, &b, k, n, Some(&bias), 1));
+        let (t_simd, sink_simd) = time(&|| gemm_nt_at(best, &a, &b, k, n, Some(&bias), 1));
+        assert_eq!(
+            sink_scalar, sink_simd,
+            "{name}: SIMD level {best} DIVERGED from scalar"
+        );
+        println!(
+            "gemm {name}: scalar {t_scalar:?} vs {best} {t_simd:?} ({:.2}x)",
+            t_scalar.as_secs_f64() / t_simd.as_secs_f64().max(1e-12)
+        );
+        records.push(BenchRecord::timing(
+            &format!("{name}_simd_scalar"),
+            t_scalar,
+        ));
+        records.push(BenchRecord::speedup_over(
+            &format!("{name}_simd_{best}"),
+            t_simd,
+            t_scalar,
         ));
     }
     group.finish();

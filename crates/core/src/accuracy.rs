@@ -23,7 +23,7 @@ use codesign_dnn::space::DesignPoint;
 use codesign_dnn::{Dnn, DnnError, TensorShape};
 use codesign_nn::network::Network;
 use codesign_nn::train::{TrainConfig, Trainer};
-use codesign_nn::{Engine, Tensor};
+use codesign_nn::{Engine, QuantizedNetwork, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Per-Bundle quality coefficients of the analytic model.
@@ -198,6 +198,12 @@ pub struct ProxyEvaluator {
     pub seed: u64,
     /// NN compute engine (default: batched GEMM, one worker per core).
     pub engine: Engine,
+    /// When set, held-out evaluation runs through the quantized
+    /// inference engine under this scheme ([`Quantization::Int8`] uses
+    /// the real `i8` integer path), so the measured IoU includes the
+    /// true quantization error instead of an analytic penalty. `None`
+    /// (the default) keeps float evaluation.
+    pub quantization: Option<Quantization>,
 }
 
 impl Default for ProxyEvaluator {
@@ -210,6 +216,7 @@ impl Default for ProxyEvaluator {
             config: TrainConfig::default(),
             seed: 1234,
             engine: Engine::default(),
+            quantization: None,
         }
     }
 }
@@ -246,10 +253,17 @@ impl ProxyEvaluator {
 
         Trainer::new(self.config).train(&mut net, train_imgs, train_boxes);
 
-        // Held-out inference: one batched pass under the GEMM engine,
-        // the legacy per-image loop under the reference engine (the
-        // predictions are bit-identical either way).
-        let predictions: Vec<BoundingBox> = if self.engine.is_reference() || eval_imgs.is_empty() {
+        // Held-out inference. With a quantization scheme requested, the
+        // trained weights are quantized once and every evaluation image
+        // runs through the quantized engine (the real int8 integer path
+        // for `Int8`), so the score carries measured quantization error.
+        let predictions: Vec<BoundingBox> = if let Some(scheme) = self.quantization {
+            let qnet = QuantizedNetwork::quantize(&net, scheme);
+            eval_imgs
+                .iter()
+                .map(|img| BoundingBox::from_prediction(qnet.forward_measured(img).data()))
+                .collect()
+        } else if self.engine.is_reference() || eval_imgs.is_empty() {
             eval_imgs
                 .iter()
                 .map(|img| BoundingBox::from_prediction(net.forward(img).data()))
@@ -369,6 +383,41 @@ mod tests {
         // Predicting boxes at all (IoU > 0.10) already requires learning;
         // random guessing on this dataset scores ~0.05.
         assert!(iou > 0.10, "proxy IoU too low: {iou}");
+    }
+
+    #[test]
+    fn proxy_quantized_evaluation_measures_int8() {
+        let b = bundle_by_id(BundleId(13)).unwrap();
+        let mut point = DesignPoint::initial(b, 1);
+        point.base_channels = 8;
+        point.activation = Activation::Relu4; // implies the Int8 scheme
+        let mut eval = ProxyEvaluator {
+            train_samples: 12,
+            eval_samples: 4,
+            seed: 7,
+            config: TrainConfig {
+                epochs: 4,
+                learning_rate: 0.08,
+                momentum: 0.9,
+                batch_size: 4,
+            },
+            ..ProxyEvaluator::default()
+        };
+        let float_iou = eval.evaluate(&point).unwrap();
+        eval.quantization = Some(point.activation.quantization());
+        let q_iou = eval.evaluate(&point).unwrap();
+        assert!(
+            (0.0..=1.0).contains(&q_iou),
+            "int8 IoU out of range: {q_iou}"
+        );
+        // Int8 inference tracks the float network closely on this tiny
+        // task; the measured scores must stay in the same neighborhood.
+        assert!(
+            (q_iou - float_iou).abs() < 0.3,
+            "int8 IoU {q_iou} implausibly far from float IoU {float_iou}"
+        );
+        // Same evaluator, same candidate: the measurement is reproducible.
+        assert_eq!(eval.evaluate(&point).unwrap(), q_iou);
     }
 
     #[test]

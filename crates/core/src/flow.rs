@@ -14,7 +14,7 @@
 //! [`FlowOutput`]'s accessors and [`FlowOutput::summary`] — the same
 //! presentation path the serving layer JSON-encodes.
 
-use crate::accuracy::AccuracyModel;
+use crate::accuracy::{AccuracyModel, ProxyEvaluator};
 use crate::checkpoint::FlowCheckpoint;
 use crate::evaluate::{coarse_evaluate_parallel, select_bundles, BundleEvaluation, EvalMethod};
 use crate::observe::{CancelToken, FlowEvent, FlowObserver, NullObserver};
@@ -255,6 +255,13 @@ pub struct DesignOutcome {
     pub report: SimReport,
     /// Auto-HLS generated synthesizable C code.
     pub code: String,
+    /// Measured quantized IoU of the winning design, when the flow was
+    /// built with [`CoDesignFlow::with_measured_quantization`]: the
+    /// design is proxy-trained and scored through the quantized
+    /// inference engine under the scheme its activation implies (the
+    /// real int8 integer path for `Relu4` / `Relu8`). `None` when
+    /// measurement is disabled or the proxy evaluation failed.
+    pub measured_iou: Option<f64>,
 }
 
 impl DesignOutcome {
@@ -550,6 +557,7 @@ pub struct CoDesignFlow {
     config: FlowConfig,
     model: AccuracyModel,
     cache: Option<Arc<EstimateCache>>,
+    measured_quant: Option<ProxyEvaluator>,
 }
 
 impl CoDesignFlow {
@@ -559,12 +567,26 @@ impl CoDesignFlow {
             config,
             model: AccuracyModel::paper_calibrated(),
             cache: None,
+            measured_quant: None,
         }
     }
 
     /// Replaces the accuracy oracle.
     pub fn with_accuracy_model(mut self, model: AccuracyModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Scores every finalized design with *measured* quantized accuracy
+    /// on top of the analytic estimate: the winning point is
+    /// proxy-trained with `eval` and its held-out IoU is measured
+    /// through the quantized inference engine under the scheme the
+    /// design's activation implies (`Relu4` / `Relu8` run the real int8
+    /// integer path end-to-end). The result lands in
+    /// [`DesignOutcome::measured_iou`]; search order and all other
+    /// outputs are unchanged.
+    pub fn with_measured_quantization(mut self, eval: ProxyEvaluator) -> Self {
+        self.measured_quant = Some(eval);
         self
     }
 
@@ -920,6 +942,15 @@ impl CoDesignFlow {
         let report = simulate(&dnn, &accel, &self.config.device)?;
         let code = CodeGenerator::new(accel).generate(&dnn);
         let latency_ms = report.latency_ms(self.config.clock_mhz);
+        // Optional measured-quantization scoring: proxy-train the winner
+        // and run held-out inference through the quantized engine under
+        // the scheme its activation fixes. Failures (unbuildable at the
+        // proxy resolution) degrade to `None`, never to a flow error.
+        let measured_iou = self.measured_quant.as_ref().and_then(|eval| {
+            let mut eval = eval.clone();
+            eval.quantization = Some(candidate.point.activation.quantization());
+            eval.evaluate(&candidate.point).ok()
+        });
         Ok(DesignOutcome {
             target_fps,
             point: candidate.point.clone(),
@@ -929,6 +960,7 @@ impl CoDesignFlow {
             report,
             code,
             dnn,
+            measured_iou,
         })
     }
 }
@@ -969,6 +1001,37 @@ mod tests {
             pynq_z1().check_fit(&d.report.resources).is_ok(),
             "published design must fit the board: {}",
             d.report.resources
+        );
+    }
+
+    #[test]
+    fn flow_without_measurement_leaves_measured_iou_empty() {
+        let out = small_flow().run().unwrap();
+        assert!(out.designs.iter().all(|d| d.measured_iou.is_none()));
+    }
+
+    #[test]
+    fn flow_measures_quantized_accuracy_when_asked() {
+        use codesign_nn::TrainConfig;
+        // A deliberately tiny proxy evaluator: finalize runs once per
+        // design, and this test only cares that the measurement happens.
+        let eval = ProxyEvaluator {
+            train_samples: 8,
+            eval_samples: 4,
+            config: TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
+            ..ProxyEvaluator::default()
+        };
+        let out = small_flow().with_measured_quantization(eval).run().unwrap();
+        assert_eq!(out.designs.len(), 1);
+        let measured = out.designs[0]
+            .measured_iou
+            .expect("measured quantized IoU must be recorded");
+        assert!(
+            (0.0..=1.0).contains(&measured),
+            "IoU out of range: {measured}"
         );
     }
 

@@ -7,15 +7,16 @@
 //!
 //! * [`gemm_nt`] — `C = init + A · Bᵀ` with both operands row-major, the
 //!   cache-friendly "dot-product" form used by the forward and
-//!   backward-data passes. The hot loop is a 4×4 register-blocked
-//!   micro-kernel over *packed panels*: 4 `A` rows and 4 `B` rows are
-//!   interleaved k-major into contiguous `[k][4]` panels (reused from
-//!   the thread-local scratch arena), so the inner loop reads exactly
-//!   two contiguous streams and every load feeds four multiply-adds.
-//!   The panel layout is `chunks_exact(4)`-shaped on both operands,
-//!   which is what lets the autovectorizer turn the 16 independent
-//!   accumulator chains into 4-lane vector ops. Leftover rows/columns
-//!   (`m % 4`, `n % 4`) fall back to the scalar dot kernel.
+//!   backward-data passes. The hot loop is a register-blocked
+//!   micro-kernel over *packed panels*: 4 `A` rows and `nr` `B` rows are
+//!   interleaved k-major into contiguous `[k][4]` / `[k][nr]` panels
+//!   (reused from the thread-local scratch arena), so the inner loop
+//!   reads exactly two contiguous streams and every load feeds a full
+//!   tile of multiply-adds. The tile itself is dispatched through
+//!   [`crate::simd`] to the best instruction level the CPU supports
+//!   (scalar / SSE2 / AVX2; `nr` widens with the vector registers, see
+//!   [`SimdLevel::nr`]). Leftover rows/columns (`m % 4`, `n % nr`) fall
+//!   back to the scalar dot kernel.
 //! * [`gemm_nn_acc`] — `C += A · B`, the accumulating "axpy" form used
 //!   by the weight-gradient pass (row-parallel; its inner loop already
 //!   streams both operands contiguously, so it needs no packing).
@@ -30,12 +31,15 @@
 //! byte-identical to a sequential run at any worker count, and
 //! byte-identical to any other kernel that sums the same terms in the
 //! same order (in particular the naive loops in [`crate::reference`]).
-//! Packing only permutes *where operands sit in memory*, and the 4×4
-//! register blocking exploits instruction parallelism *across* output
-//! elements while keeping each element's chain sequential in `k` — so
-//! neither weakens the contract.
+//! Packing only permutes *where operands sit in memory*, and register
+//! blocking (of any vector width — the SIMD levels only change how many
+//! independent chains advance per instruction) exploits instruction
+//! parallelism *across* output elements while keeping each element's
+//! chain sequential in `k` — so neither weakens the contract.
+//! `tests/simd_equivalence.rs` pins scalar / SSE2 / AVX2 bit-identity.
 
 use crate::scratch;
+use crate::simd::{self, SimdLevel};
 use codesign_parallel::parallel_chunks_mut;
 
 /// Rows per parallel work item. Fixed (never derived from the worker
@@ -43,11 +47,9 @@ use codesign_parallel::parallel_chunks_mut;
 /// identical for every `threads` value.
 const ROW_BLOCK: usize = 32;
 
-/// Micro-kernel tile: `MR x NR` output elements per inner loop, i.e.
-/// `MR` packed `A` rows against `NR` packed `B` rows.
-const MR: usize = 4;
-/// See [`MR`].
-const NR: usize = 4;
+/// Micro-kernel tile rows: `MR` packed `A` rows per tile (the column
+/// count comes from the dispatch level, [`SimdLevel::nr`]).
+const MR: usize = simd::MR;
 
 /// Hardware thread count, resolved once per process.
 pub(crate) fn hardware_threads() -> usize {
@@ -80,7 +82,9 @@ pub(crate) const GEMM_FLOPS_PER_WORKER: usize = 1 << 20;
 /// single-threaded per extra worker.
 pub(crate) const COPY_ELEMS_PER_WORKER: usize = 1 << 18;
 
-/// `C[m x n] = init + A · Bᵀ` with `A[m x k]` and `B[n x k]` row-major.
+/// `C[m x n] = init + A · Bᵀ` with `A[m x k]` and `B[n x k]` row-major,
+/// dispatched at the process-wide SIMD level
+/// ([`crate::simd::active_level`]).
 ///
 /// `init` seeds every element of output row `i`, column `j`, with
 /// `bias[j]` (`None` means zero). Parallelized over blocks of output
@@ -98,6 +102,26 @@ pub fn gemm_nt(
     bias: Option<&[f32]>,
     threads: usize,
 ) -> Vec<f32> {
+    gemm_nt_at(simd::active_level(), a, b, k, n, bias, threads)
+}
+
+/// [`gemm_nt`] pinned to an explicit dispatch level — results are
+/// byte-identical at every level; only throughput changes. Tests and
+/// benches use this to compare levels side by side without touching
+/// process-global state.
+///
+/// # Panics
+///
+/// Panics like [`gemm_nt`].
+pub fn gemm_nt_at(
+    level: SimdLevel,
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+    threads: usize,
+) -> Vec<f32> {
     assert!(k > 0 && n > 0, "gemm_nt needs positive dimensions");
     assert_eq!(a.len() % k, 0, "lhs length not a multiple of k");
     assert_eq!(b.len(), n * k, "rhs length disagrees with n x k");
@@ -105,25 +129,20 @@ pub fn gemm_nt(
         assert_eq!(bias.len(), n, "bias length disagrees with n");
     }
     let m = a.len() / k;
+    let nr = level.nr();
     let threads = capped_threads(threads, m * n * k, GEMM_FLOPS_PER_WORKER);
-    // Pack full NR-column groups of B once, k-major interleaved, so the
+    // Pack full nr-column groups of B once, k-major interleaved, so the
     // micro-kernel streams one contiguous panel per column group. The
-    // panel for columns [j0, j0+NR) lives at bpack[j0*k..(j0+NR)*k].
-    let n_main = n - n % NR;
+    // panel for columns [j0, j0+nr) lives at bpack[j0*k..(j0+nr)*k].
+    let n_main = n - n % nr;
     let mut bpack = scratch::take(n_main * k);
-    for j0 in (0..n_main).step_by(NR) {
-        let panel = &mut bpack[j0 * k..(j0 + NR) * k];
-        let (b0, b1, b2, b3) = (
-            &b[j0 * k..(j0 + 1) * k],
-            &b[(j0 + 1) * k..(j0 + 2) * k],
-            &b[(j0 + 2) * k..(j0 + 3) * k],
-            &b[(j0 + 3) * k..(j0 + 4) * k],
-        );
-        for (kk, slot) in panel.chunks_exact_mut(NR).enumerate() {
-            slot[0] = b0[kk];
-            slot[1] = b1[kk];
-            slot[2] = b2[kk];
-            slot[3] = b3[kk];
+    for j0 in (0..n_main).step_by(nr) {
+        let panel = &mut bpack[j0 * k..(j0 + nr) * k];
+        for jj in 0..nr {
+            let col = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+            for (kk, &v) in col.iter().enumerate() {
+                panel[kk * nr + jj] = v;
+            }
         }
     }
     let mut out = scratch::take(m * n);
@@ -150,29 +169,24 @@ pub fn gemm_nt(
                     slot[3] = a3[kk];
                 }
             }
-            for j0 in (0..n_main).step_by(NR) {
-                // 4x4 micro-kernel: 16 independent accumulators, each a
+            for j0 in (0..n_main).step_by(nr) {
+                // MR x nr micro-tile: independent accumulators, each a
                 // strictly sequential k-ascending chain seeded with its
                 // column's bias — the same per-element arithmetic as
-                // the naive triple loop, just 16 elements at a time.
-                let init = match bias {
-                    Some(bias) => [bias[j0], bias[j0 + 1], bias[j0 + 2], bias[j0 + 3]],
-                    None => [0.0; NR],
-                };
-                let mut acc = [init; MR];
-                let panel = &bpack[j0 * k..(j0 + NR) * k];
-                for (av, bv) in apack.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
-                    for (acc_row, &ai) in acc.iter_mut().zip(av) {
-                        for (s, &bj) in acc_row.iter_mut().zip(bv) {
-                            *s += ai * bj;
-                        }
-                    }
+                // the naive triple loop, a whole tile at a time.
+                let mut init = [0.0f32; simd::MAX_NR];
+                if let Some(bias) = bias {
+                    init[..nr].copy_from_slice(&bias[j0..j0 + nr]);
                 }
-                for (i, acc_row) in acc.iter().enumerate() {
-                    chunk[(r + i) * n + j0..(r + i) * n + j0 + NR].copy_from_slice(acc_row);
+                let panel = &bpack[j0 * k..(j0 + nr) * k];
+                let mut acc = [0.0f32; MR * simd::MAX_NR];
+                simd::f32_tile(level, &apack, panel, &init[..nr], &mut acc);
+                for i in 0..MR {
+                    chunk[(r + i) * n + j0..(r + i) * n + j0 + nr]
+                        .copy_from_slice(&acc[i * nr..i * nr + nr]);
                 }
             }
-            // Leftover columns (n % NR): scalar dot per row, same
+            // Leftover columns (n % nr): scalar dot per row, same
             // k-ascending order.
             for j in n_main..n {
                 let b_row = &b[j * k..(j + 1) * k];
@@ -280,6 +294,23 @@ mod tests {
             }
             let expect0 = naive_nt(&a, &b, k, n, None);
             assert_eq!(gemm_nt(&a, &b, k, n, None, 4), expect0);
+        }
+    }
+
+    #[test]
+    fn nt_is_bitwise_identical_at_every_simd_level() {
+        for (m, k, n) in [(4, 8, 8), (17, 31, 13), (33, 9, 20)] {
+            let a = ramp(m * k, 0.05);
+            let b = ramp(n * k, 0.03);
+            let bias = ramp(n, 0.2);
+            let expect = naive_nt(&a, &b, k, n, Some(&bias));
+            for level in crate::simd::available_levels() {
+                assert_eq!(
+                    gemm_nt_at(level, &a, &b, k, n, Some(&bias), 2),
+                    expect,
+                    "level {level} diverged at m={m} k={k} n={n}"
+                );
+            }
         }
     }
 

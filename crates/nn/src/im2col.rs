@@ -97,6 +97,81 @@ pub fn im2row_grid(
     (oh, ow): (usize, usize),
     threads: usize,
 ) -> Vec<f32> {
+    // Zeroed arena buffer: the patch matrix relies on zero
+    // initialization to materialize padding. Callers on the hot path
+    // recycle it after the GEMM (`crate::scratch::recycle`).
+    let mut rows = scratch::take_zeroed(groups * c * k * k * oh * ow);
+    fill_patch_rows(
+        x,
+        &mut rows,
+        groups,
+        c,
+        h,
+        w,
+        k,
+        stride,
+        pad,
+        (oh, ow),
+        threads,
+    );
+    rows
+}
+
+/// [`im2row_grid`] over `i8` activation codes — the quantized engine's
+/// lowering. Padding materializes as code `0`, which under the
+/// symmetric quantization grid *is* real `0.0`, so the int8 GEMM adds
+/// the same `weight x 0` padding terms as the float paths.
+///
+/// # Panics
+///
+/// Panics when `x` is not `groups * c * h * w` long or `stride` is 0.
+#[allow(clippy::too_many_arguments)] // raw geometry is the whole API
+pub fn im2row_grid_i8(
+    x: &[i8],
+    groups: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    (oh, ow): (usize, usize),
+    threads: usize,
+) -> Vec<i8> {
+    let mut rows = scratch::take_zeroed_i8(groups * c * k * k * oh * ow);
+    fill_patch_rows(
+        x,
+        &mut rows,
+        groups,
+        c,
+        h,
+        w,
+        k,
+        stride,
+        pad,
+        (oh, ow),
+        threads,
+    );
+    rows
+}
+
+/// Element-type-generic patch gather behind both `im2row_grid`
+/// flavours; `rows` must arrive zeroed (padding taps are skipped, not
+/// written).
+#[allow(clippy::too_many_arguments)]
+fn fill_patch_rows<T: Copy + Send + Sync>(
+    x: &[T],
+    rows: &mut [T],
+    groups: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    (oh, ow): (usize, usize),
+    threads: usize,
+) {
     assert!(stride > 0, "stride must be positive");
     assert_eq!(
         x.len(),
@@ -105,16 +180,12 @@ pub fn im2row_grid(
     );
     let ckk = c * k * k;
     let plane_rows = oh * ow * ckk;
-    // Zeroed arena buffer: the patch matrix relies on zero
-    // initialization to materialize padding. Callers on the hot path
-    // recycle it after the GEMM (`crate::scratch::recycle`).
-    let mut rows = scratch::take_zeroed(groups * plane_rows);
     let threads = crate::gemm::capped_threads(
         threads,
         groups * plane_rows,
         crate::gemm::COPY_ELEMS_PER_WORKER,
     );
-    parallel_chunks_mut(&mut rows, plane_rows, threads, |g, plane| {
+    parallel_chunks_mut(rows, plane_rows, threads, |g, plane| {
         let img = &x[g * c * h * w..(g + 1) * c * h * w];
         for oy in 0..oh {
             for ox in 0..ow {
@@ -139,7 +210,6 @@ pub fn im2row_grid(
             }
         }
     });
-    rows
 }
 
 /// Spatially flips and channel-transposes convolution weights for the
@@ -250,6 +320,20 @@ mod tests {
         let src = ((oc_i * ic + ic_i) * k + ky) * k + kx;
         let dst = ((ic_i * oc + oc_i) * k + (k - 1 - ky)) * k + (k - 1 - kx);
         assert_eq!(flipped[dst], w[src]);
+    }
+
+    #[test]
+    fn i8_lowering_matches_float_lowering() {
+        let (groups, c, h, w, k, stride) = (2usize, 2usize, 5usize, 6usize, 3usize, 1usize);
+        let pad = k / 2;
+        let xi: Vec<i8> = (0..groups * c * h * w)
+            .map(|i| ((i * 11 % 255) as i32 - 127) as i8)
+            .collect();
+        let xf: Vec<f32> = xi.iter().map(|&v| v as f32).collect();
+        let rows_i = im2row_grid_i8(&xi, groups, c, h, w, k, stride, pad, (h, w), 2);
+        let rows_f = im2row_grid(&xf, groups, c, h, w, k, stride, pad, (h, w), 2);
+        let as_f: Vec<f32> = rows_i.iter().map(|&v| v as f32).collect();
+        assert_eq!(as_f, rows_f, "integer and float lowerings disagree");
     }
 
     proptest! {

@@ -15,13 +15,20 @@
 //!   convolutions lowered to blocked, multi-threaded matrix multiplies
 //!   with a bit-reproducibility contract (any worker count, batched or
 //!   per-image, GEMM or naive — same bits).
+//! * [`simd`] — runtime-dispatched micro-kernels behind the GEMMs:
+//!   scalar / SSE2 / AVX2 variants selected once per process from CPU
+//!   feature detection (override with `CODESIGN_SIMD=scalar|sse2|avx2`).
+//!   Every level preserves the canonical accumulation order, so the
+//!   bit-reproducibility contract survives the dispatch.
 //! * [`mod@reference`] — the retained naive convolution kernels the engine
 //!   is verified against.
 //! * [`network`] — compiles a [`codesign_dnn::Dnn`] into an executable,
 //!   trainable network; SGD with momentum.
-//! * [`quantized`] — post-training int8 / int16 quantized inference that
-//!   mirrors the accelerator's fixed-point arithmetic, so quantization
-//!   accuracy loss is measurable in software.
+//! * [`quantized`], [`qgemm`] — post-training int8 / int16 quantized
+//!   inference. Besides the fake-quantized float path that mirrors the
+//!   accelerator's rounding, the Int8 scheme compiles to a real integer
+//!   engine: `i8` codes end-to-end through an exact `i8 x i8 -> i32`
+//!   GEMM with its own SIMD kernels.
 //! * [`train`] — the training loop: mini-batch SGD on a bounding-box
 //!   regression loss, matching the paper's 20-epoch proxy training;
 //!   executes whole mini-batches through the GEMM engine.
@@ -46,7 +53,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD micro-kernels in [`simd`] are
+// the one sanctioned `unsafe` island (std::arch intrinsics behind
+// runtime feature detection); everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -54,14 +64,19 @@ pub mod gemm;
 pub mod im2col;
 pub mod layers;
 pub mod network;
+mod qengine;
+pub mod qgemm;
 pub mod quantized;
 pub mod reference;
 mod scratch;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod tensor;
 pub mod train;
 
 pub use engine::Engine;
 pub use network::Network;
 pub use quantized::QuantizedNetwork;
+pub use simd::SimdLevel;
 pub use tensor::Tensor;
 pub use train::{TrainConfig, Trainer};

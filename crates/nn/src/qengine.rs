@@ -1,0 +1,246 @@
+//! Integer layer kernels of the int8 inference engine.
+//!
+//! [`crate::quantized::QuantizedNetwork::forward_int8`] executes a
+//! network as a sequence of these kernels over `i8` activation *codes*
+//! (value ≈ `code · act_scale`). Convolutions lower through the same
+//! im2col machinery as the float engine ([`crate::im2col`]) into the
+//! exact `i8 x i8 -> i32` GEMM ([`crate::qgemm`]), then requantize each
+//! accumulator back to the activation grid in one fused pass:
+//!
+//! `out_code = clamp(round(acc · w_scale + bias / act_scale))`
+//!
+//! (`acc · w_scale · act_scale + bias` is the real-valued output; one
+//! division by `act_scale` folds the re-quantization in.) Pooling and
+//! activations operate on codes directly — max pooling is exact on
+//! codes (dequantization is monotone), averages round once, and clipped
+//! ReLUs clamp at the clip value's own code.
+//!
+//! Every kernel is deterministic at any worker count: the integer GEMM
+//! is exact, and requantization is elementwise.
+
+use crate::im2col::im2row_grid_i8;
+use crate::qgemm::qgemm_nt;
+use crate::scratch;
+use codesign_parallel::parallel_chunks_mut;
+
+/// Inclusive code range of the activation grid (the scheme's
+/// `code_range`, always within `i8` for the int8 engine).
+pub(crate) type CodeRange = (i32, i32);
+
+/// Rounds a real-valued code to the grid: round-half-away-from-zero
+/// (matching `Quantization::quantize`), clamped to the code range.
+#[inline]
+pub(crate) fn requant(v: f32, (lo, hi): CodeRange) -> i8 {
+    (v.round() as i32).clamp(lo, hi) as i8
+}
+
+/// Standard convolution over codes: im2col + integer GEMM + fused
+/// requantization. `offsets[oc]` is `bias[oc] / act_scale`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn qconv_forward(
+    x: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    weights: &[i8],
+    k: usize,
+    out_ch: usize,
+    wscale: f32,
+    offsets: &[f32],
+    range: CodeRange,
+    threads: usize,
+) -> Vec<i8> {
+    let plane = h * w;
+    let rows = im2row_grid_i8(x, 1, c, h, w, k, 1, k / 2, (h, w), threads);
+    let acc = qgemm_nt(&rows, weights, c * k * k, out_ch, threads);
+    scratch::recycle_i8(rows);
+    // Un-interleave pixel-major GEMM rows into channel planes, fusing
+    // the requantization (mirrors the float engine's rows_to_planes).
+    let mut y = scratch::take_i8(out_ch * plane);
+    let threads = crate::gemm::capped_threads(threads, y.len(), crate::gemm::COPY_ELEMS_PER_WORKER);
+    parallel_chunks_mut(&mut y, plane, threads, |oc, chunk| {
+        let off = offsets[oc];
+        for (p, o) in chunk.iter_mut().enumerate() {
+            *o = requant(acc[p * out_ch + oc] as f32 * wscale + off, range);
+        }
+    });
+    scratch::recycle_i32(acc);
+    y
+}
+
+/// Depth-wise convolution over codes: grouped single-channel lowering
+/// plus an exact scalar integer dot per pixel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn qdwconv_forward(
+    x: &[i8],
+    ch: usize,
+    h: usize,
+    w: usize,
+    weights: &[i8],
+    k: usize,
+    wscale: f32,
+    offsets: &[f32],
+    range: CodeRange,
+    threads: usize,
+) -> Vec<i8> {
+    let kk = k * k;
+    let plane = h * w;
+    let rows = im2row_grid_i8(x, ch, 1, h, w, k, 1, k / 2, (h, w), threads);
+    let mut y = scratch::take_i8(ch * plane);
+    let threads =
+        crate::gemm::capped_threads(threads, y.len() * kk, crate::gemm::GEMM_FLOPS_PER_WORKER);
+    parallel_chunks_mut(&mut y, plane, threads, |cc, chunk| {
+        let wrow = &weights[cc * kk..(cc + 1) * kk];
+        let off = offsets[cc];
+        for (p, o) in chunk.iter_mut().enumerate() {
+            let row = &rows[(cc * plane + p) * kk..(cc * plane + p + 1) * kk];
+            let mut acc = 0i32;
+            for (&a, &b) in row.iter().zip(wrow) {
+                acc += a as i32 * b as i32;
+            }
+            *o = requant(acc as f32 * wscale + off, range);
+        }
+    });
+    scratch::recycle_i8(rows);
+    y
+}
+
+/// Max pooling on codes — exact: dequantization is monotone, so the
+/// max code is the code of the max value.
+pub(crate) fn qmaxpool(x: &[i8], c: usize, h: usize, w: usize, k: usize) -> Vec<i8> {
+    let (oh, ow) = (h / k, w / k);
+    let mut y = scratch::take_i8(c * oh * ow);
+    for cc in 0..c {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let mut m = i8::MIN;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        m = m.max(x[(cc * h + yy * k + dy) * w + xx * k + dx]);
+                    }
+                }
+                y[(cc * oh + yy) * ow + xx] = m;
+            }
+        }
+    }
+    y
+}
+
+/// Average pooling on codes: exact integer window sum, one rounded
+/// division back to the grid.
+pub(crate) fn qavgpool(
+    x: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    range: CodeRange,
+) -> Vec<i8> {
+    let (oh, ow) = (h / k, w / k);
+    let norm = (k * k) as f32;
+    let mut y = scratch::take_i8(c * oh * ow);
+    for cc in 0..c {
+        for yy in 0..oh {
+            for xx in 0..ow {
+                let mut s = 0i32;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        s += x[(cc * h + yy * k + dy) * w + xx * k + dx] as i32;
+                    }
+                }
+                y[(cc * oh + yy) * ow + xx] = requant(s as f32 / norm, range);
+            }
+        }
+    }
+    y
+}
+
+/// Folded batch-norm on codes: `round(code · scale[c] + bias[c] /
+/// act_scale)` per element (scale and bias arrive weight-grid-snapped).
+pub(crate) fn qscale_bias(
+    x: &[i8],
+    scale: &[f32],
+    offsets: &[f32],
+    plane: usize,
+    range: CodeRange,
+) -> Vec<i8> {
+    let mut y = scratch::take_i8(x.len());
+    for (cc, (&s, &off)) in scale.iter().zip(offsets).enumerate() {
+        for (o, &v) in y[cc * plane..(cc + 1) * plane]
+            .iter_mut()
+            .zip(&x[cc * plane..(cc + 1) * plane])
+        {
+            *o = requant(v as f32 * s + off, range);
+        }
+    }
+    y
+}
+
+/// ReLU-family activation on codes: zero the negatives, clamp at the
+/// clip value's code (`clip_code = quantize(clip, act_scale)`; `None`
+/// for the unclipped ReLU).
+pub(crate) fn qactivation(x: &[i8], clip_code: Option<i8>) -> Vec<i8> {
+    let hi = clip_code.unwrap_or(i8::MAX);
+    let mut y = scratch::take_i8(x.len());
+    for (o, &v) in y.iter_mut().zip(x) {
+        *o = v.clamp(0, hi);
+    }
+    y
+}
+
+/// Global average pooling on codes: `C x H x W -> [C]`, exact plane
+/// sums with one rounded division back to the grid.
+pub(crate) fn qgap(x: &[i8], c: usize, h: usize, w: usize, range: CodeRange) -> Vec<i8> {
+    let plane = h * w;
+    let norm = plane as f32;
+    let mut y = scratch::take_i8(c);
+    for (cc, o) in y.iter_mut().enumerate() {
+        let mut s = 0i32;
+        for &v in &x[cc * plane..(cc + 1) * plane] {
+            s += v as i32;
+        }
+        *o = requant(s as f32 / norm, range);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requant_rounds_half_away_and_clamps() {
+        let r = (-128, 127);
+        assert_eq!(requant(0.5, r), 1);
+        assert_eq!(requant(-0.5, r), -1);
+        assert_eq!(requant(0.49, r), 0);
+        assert_eq!(requant(400.0, r), 127);
+        assert_eq!(requant(-400.0, r), -128);
+        assert_eq!(requant(f32::NAN, r), 0, "NaN saturates to code 0");
+    }
+
+    #[test]
+    fn maxpool_takes_max_code() {
+        let x = [1i8, 5, 3, 2];
+        assert_eq!(qmaxpool(&x, 1, 2, 2, 2), vec![5]);
+    }
+
+    #[test]
+    fn avgpool_rounds_window_mean() {
+        let x = [1i8, 2, 3, 6];
+        assert_eq!(qavgpool(&x, 1, 2, 2, 2, (-128, 127)), vec![3]);
+    }
+
+    #[test]
+    fn activation_zeroes_negatives_and_clips() {
+        let x = [-5i8, 3, 100];
+        assert_eq!(qactivation(&x, Some(64)), vec![0, 3, 64]);
+        assert_eq!(qactivation(&x, None), vec![0, 3, 100]);
+    }
+
+    #[test]
+    fn gap_means_codes() {
+        let x = [1i8, 3, 10, 20];
+        assert_eq!(qgap(&x, 2, 1, 2, (-128, 127)), vec![2, 15]);
+    }
+}

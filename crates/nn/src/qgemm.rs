@@ -1,0 +1,221 @@
+//! Quantized `i8 x i8 -> i32` GEMM for the int8 inference engine.
+//!
+//! Same architecture as the float kernel in [`crate::gemm`]: row-block
+//! parallel, packed panels from the thread-local scratch arena, and a
+//! register-blocked micro-tile dispatched through [`crate::simd`] at
+//! the process-wide instruction level. The differences are the operand
+//! pipeline and the determinism story:
+//!
+//! * Operands are `i8` codes (quantized activations and weights); at
+//!   pack time they are widened to `i16` and interleaved in *pairs* of
+//!   `k` steps, so the SSE2/AVX2 tiles retire two multiply-adds per
+//!   lane per `madd_epi16` (`i8·i8` products fit `i16` exactly, and the
+//!   pairwise `i32` sums are exact).
+//! * Accumulation is exact integer arithmetic, so the result is
+//!   trivially byte-identical at every worker count, SIMD level, and
+//!   grouping — no accumulation-order contract needed.
+//!
+//! Accumulators are `i32`; [`qgemm_nt`] asserts `k ≤ 2^16`, which
+//! bounds `|acc| ≤ k · 2^14 ≤ 2^30` with a 2x margin. The networks this
+//! engine serves stay orders of magnitude below that (`k = c·kh·kw`).
+
+use crate::scratch;
+use crate::simd::{self, SimdLevel};
+use codesign_parallel::parallel_chunks_mut;
+
+/// Rows per parallel work item (mirrors [`crate::gemm`]).
+const ROW_BLOCK: usize = 32;
+
+/// Micro-tile rows.
+const MR: usize = simd::MR;
+
+/// Largest supported shared dimension (see module docs).
+pub const MAX_K: usize = 1 << 16;
+
+/// `C[m x n] = A · Bᵀ` over `i8` codes with an exact `i32` accumulator,
+/// `A[m x k]` and `B[n x k]` row-major, dispatched at the process-wide
+/// SIMD level.
+///
+/// # Panics
+///
+/// Panics when slice lengths are inconsistent with `k`/`n` or when
+/// `k` exceeds [`MAX_K`] (accumulator overflow bound).
+pub fn qgemm_nt(a: &[i8], b: &[i8], k: usize, n: usize, threads: usize) -> Vec<i32> {
+    qgemm_nt_at(simd::active_level(), a, b, k, n, threads)
+}
+
+/// [`qgemm_nt`] pinned to an explicit dispatch level — results are
+/// byte-identical at every level (exact integer arithmetic); only
+/// throughput changes.
+///
+/// # Panics
+///
+/// Panics like [`qgemm_nt`].
+pub fn qgemm_nt_at(
+    level: SimdLevel,
+    a: &[i8],
+    b: &[i8],
+    k: usize,
+    n: usize,
+    threads: usize,
+) -> Vec<i32> {
+    assert!(k > 0 && n > 0, "qgemm_nt needs positive dimensions");
+    assert!(k <= MAX_K, "k={k} exceeds the i32 accumulator bound");
+    assert_eq!(a.len() % k, 0, "lhs length not a multiple of k");
+    assert_eq!(b.len(), n * k, "rhs length disagrees with n x k");
+    let m = a.len() / k;
+    let nr = level.nr();
+    // Integer multiply-adds are cheaper than float ones, but the
+    // scheduling heuristic only decides worker count, never results.
+    let threads =
+        crate::gemm::capped_threads(threads, m * n * k, crate::gemm::GEMM_FLOPS_PER_WORKER);
+    let kp = k.div_ceil(2); // k pairs, odd k zero-padded
+                            // Pack full nr-column groups of B once: i16, pair-interleaved
+                            // [kp][nr][2]. The panel for columns [j0, j0+nr) lives at
+                            // bpack[j0*kp*2..(j0+nr)*kp*2].
+    let n_main = n - n % nr;
+    let mut bpack = scratch::take_i16(n_main * kp * 2);
+    for j0 in (0..n_main).step_by(nr) {
+        let panel = &mut bpack[j0 * kp * 2..(j0 + nr) * kp * 2];
+        for jj in 0..nr {
+            let col = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+            for pp in 0..kp {
+                panel[(pp * nr + jj) * 2] = col[2 * pp] as i16;
+                panel[(pp * nr + jj) * 2 + 1] = col.get(2 * pp + 1).map_or(0, |&v| v as i16);
+            }
+        }
+    }
+    let mut out = scratch::take_i32(m * n);
+    parallel_chunks_mut(&mut out, ROW_BLOCK * n, threads, |block, chunk| {
+        let row0 = block * ROW_BLOCK;
+        let rows = chunk.len() / n;
+        let mut apack = scratch::take_i16(MR * kp * 2);
+        let mut r = 0;
+        while r + MR <= rows {
+            // Pack MR rows of A: i16, pair-interleaved [kp][MR][2].
+            for i in 0..MR {
+                let row = &a[(row0 + r + i) * k..(row0 + r + i + 1) * k];
+                for pp in 0..kp {
+                    apack[(pp * MR + i) * 2] = row[2 * pp] as i16;
+                    apack[(pp * MR + i) * 2 + 1] = row.get(2 * pp + 1).map_or(0, |&v| v as i16);
+                }
+            }
+            for j0 in (0..n_main).step_by(nr) {
+                let panel = &bpack[j0 * kp * 2..(j0 + nr) * kp * 2];
+                let mut acc = [0i32; MR * simd::MAX_NR];
+                simd::i8_tile(level, &apack, panel, &mut acc);
+                for i in 0..MR {
+                    chunk[(r + i) * n + j0..(r + i) * n + j0 + nr]
+                        .copy_from_slice(&acc[i * nr..i * nr + nr]);
+                }
+            }
+            for j in n_main..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                for i in 0..MR {
+                    let a_row = &a[(row0 + r + i) * k..(row0 + r + i + 1) * k];
+                    chunk[(r + i) * n + j] = dot_i8(a_row, b_row);
+                }
+            }
+            r += MR;
+        }
+        for r in r..rows {
+            let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+            let out_row = &mut chunk[r * n..(r + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot_i8(a_row, &b[j * k..(j + 1) * k]);
+            }
+        }
+        scratch::recycle_i16(apack);
+    });
+    scratch::recycle_i16(bpack);
+    out
+}
+
+/// Exact scalar `i8` dot with an `i32` accumulator (leftover rows and
+/// columns).
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    let mut s = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        s += x as i32 * y as i32;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(a: &[i8], b: &[i8], k: usize, n: usize) -> Vec<i32> {
+        let m = a.len() / k;
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = dot_i8(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+            }
+        }
+        out
+    }
+
+    fn ramp_i8(len: usize, stride: usize) -> Vec<i8> {
+        (0..len)
+            .map(|i| ((i * stride % 255) as i32 - 127) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_across_levels_and_threads() {
+        for (m, k, n) in [(1, 1, 1), (5, 7, 3), (33, 27, 9), (40, 13, 20), (8, 64, 16)] {
+            let a = ramp_i8(m * k, 7);
+            let b = ramp_i8(n * k, 11);
+            let expect = naive(&a, &b, k, n);
+            for level in crate::simd::available_levels() {
+                for threads in [1, 4] {
+                    assert_eq!(
+                        qgemm_nt_at(level, &a, &b, k, n, threads),
+                        expect,
+                        "level {level} threads {threads} m={m} k={k} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_extremes_do_not_overflow() {
+        // All-(-128) operands maximize |acc|: k * 16384.
+        let (m, k, n) = (4, 100, 8);
+        let a = vec![-128i8; m * k];
+        let b = vec![-128i8; n * k];
+        let out = qgemm_nt(&a, &b, k, n, 1);
+        assert!(out.iter().all(|&v| v == k as i32 * 16384));
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length disagrees")]
+    fn rejects_bad_shapes() {
+        let _ = qgemm_nt(&[1i8; 6], &[1i8; 5], 3, 2, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_levels_and_threads_agree(
+            m in 1usize..24,
+            k in 1usize..40,
+            n in 1usize..18,
+            threads in 1usize..6,
+        ) {
+            let a = ramp_i8(m * k, 5);
+            let b = ramp_i8(n * k, 13);
+            let expect = naive(&a, &b, k, n);
+            for level in crate::simd::available_levels() {
+                prop_assert_eq!(
+                    &qgemm_nt_at(level, &a, &b, k, n, threads),
+                    &expect
+                );
+            }
+        }
+    }
+}

@@ -3,24 +3,65 @@
 //! The accelerator computes in fixed point: int8 feature maps under
 //! `Relu4` / `Relu8`, int16 under plain `Relu` (Sec. 5.1.2). This module
 //! quantizes a trained [`Network`] per-tensor (symmetric, max-abs
-//! scaling) and executes inference in integer arithmetic with an `i64`
-//! accumulator, mirroring the DSP datapath. Comparing the float and
-//! quantized outputs measures the accuracy cost of a quantization
-//! scheme — the signal behind the paper's fine-grained Bundle
-//! evaluation (Fig. 5).
+//! scaling) **once** at [`QuantizedNetwork::quantize`] time and offers
+//! two execution paths:
+//!
+//! * [`QuantizedNetwork::forward`] — *fake quantization*: float kernels
+//!   over grid-snapped weights, with activations re-snapped to the grid
+//!   after every layer. Works for every scheme; this is the historical
+//!   output contract and it is preserved bit-for-bit.
+//! * [`QuantizedNetwork::forward_int8`] — the real integer engine
+//!   (Int8 scheme only): `i8` weight and activation codes end-to-end,
+//!   convolutions through [`crate::qgemm`]'s exact `i8 x i8 -> i32`
+//!   kernels, and one scale-based requantization between layers (see
+//!   the private `qengine` kernels). Deterministic at every worker
+//!   count and SIMD level, and substantially faster than the
+//!   fake-quantized float
+//!   path.
+//!
+//! Comparing either path with the float output measures the accuracy
+//! cost of a quantization scheme — the signal behind the paper's
+//! fine-grained Bundle evaluation (Fig. 5).
 
+use crate::engine::Engine;
 use crate::network::{Network, NnLayer};
+use crate::qengine;
 use crate::tensor::Tensor;
 use codesign_dnn::quant::Quantization;
 
-/// A quantized layer: integer weights plus the scales to reconstruct
-/// real values.
+/// One step of the compiled integer program: weights live as `i8`
+/// codes, and the per-layer requantization constants are pre-divided by
+/// the activation scale so execution is a single fused multiply-add per
+/// output element (see the private `qengine` kernels).
 #[derive(Debug, Clone)]
-enum QLayer {
-    /// Conv / dw-conv style layer stored via its float original plus a
-    /// weight scale; values are re-quantized on the fly during
-    /// execution so one implementation serves every layer shape.
-    Exact { layer: NnLayer, weight_scale: f32 },
+enum QOp {
+    /// Standard convolution: `weights[out_ch][in_ch·k·k]` codes.
+    Conv {
+        k: usize,
+        out_ch: usize,
+        weights: Vec<i8>,
+        wscale: f32,
+        offsets: Vec<f32>,
+    },
+    /// Depth-wise convolution: `weights[ch][k·k]` codes.
+    DwConv {
+        k: usize,
+        weights: Vec<i8>,
+        wscale: f32,
+        offsets: Vec<f32>,
+    },
+    MaxPool(usize),
+    AvgPool(usize),
+    /// Folded batch-norm on codes: grid-snapped float scales plus
+    /// activation-scale-divided biases.
+    ScaleBias {
+        scale: Vec<f32>,
+        offsets: Vec<f32>,
+    },
+    /// ReLU family; the payload is the clip value's activation code
+    /// (`None` for the unclipped rectifier).
+    Act(Option<i8>),
+    Gap,
 }
 
 /// A network executing in simulated fixed-point arithmetic.
@@ -40,36 +81,59 @@ enum QLayer {
 /// let net = Network::from_dnn(&dnn, 11)?;
 /// let qnet = QuantizedNetwork::quantize(&net, Quantization::Int8);
 /// let out = qnet.forward(&Tensor::full(&[3, 16, 32], 0.5));
+/// let out_i8 = qnet.forward_int8(&Tensor::full(&[3, 16, 32], 0.5));
 /// assert_eq!(out.shape(), &[4]);
+/// assert_eq!(out_i8.shape(), &[4]);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct QuantizedNetwork {
-    layers: Vec<QLayer>,
+    /// Weight-snapped float layers (the fake-quantization path);
+    /// snapping happens once here, not per forward call.
+    layers: Vec<NnLayer>,
+    /// The compiled integer program — `Some` exactly for the Int8
+    /// scheme.
+    int8: Option<Vec<QOp>>,
     scheme: Quantization,
+    engine: Engine,
 }
 
 impl QuantizedNetwork {
-    /// Quantizes a trained network under `scheme`.
+    /// Quantizes a trained network under `scheme`. Weights are snapped
+    /// to their per-layer grids here, once; `forward` calls only pay
+    /// for inference. The engine (worker count) is inherited from
+    /// `net` — override with [`QuantizedNetwork::with_engine`].
     pub fn quantize(net: &Network, scheme: Quantization) -> Self {
-        let layers = net
+        let act_scale = activation_scale(scheme);
+        let layers: Vec<NnLayer> = net
             .layers()
             .iter()
             .map(|layer| {
-                let weight_scale = match layer {
-                    NnLayer::Conv(p) => max_abs(&p.weights),
-                    NnLayer::DwConv(p) => max_abs(&p.weights),
-                    NnLayer::ScaleBias(p) => max_abs(&p.scale),
-                    _ => 1.0,
-                };
-                QLayer::Exact {
-                    layer: layer.clone(),
-                    weight_scale: normalize_scale(weight_scale, scheme),
-                }
+                let wscale = normalize_scale(layer_max_abs(layer), scheme);
+                quantize_layer(layer, wscale, scheme)
             })
             .collect();
-        Self { layers, scheme }
+        let int8 = (scheme == Quantization::Int8).then(|| {
+            net.layers()
+                .iter()
+                .map(|layer| compile_qop(layer, scheme, act_scale))
+                .collect()
+        });
+        Self {
+            layers,
+            int8,
+            scheme,
+            engine: net.engine(),
+        }
+    }
+
+    /// Replaces the execution engine (worker-count knob) used by the
+    /// integer path. Results are byte-identical at any worker count.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine.resolved();
+        self
     }
 
     /// The quantization scheme in use.
@@ -77,35 +141,149 @@ impl QuantizedNetwork {
         self.scheme
     }
 
-    /// Quantized inference: activations are snapped to the scheme's grid
-    /// after every layer, weights are snapped to their per-layer grid
-    /// before use — the round-trip error matches what the fixed-point
-    /// accelerator accumulates.
+    /// True when [`QuantizedNetwork::forward_int8`] is available (the
+    /// Int8 scheme).
+    pub fn has_int8(&self) -> bool {
+        self.int8.is_some()
+    }
+
+    /// Fake-quantized inference: float kernels over the pre-snapped
+    /// weights, activations snapped to the scheme's grid after every
+    /// layer — the round-trip error matches what the fixed-point
+    /// accelerator accumulates. Output is bit-identical to the
+    /// historical per-call-requantizing implementation.
     pub fn forward(&self, image: &Tensor) -> Tensor {
         let act_scale = activation_scale(self.scheme);
         let mut x = quantize_tensor(image, act_scale, self.scheme);
-        for ql in &self.layers {
-            let QLayer::Exact {
-                layer,
-                weight_scale,
-            } = ql;
-            let layer = quantize_layer(layer, *weight_scale, self.scheme);
-            x = Network::forward_layer_public(&layer, &x);
+        for layer in &self.layers {
+            x = Network::forward_layer_public(layer, &x);
             x = quantize_tensor(&x, act_scale, self.scheme);
         }
         x
     }
 
+    /// Real integer inference: the input is quantized to `i8` codes
+    /// once, every layer executes on codes (the private `qengine`
+    /// kernels over [`crate::qgemm`]), and the final codes are dequantized to
+    /// `f32`. Deterministic: byte-identical at every worker count and
+    /// SIMD level.
+    ///
+    /// # Panics
+    ///
+    /// Panics for schemes other than [`Quantization::Int8`] — int16
+    /// feature maps keep the fake-quantized float path (`forward`).
+    pub fn forward_int8(&self, image: &Tensor) -> Tensor {
+        let prog = self
+            .int8
+            .as_ref()
+            .expect("forward_int8 requires the Int8 scheme; use forward() for Int16");
+        let act_scale = activation_scale(self.scheme);
+        let range = self.scheme.code_range();
+        let threads = self.engine.threads();
+        let (mut c, mut h, mut w) = match *image.shape() {
+            [c, h, w] => (c, h, w),
+            ref s => panic!("forward_int8 expects a C x H x W image, got {s:?}"),
+        };
+        let mut codes: Vec<i8> = image
+            .data()
+            .iter()
+            .map(|&v| self.scheme.quantize(v, act_scale) as i8)
+            .collect();
+        for op in prog {
+            match op {
+                QOp::Conv {
+                    k,
+                    out_ch,
+                    weights,
+                    wscale,
+                    offsets,
+                } => {
+                    codes = qengine::qconv_forward(
+                        &codes, c, h, w, weights, *k, *out_ch, *wscale, offsets, range, threads,
+                    );
+                    c = *out_ch;
+                }
+                QOp::DwConv {
+                    k,
+                    weights,
+                    wscale,
+                    offsets,
+                } => {
+                    codes = qengine::qdwconv_forward(
+                        &codes, c, h, w, weights, *k, *wscale, offsets, range, threads,
+                    );
+                }
+                QOp::MaxPool(k) => {
+                    codes = qengine::qmaxpool(&codes, c, h, w, *k);
+                    h /= k;
+                    w /= k;
+                }
+                QOp::AvgPool(k) => {
+                    codes = qengine::qavgpool(&codes, c, h, w, *k, range);
+                    h /= k;
+                    w /= k;
+                }
+                QOp::ScaleBias { scale, offsets } => {
+                    codes = qengine::qscale_bias(&codes, scale, offsets, h * w, range);
+                }
+                QOp::Act(clip_code) => {
+                    codes = qengine::qactivation(&codes, *clip_code);
+                }
+                QOp::Gap => {
+                    codes = qengine::qgap(&codes, c, h, w, range);
+                    h = 1;
+                    w = 1;
+                }
+            }
+        }
+        let data: Vec<f32> = codes
+            .iter()
+            .map(|&v| self.scheme.dequantize(v as i32, act_scale))
+            .collect();
+        let shape: Vec<usize> = if h == 1 && w == 1 && data.len() == c {
+            vec![c]
+        } else {
+            vec![c, h, w]
+        };
+        Tensor::from_vec(&shape, data)
+    }
+
+    /// Measured inference for accuracy scoring: the real integer engine
+    /// when the scheme supports it, the fake-quantized float path
+    /// otherwise (int16).
+    pub fn forward_measured(&self, image: &Tensor) -> Tensor {
+        if self.has_int8() {
+            self.forward_int8(image)
+        } else {
+            self.forward(image)
+        }
+    }
+
     /// Mean absolute output deviation between the quantized and float
     /// networks over a set of calibration images.
     pub fn deviation_from(&self, float_net: &Network, images: &[Tensor]) -> f32 {
+        self.deviation_with(float_net, images, Self::forward)
+    }
+
+    /// [`QuantizedNetwork::deviation_from`] for the integer engine:
+    /// deviation of `forward_int8` outputs from the float network.
+    pub fn int8_deviation_from(&self, float_net: &Network, images: &[Tensor]) -> f32 {
+        self.deviation_with(float_net, images, Self::forward_int8)
+    }
+
+    fn deviation_with(
+        &self,
+        float_net: &Network,
+        images: &[Tensor],
+        forward: impl Fn(&Self, &Tensor) -> Tensor,
+    ) -> f32 {
         if images.is_empty() {
             return 0.0;
         }
         let mut total = 0.0f32;
         let mut count = 0usize;
         for img in images {
-            let qf = self.forward(img);
+            let qf = forward(self, img);
             let ff = float_net.forward(img);
             for (a, b) in qf.data().iter().zip(ff.data()) {
                 total += (a - b).abs();
@@ -134,16 +312,34 @@ impl Network {
     }
 }
 
+/// Largest finite absolute value — the max-abs fold skips NaN and
+/// infinity so a single poisoned weight cannot zero (NaN pushed through
+/// `quantize` saturates to code 0) or blow up every other weight's
+/// grid.
 fn max_abs(v: &[f32]) -> f32 {
-    v.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    v.iter()
+        .map(|x| x.abs())
+        .filter(|x| x.is_finite())
+        .fold(0.0f32, f32::max)
+}
+
+/// The tensor whose max-abs sets a layer's weight grid.
+fn layer_max_abs(layer: &NnLayer) -> f32 {
+    match layer {
+        NnLayer::Conv(p) => max_abs(&p.weights),
+        NnLayer::DwConv(p) => max_abs(&p.weights),
+        NnLayer::ScaleBias(p) => max_abs(&p.scale),
+        _ => 1.0,
+    }
 }
 
 fn normalize_scale(max_abs: f32, scheme: Quantization) -> f32 {
     let (_, hi) = scheme.code_range();
-    if max_abs == 0.0 {
-        1.0
-    } else {
+    if max_abs > 0.0 {
         max_abs / hi as f32
+    } else {
+        // All-zero (or all-non-finite) tensors get a unit grid.
+        1.0
     }
 }
 
@@ -170,6 +366,10 @@ fn quantize_vec(v: &[f32], scale: f32, scheme: Quantization) -> Vec<f32> {
         .collect()
 }
 
+fn quantize_codes_i8(v: &[f32], scale: f32, scheme: Quantization) -> Vec<i8> {
+    v.iter().map(|&x| scheme.quantize(x, scale) as i8).collect()
+}
+
 fn quantize_layer(layer: &NnLayer, wscale: f32, scheme: Quantization) -> NnLayer {
     match layer {
         NnLayer::Conv(p) => {
@@ -194,6 +394,55 @@ fn quantize_layer(layer: &NnLayer, wscale: f32, scheme: Quantization) -> NnLayer
     }
 }
 
+/// Compiles one float layer into its integer-program step. Weight codes
+/// come from the same grid as the snapped float layer, so both paths
+/// see identical weight values; biases are grid-snapped then
+/// pre-divided by the activation scale (the requantization offset).
+fn compile_qop(layer: &NnLayer, scheme: Quantization, act_scale: f32) -> QOp {
+    let inv_as = 1.0 / act_scale;
+    match layer {
+        NnLayer::Conv(p) => {
+            let wscale = normalize_scale(max_abs(&p.weights), scheme);
+            QOp::Conv {
+                k: p.k,
+                out_ch: p.out_ch,
+                weights: quantize_codes_i8(&p.weights, wscale, scheme),
+                wscale,
+                offsets: quantize_vec(&p.bias, wscale, scheme)
+                    .iter()
+                    .map(|b| b * inv_as)
+                    .collect(),
+            }
+        }
+        NnLayer::DwConv(p) => {
+            let wscale = normalize_scale(max_abs(&p.weights), scheme);
+            QOp::DwConv {
+                k: p.k,
+                weights: quantize_codes_i8(&p.weights, wscale, scheme),
+                wscale,
+                offsets: quantize_vec(&p.bias, wscale, scheme)
+                    .iter()
+                    .map(|b| b * inv_as)
+                    .collect(),
+            }
+        }
+        NnLayer::ScaleBias(p) => {
+            let wscale = normalize_scale(max_abs(&p.scale), scheme);
+            QOp::ScaleBias {
+                scale: quantize_vec(&p.scale, wscale, scheme),
+                offsets: quantize_vec(&p.bias, wscale, scheme)
+                    .iter()
+                    .map(|b| b * inv_as)
+                    .collect(),
+            }
+        }
+        NnLayer::MaxPool(k) => QOp::MaxPool(*k),
+        NnLayer::AvgPool(k) => QOp::AvgPool(*k),
+        NnLayer::Act(a) => QOp::Act(a.clip().map(|c| scheme.quantize(c, act_scale) as i8)),
+        NnLayer::Gap => QOp::Gap,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +450,7 @@ mod tests {
     use codesign_dnn::bundle::{bundle_by_id, BundleId};
     use codesign_dnn::space::DesignPoint;
     use codesign_dnn::TensorShape;
+    use codesign_parallel::Parallelism;
     use proptest::prelude::*;
 
     fn tiny_net() -> Network {
@@ -212,6 +462,37 @@ mod tests {
             .build(&p)
             .unwrap();
         Network::from_dnn(&dnn, 21).unwrap()
+    }
+
+    /// The pre-hoist implementation: re-snap the weights on every call,
+    /// exactly as the historical `forward` did. The hoisted version
+    /// must reproduce it bit-for-bit.
+    fn legacy_forward(net: &Network, scheme: Quantization, image: &Tensor) -> Tensor {
+        let act_scale = activation_scale(scheme);
+        let mut x = quantize_tensor(image, act_scale, scheme);
+        for layer in net.layers() {
+            let wscale = normalize_scale(layer_max_abs(layer), scheme);
+            let snapped = quantize_layer(layer, wscale, scheme);
+            x = Network::forward_layer_public(&snapped, &x);
+            x = quantize_tensor(&x, act_scale, scheme);
+        }
+        x
+    }
+
+    #[test]
+    fn hoisted_forward_preserves_legacy_contract() {
+        let net = tiny_net();
+        for scheme in [Quantization::Int8, Quantization::Int16] {
+            let q = QuantizedNetwork::quantize(&net, scheme);
+            for v in [0.0f32, 0.3, 0.9] {
+                let img = Tensor::full(&[3, 8, 16], v);
+                assert_eq!(
+                    q.forward(&img).data(),
+                    legacy_forward(&net, scheme, &img).data(),
+                    "scheme {scheme} input {v}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -240,6 +521,89 @@ mod tests {
     }
 
     #[test]
+    fn int8_engine_output_shape_matches() {
+        let net = tiny_net();
+        let q = QuantizedNetwork::quantize(&net, Quantization::Int8);
+        assert!(q.has_int8());
+        let out = q.forward_int8(&Tensor::full(&[3, 8, 16], 0.4));
+        assert_eq!(out.shape(), &[4]);
+    }
+
+    #[test]
+    fn int8_engine_tracks_the_float_network() {
+        let net = tiny_net();
+        let q = QuantizedNetwork::quantize(&net, Quantization::Int8);
+        let images: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::full(&[3, 8, 16], 0.1 + 0.2 * i as f32))
+            .collect();
+        let d_fake = q.deviation_from(&net, &images);
+        let d_int8 = q.int8_deviation_from(&net, &images);
+        // The integer engine accumulates exactly where the fake path
+        // rounds at every step, so it should not be meaningfully worse.
+        assert!(
+            d_int8 <= d_fake * 2.0 + 0.05,
+            "int8 deviation {d_int8} far exceeds fake-quant deviation {d_fake}"
+        );
+    }
+
+    #[test]
+    fn int8_engine_is_worker_count_invariant() {
+        let net = tiny_net();
+        let q1 = QuantizedNetwork::quantize(&net, Quantization::Int8)
+            .with_engine(Engine::Gemm(Parallelism::Fixed(1)));
+        let q4 = QuantizedNetwork::quantize(&net, Quantization::Int8)
+            .with_engine(Engine::Gemm(Parallelism::Fixed(4)));
+        for v in [0.0f32, 0.25, 0.8] {
+            let img = Tensor::full(&[3, 8, 16], v);
+            assert_eq!(q1.forward_int8(&img).data(), q4.forward_int8(&img).data());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the Int8 scheme")]
+    fn int16_rejects_integer_path() {
+        let net = tiny_net();
+        let q = QuantizedNetwork::quantize(&net, Quantization::Int16);
+        assert!(!q.has_int8());
+        let _ = q.forward_int8(&Tensor::full(&[3, 8, 16], 0.4));
+    }
+
+    #[test]
+    fn measured_forward_picks_the_real_engine_when_available() {
+        let net = tiny_net();
+        let img = Tensor::full(&[3, 8, 16], 0.4);
+        let q8 = QuantizedNetwork::quantize(&net, Quantization::Int8);
+        assert_eq!(
+            q8.forward_measured(&img).data(),
+            q8.forward_int8(&img).data()
+        );
+        let q16 = QuantizedNetwork::quantize(&net, Quantization::Int16);
+        assert_eq!(q16.forward_measured(&img).data(), q16.forward(&img).data());
+    }
+
+    #[test]
+    fn nan_weight_does_not_poison_the_grid() {
+        // A single NaN (or infinite) weight must not collapse the whole
+        // layer's scale; the finite weights still define the grid.
+        let finite = [0.5f32, -2.0, 1.25];
+        assert_eq!(max_abs(&finite), 2.0);
+        let mut poisoned = finite.to_vec();
+        poisoned.push(f32::NAN);
+        poisoned.push(f32::INFINITY);
+        assert_eq!(max_abs(&poisoned), 2.0, "non-finite values must be skipped");
+        let scale = normalize_scale(max_abs(&poisoned), Quantization::Int8);
+        assert!(scale.is_finite() && scale > 0.0);
+    }
+
+    #[test]
+    fn all_nonfinite_weights_fall_back_to_unit_scale() {
+        let poisoned = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        assert_eq!(max_abs(&poisoned), 0.0);
+        assert_eq!(normalize_scale(0.0, Quantization::Int8), 1.0);
+        assert_eq!(normalize_scale(0.0, Quantization::Int16), 1.0);
+    }
+
+    #[test]
     fn int16_deviation_is_small() {
         let net = tiny_net();
         let q = QuantizedNetwork::quantize(&net, Quantization::Int16);
@@ -264,6 +628,7 @@ mod tests {
             let q = QuantizedNetwork::quantize(&net, Quantization::Int8);
             let img = Tensor::full(&[3, 8, 16], v);
             prop_assert_eq!(q.forward(&img), q.forward(&img));
+            prop_assert_eq!(q.forward_int8(&img), q.forward_int8(&img));
         }
     }
 }

@@ -1,0 +1,128 @@
+//! The SIMD-dispatch contract: every instruction level the hardware
+//! offers — scalar, SSE2, AVX2 — produces **bit-identical** GEMM
+//! results at every shape and worker count.
+//!
+//! For the f32 kernel that holds because every level advances the same
+//! per-element init-then-ascending-k accumulation chains (vector width
+//! only changes how many independent chains move per instruction, and
+//! the kernels use separate multiply + add, never FMA). For the int8
+//! kernel it holds trivially: integer arithmetic is exact.
+
+use codesign_nn::gemm::gemm_nt_at;
+use codesign_nn::qgemm::qgemm_nt_at;
+use codesign_nn::simd::{available_levels, detected_best, SimdLevel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng_vec(len: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..len).map(|_| rng.random_range(-1.0..1.0)).collect()
+}
+
+fn rng_vec_i8(len: usize, rng: &mut StdRng) -> Vec<i8> {
+    (0..len)
+        .map(|_| rng.random_range(-128i32..128) as i8)
+        .collect()
+}
+
+#[test]
+fn scalar_level_is_always_available() {
+    assert!(available_levels().contains(&SimdLevel::Scalar));
+    assert!(available_levels().contains(&detected_best()));
+}
+
+#[test]
+fn f32_gemm_levels_agree_on_awkward_shapes() {
+    let mut rng = StdRng::seed_from_u64(41);
+    // Shapes straddling every remainder case: sub-tile, exact multiples
+    // of the widest tile, and ragged edges in both m and n.
+    for (m, k, n) in [
+        (1, 1, 1),
+        (3, 5, 7),
+        (4, 16, 8),
+        (17, 13, 31),
+        (32, 27, 40),
+        (65, 9, 23),
+    ] {
+        let a = rng_vec(m * k, &mut rng);
+        let b = rng_vec(n * k, &mut rng);
+        let bias = rng_vec(n, &mut rng);
+        let baseline = gemm_nt_at(SimdLevel::Scalar, &a, &b, k, n, Some(&bias), 1);
+        for level in available_levels() {
+            for threads in [1, 3, 4] {
+                let out = gemm_nt_at(level, &a, &b, k, n, Some(&bias), threads);
+                assert_eq!(
+                    out, baseline,
+                    "f32 {level} x{threads} diverges at m={m} k={k} n={n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn i8_gemm_levels_agree_on_awkward_shapes() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for (m, k, n) in [(1, 1, 1), (3, 5, 7), (16, 18, 24), (33, 27, 17)] {
+        let a = rng_vec_i8(m * k, &mut rng);
+        let b = rng_vec_i8(n * k, &mut rng);
+        let baseline = qgemm_nt_at(SimdLevel::Scalar, &a, &b, k, n, 1);
+        for level in available_levels() {
+            for threads in [1, 4] {
+                assert_eq!(
+                    qgemm_nt_at(level, &a, &b, k, n, threads),
+                    baseline,
+                    "i8 {level} x{threads} diverges at m={m} k={k} n={n}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes, data, worker counts: all levels, bit-identical.
+    #[test]
+    fn prop_f32_gemm_is_level_invariant(
+        m in 1usize..40,
+        k in 1usize..48,
+        n in 1usize..24,
+        threads in 1usize..6,
+        with_bias in 0u8..2,
+        seed in 0u64..1024,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rng_vec(m * k, &mut rng);
+        let b = rng_vec(n * k, &mut rng);
+        let bias = rng_vec(n, &mut rng);
+        let bias = (with_bias == 1).then_some(bias.as_slice());
+        let baseline = gemm_nt_at(SimdLevel::Scalar, &a, &b, k, n, bias, 1);
+        for level in available_levels() {
+            let out = gemm_nt_at(level, &a, &b, k, n, bias, threads);
+            prop_assert_eq!(&out, &baseline);
+        }
+    }
+
+    /// The int8 kernel is exact integer arithmetic: every level and
+    /// grouping returns the same bytes.
+    #[test]
+    fn prop_i8_gemm_is_level_invariant(
+        m in 1usize..32,
+        k in 1usize..40,
+        n in 1usize..20,
+        threads in 1usize..6,
+        seed in 0u64..1024,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let a = rng_vec_i8(m * k, &mut rng);
+        let b = rng_vec_i8(n * k, &mut rng);
+        let baseline = qgemm_nt_at(SimdLevel::Scalar, &a, &b, k, n, 1);
+        for level in available_levels() {
+            prop_assert_eq!(
+                &qgemm_nt_at(level, &a, &b, k, n, threads),
+                &baseline
+            );
+        }
+    }
+}
