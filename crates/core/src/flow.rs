@@ -17,7 +17,7 @@
 use crate::accuracy::{AccuracyModel, ProxyEvaluator};
 use crate::checkpoint::FlowCheckpoint;
 use crate::evaluate::{coarse_evaluate_parallel, select_bundles, BundleEvaluation, EvalMethod};
-use crate::observe::{CancelToken, FlowEvent, FlowObserver, NullObserver};
+use crate::observe::{CancelState, CancelToken, FlowEvent, FlowObserver, NullObserver};
 use crate::parallel::{derive_seed, try_parallel_map, Parallelism};
 use crate::search::{scd_search_with_activation, Candidate, ScdConfig};
 use codesign_dnn::builder::DnnBuilder;
@@ -505,6 +505,9 @@ pub enum FlowError {
     /// The run's [`CancelToken`] fired; the flow stopped at a work-item
     /// boundary.
     Cancelled,
+    /// The run's [`CancelToken`] deadline passed; the flow stopped at a
+    /// work-item boundary.
+    DeadlineExceeded,
     /// Writing a stage record to the run's [`FlowCheckpoint`] failed.
     Checkpoint {
         /// Description of the underlying I/O failure.
@@ -518,6 +521,7 @@ impl fmt::Display for FlowError {
             FlowError::Sim(e) => write!(f, "hardware step failed: {e}"),
             FlowError::InvalidConfig(e) => write!(f, "invalid flow config: {e}"),
             FlowError::Cancelled => write!(f, "flow cancelled"),
+            FlowError::DeadlineExceeded => write!(f, "flow deadline exceeded"),
             FlowError::Checkpoint { reason } => write!(f, "checkpoint write failed: {reason}"),
         }
     }
@@ -659,8 +663,10 @@ impl CoDesignFlow {
         cancel: &CancelToken,
     ) -> Result<FlowOutput, FlowError> {
         let result = self.run_observed_inner(observer, cancel, None);
-        if matches!(result, Err(FlowError::Cancelled)) {
-            observer.on_event(&FlowEvent::Cancelled);
+        match result {
+            Err(FlowError::Cancelled) => observer.on_event(&FlowEvent::Cancelled),
+            Err(FlowError::DeadlineExceeded) => observer.on_event(&FlowEvent::TimedOut),
+            _ => {}
         }
         result
     }
@@ -687,8 +693,10 @@ impl CoDesignFlow {
         cancel: &CancelToken,
     ) -> Result<FlowOutput, FlowError> {
         let result = self.run_observed_inner(observer, cancel, Some(checkpoint));
-        if matches!(result, Err(FlowError::Cancelled)) {
-            observer.on_event(&FlowEvent::Cancelled);
+        match result {
+            Err(FlowError::Cancelled) => observer.on_event(&FlowEvent::Cancelled),
+            Err(FlowError::DeadlineExceeded) => observer.on_event(&FlowEvent::TimedOut),
+            _ => {}
         }
         if result.is_ok() {
             // A leftover checkpoint means "interrupted run"; failing to
@@ -713,10 +721,10 @@ impl CoDesignFlow {
             .clone()
             .unwrap_or_else(|| Arc::new(EstimateCache::new()));
         let checkpoint = || -> Result<(), FlowError> {
-            if cancel.is_cancelled() {
-                Err(FlowError::Cancelled)
-            } else {
-                Ok(())
+            match cancel.state() {
+                CancelState::Cancelled => Err(FlowError::Cancelled),
+                CancelState::TimedOut => Err(FlowError::DeadlineExceeded),
+                CancelState::Live => Ok(()),
             }
         };
 
@@ -1270,6 +1278,27 @@ mod tests {
         assert!(!events
             .iter()
             .any(|e| matches!(e, FlowEvent::ScdSearchFinished { .. })));
+    }
+
+    #[test]
+    fn expired_deadline_times_the_flow_out() {
+        let token = CancelToken::new();
+        token.set_deadline_in(std::time::Duration::ZERO);
+        let events = Mutex::new(Vec::new());
+        let sink = |e: &FlowEvent| events.lock().unwrap().push(e.clone());
+        let result = small_flow().run_observed(&sink, &token);
+        assert!(matches!(result, Err(FlowError::DeadlineExceeded)));
+        let events = events.into_inner().unwrap();
+        assert_eq!(events.last(), Some(&FlowEvent::TimedOut));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::ScdSearchFinished { .. })));
+        // An explicit cancel still outranks the expired deadline.
+        let cancelled = CancelToken::new();
+        cancelled.set_deadline_in(std::time::Duration::ZERO);
+        cancelled.cancel();
+        let result = small_flow().run_observed(&NullObserver, &cancelled);
+        assert!(matches!(result, Err(FlowError::Cancelled)));
     }
 
     #[test]

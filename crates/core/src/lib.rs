@@ -66,7 +66,7 @@ pub use accuracy::{AccuracyModel, ProxyEvaluator};
 pub use checkpoint::FlowCheckpoint;
 pub use evaluate::{coarse_evaluate, coarse_evaluate_parallel, select_bundles, BundleEvaluation};
 pub use flow::{CoDesignFlow, FlowConfig, FlowConfigBuilder, FlowOutput, FlowSummary};
-pub use observe::{CancelToken, FlowEvent, FlowObserver, NullObserver};
+pub use observe::{CancelState, CancelToken, FlowEvent, FlowObserver, NullObserver};
 pub use parallel::{derive_seed, parallel_map, Parallelism};
 pub use pareto::pareto_front;
 pub use search::{random_search, scd_search, scd_search_with_activation, Candidate, ScdConfig};

@@ -22,16 +22,51 @@
 //! are the monotone progress signal to surface to users.
 
 use codesign_dnn::quant::Activation;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Cooperative cancellation handle for a co-design flow run.
+/// Why a [`CancelToken`] says to stop — or that it doesn't.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelState {
+    /// Neither cancelled nor past a deadline: keep going.
+    Live,
+    /// A clone called [`cancel`](CancelToken::cancel). Takes precedence
+    /// over a simultaneously expired deadline, so an operator's
+    /// explicit stop is never reported as a timeout.
+    Cancelled,
+    /// The deadline set via [`set_deadline_in`](CancelToken::set_deadline_in)
+    /// has passed.
+    TimedOut,
+}
+
+#[derive(Debug)]
+struct TokenInner {
+    flag: AtomicBool,
+    /// Zero point for `deadline_ns`, fixed at token creation.
+    anchor: Instant,
+    /// Deadline as nanoseconds past `anchor`; `u64::MAX` means none.
+    deadline_ns: AtomicU64,
+}
+
+impl Default for TokenInner {
+    fn default() -> Self {
+        Self {
+            flag: AtomicBool::new(false),
+            anchor: Instant::now(),
+            deadline_ns: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+/// Cooperative cancellation handle for a co-design flow run, with an
+/// optional deadline.
 ///
 /// Clones share one flag: any clone can [`cancel`](CancelToken::cancel),
 /// every clone observes it. The flow checks the token **between** work
 /// items (a Bundle calibration, one SCD search, one design
-/// finalization), so cancellation latency is bounded by the longest
-/// single work item, not the whole flow.
+/// finalization), so cancellation — and deadline — latency is bounded
+/// by the longest single work item, not the whole flow.
 ///
 /// ```
 /// use codesign_core::observe::CancelToken;
@@ -44,23 +79,58 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    inner: Arc<TokenInner>,
 }
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled token with no deadline.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Requests cancellation. Idempotent; never blocks.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        self.inner.flag.store(true, Ordering::Relaxed);
     }
 
     /// True once any clone has called [`cancel`](CancelToken::cancel).
+    /// Deadline expiry is *not* reflected here — use
+    /// [`state`](CancelToken::state) to see both.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        self.inner.flag.load(Ordering::Relaxed)
+    }
+
+    /// Arms (or re-arms) a deadline `after` from now. The clock starts
+    /// at this call, so a deadline set at submit time counts queue wait
+    /// against the budget.
+    pub fn set_deadline_in(&self, after: Duration) {
+        let ns = self
+            .inner
+            .anchor
+            .elapsed()
+            .saturating_add(after)
+            .as_nanos()
+            .min(u64::MAX as u128 - 1) as u64;
+        self.inner.deadline_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// True once an armed deadline has passed (always false when none
+    /// is set).
+    pub fn deadline_exceeded(&self) -> bool {
+        let ns = self.inner.deadline_ns.load(Ordering::Relaxed);
+        ns != u64::MAX && self.inner.anchor.elapsed().as_nanos() as u64 >= ns
+    }
+
+    /// The token's combined verdict; explicit cancellation wins over an
+    /// expired deadline.
+    pub fn state(&self) -> CancelState {
+        if self.is_cancelled() {
+            CancelState::Cancelled
+        } else if self.deadline_exceeded() {
+            CancelState::TimedOut
+        } else {
+            CancelState::Live
+        }
     }
 }
 
@@ -131,6 +201,9 @@ pub enum FlowEvent {
     },
     /// The flow stopped early because its [`CancelToken`] fired.
     Cancelled,
+    /// The flow stopped early because its [`CancelToken`]'s deadline
+    /// passed.
+    TimedOut,
 }
 
 /// A thread-safe sink for [`FlowEvent`]s.
@@ -178,6 +251,28 @@ mod tests {
         assert!(a.is_cancelled() && b.is_cancelled());
         b.cancel(); // idempotent
         assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn deadlines_expire_and_cancel_wins() {
+        let token = CancelToken::new();
+        assert_eq!(token.state(), CancelState::Live);
+        assert!(!token.deadline_exceeded());
+        token.set_deadline_in(Duration::from_secs(3600));
+        assert_eq!(token.state(), CancelState::Live);
+        token.set_deadline_in(Duration::ZERO);
+        assert!(token.deadline_exceeded());
+        assert_eq!(token.state(), CancelState::TimedOut);
+        // Deadline expiry does not masquerade as cancellation…
+        assert!(!token.is_cancelled());
+        // …and an explicit cancel outranks the expired deadline.
+        token.cancel();
+        assert_eq!(token.state(), CancelState::Cancelled);
+        // Clones share the deadline too.
+        let fresh = CancelToken::new();
+        let clone = fresh.clone();
+        fresh.set_deadline_in(Duration::ZERO);
+        assert_eq!(clone.state(), CancelState::TimedOut);
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! Deterministic fault injection for the co-design serving stack.
+//!
+//! A [`FaultPlan`] is a *seeded schedule of failures*: given one `u64`
+//! seed and a set of named injection sites ("store.append",
+//! "serve.job.panic", …), the plan decides — as a pure function of
+//! `(seed, site, invocation index)` — whether the k-th operation at a
+//! site fails, panics, is delayed, or proceeds. Because the decision
+//! for index `k` never depends on thread timing, the schedule is
+//! bit-identical across runs and across worker counts: chaos tests can
+//! replay the exact same failure pattern from a single seed, and a
+//! fault attributed to job `id` under one interleaving is attributed to
+//! the same job under every other.
+//!
+//! # Injection sites
+//!
+//! Subsystems consult the plan at fixed, named *sites*:
+//!
+//! | site                | kind       | consulted by |
+//! |---------------------|------------|--------------|
+//! | `store.open`        | I/O error  | `RecordLog::open_with` |
+//! | `store.append`      | I/O error  | `RecordLog::append` |
+//! | `store.sync`        | I/O error  | `RecordLog::sync` |
+//! | `serve.job.panic`   | panic      | the serve executor, keyed by job id |
+//! | `serve.job.delay`   | latency    | the serve executor, keyed by job id |
+//! | `serve.conn.drop`   | conn drop  | the HTTP accept path |
+//! | `parallel.item`     | latency/panic | the worker pool, per work item |
+//!
+//! A site not configured in the plan always proceeds, and a component
+//! with no plan installed at all pays only an `Option`/relaxed-atomic
+//! check — the production hot path is a no-op (pinned by bench parity
+//! against the committed `BENCH_*.json`).
+//!
+//! # Two decision modes
+//!
+//! * [`FaultPlan::decide`] — advances a per-site atomic counter; the
+//!   k-th *call* at the site gets decision `k`. Which thread observes
+//!   which decision is racy, but the decision sequence itself is not.
+//! * [`FaultPlan::decide_at`] — pure, keyed by a caller-supplied index
+//!   (e.g. a job id). Use this when the fault must follow a stable
+//!   identity rather than call order, so "which jobs panic" is a
+//!   function of the seed alone.
+//!
+//! This crate is dependency-free and sits at the bottom of the
+//! workspace graph so store, parallel, core, and serve can all consume
+//! it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// SplitMix64 — the same generator `codesign-parallel` uses for
+/// per-item seed derivation (duplicated here, six lines, to keep this
+/// crate at the bottom of the dependency graph).
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over `bytes`, used to fold site names into the seed stream.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What a consulted site should do for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultAction {
+    /// No fault scheduled: run the real operation.
+    Proceed,
+    /// Fail the operation with an injected I/O error.
+    FailIo,
+    /// Panic (inside whatever isolation boundary the caller maintains).
+    Panic,
+    /// Sleep for the site's configured delay, then proceed.
+    Delay(Duration),
+    /// Drop the connection without reading or responding.
+    DropConnection,
+}
+
+/// What kind of fault a site injects when its schedule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    IoError,
+    Panic,
+    Delay,
+    DropConnection,
+}
+
+#[derive(Debug)]
+struct Site {
+    kind: FaultKind,
+    /// Probability in `[0, 1]` that a given invocation index fires.
+    rate: f64,
+    /// When set, overrides `rate`: exactly these invocation indices
+    /// fire. Used by tests that need a fault at a known position.
+    at: Option<BTreeSet<u64>>,
+    /// Sleep length for [`FaultKind::Delay`] sites.
+    delay: Duration,
+    /// Invocations seen by [`FaultPlan::decide`] (not `decide_at`).
+    calls: AtomicU64,
+    /// Faults actually injected at this site, either mode.
+    injected: AtomicU64,
+}
+
+/// A seeded, thread-safe schedule of injected faults.
+///
+/// Built once via [`FaultPlan::builder`]; the site set is immutable
+/// after build, so concurrent [`decide`](Self::decide) calls contend
+/// only on per-site atomic counters.
+///
+/// ```
+/// use codesign_faults::{FaultAction, FaultPlan};
+///
+/// let plan = FaultPlan::builder(42).io_failures("store.append", 0.5).build();
+/// // The schedule is a pure function of (seed, site, index):
+/// let first: Vec<FaultAction> = (0..8).map(|k| plan.decide_at("store.append", k)).collect();
+/// let again: Vec<FaultAction> = (0..8).map(|k| plan.decide_at("store.append", k)).collect();
+/// assert_eq!(first, again);
+/// // Unconfigured sites always proceed.
+/// assert_eq!(plan.decide_at("store.sync", 0), FaultAction::Proceed);
+/// ```
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: BTreeMap<String, Site>,
+}
+
+/// Configures and builds a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    sites: BTreeMap<String, Site>,
+}
+
+impl FaultPlanBuilder {
+    fn add(mut self, site: &str, kind: FaultKind, rate: f64, delay: Duration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate must be in [0, 1], got {rate}"
+        );
+        self.sites.insert(
+            site.to_string(),
+            Site {
+                kind,
+                rate,
+                at: None,
+                delay,
+                calls: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            },
+        );
+        self
+    }
+
+    fn add_at(mut self, site: &str, kind: FaultKind, indices: &[u64], delay: Duration) -> Self {
+        self.sites.insert(
+            site.to_string(),
+            Site {
+                kind,
+                rate: 1.0,
+                at: Some(indices.iter().copied().collect()),
+                delay,
+                calls: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            },
+        );
+        self
+    }
+
+    /// Injected `io::Error`s at `site` with probability `rate`.
+    pub fn io_failures(self, site: &str, rate: f64) -> Self {
+        self.add(site, FaultKind::IoError, rate, Duration::ZERO)
+    }
+
+    /// Injected panics at `site` with probability `rate`.
+    pub fn panics(self, site: &str, rate: f64) -> Self {
+        self.add(site, FaultKind::Panic, rate, Duration::ZERO)
+    }
+
+    /// Injected sleeps of `delay` at `site` with probability `rate`.
+    pub fn delays(self, site: &str, rate: f64, delay: Duration) -> Self {
+        self.add(site, FaultKind::Delay, rate, delay)
+    }
+
+    /// Injected connection drops at `site` with probability `rate`.
+    pub fn connection_drops(self, site: &str, rate: f64) -> Self {
+        self.add(site, FaultKind::DropConnection, rate, Duration::ZERO)
+    }
+
+    /// Injected `io::Error`s at exactly the given invocation `indices`
+    /// of `site` — for tests that need a fault at a known position
+    /// rather than a seeded rate.
+    pub fn io_failures_at(self, site: &str, indices: &[u64]) -> Self {
+        self.add_at(site, FaultKind::IoError, indices, Duration::ZERO)
+    }
+
+    /// Injected panics at exactly the given invocation `indices` of
+    /// `site`.
+    pub fn panics_at(self, site: &str, indices: &[u64]) -> Self {
+        self.add_at(site, FaultKind::Panic, indices, Duration::ZERO)
+    }
+
+    /// Injected sleeps of `delay` at exactly the given invocation
+    /// `indices` of `site`.
+    pub fn delays_at(self, site: &str, indices: &[u64], delay: Duration) -> Self {
+        self.add_at(site, FaultKind::Delay, indices, delay)
+    }
+
+    /// Finalizes the plan, wrapped for cheap sharing across threads.
+    pub fn build(self) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan {
+            seed: self.seed,
+            sites: self.sites,
+        })
+    }
+}
+
+impl FaultPlan {
+    /// Starts a plan for `seed`. The same seed and site configuration
+    /// always produce the same schedule.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed,
+            sites: BTreeMap::new(),
+        }
+    }
+
+    /// The seed this plan's schedule derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Pure decision for invocation `index` at `site`: a function of
+    /// `(seed, site, index)` only. Does not advance the site's call
+    /// counter, so it is safe to both key real injections by stable ids
+    /// and *predict* the schedule (e.g. "which job ids will panic")
+    /// from test code without disturbing it.
+    pub fn decide_at(&self, site: &str, index: u64) -> FaultAction {
+        let Some(s) = self.sites.get(site) else {
+            return FaultAction::Proceed;
+        };
+        let fired = match &s.at {
+            Some(indices) => indices.contains(&index),
+            None => self.fires(site, index, s.rate),
+        };
+        if !fired {
+            return FaultAction::Proceed;
+        }
+        s.injected.fetch_add(1, Ordering::Relaxed);
+        match s.kind {
+            FaultKind::IoError => FaultAction::FailIo,
+            FaultKind::Panic => FaultAction::Panic,
+            FaultKind::Delay => FaultAction::Delay(s.delay),
+            FaultKind::DropConnection => FaultAction::DropConnection,
+        }
+    }
+
+    /// Counter-based decision: the k-th call at `site` (across all
+    /// threads) gets the pure decision for index `k`. The *sequence* of
+    /// decisions is deterministic; which caller observes which index is
+    /// a scheduling artifact.
+    pub fn decide(&self, site: &str) -> FaultAction {
+        let Some(s) = self.sites.get(site) else {
+            return FaultAction::Proceed;
+        };
+        let k = s.calls.fetch_add(1, Ordering::Relaxed);
+        self.decide_at(site, k)
+    }
+
+    /// Counter-based I/O shim: `Ok(())` to proceed, or an injected
+    /// [`io::Error`] (kind `Other`, message naming the site) when the
+    /// schedule fires. Non-I/O site kinds are applied in place: delays
+    /// sleep, panics panic.
+    ///
+    /// # Errors
+    ///
+    /// The injected error; never a real one.
+    pub fn fail_io(&self, site: &str) -> io::Result<()> {
+        match self.decide(site) {
+            FaultAction::FailIo => Err(injected_io_error(site)),
+            FaultAction::Panic => panic!("injected fault: {site}"),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            FaultAction::Proceed | FaultAction::DropConnection => Ok(()),
+        }
+    }
+
+    /// The first `n` decisions of a site's counter schedule, as pure
+    /// data. `schedule(site, n)[k]` is exactly what the k-th
+    /// [`decide`](Self::decide) call returns (modulo which thread gets
+    /// it).
+    pub fn schedule(&self, site: &str, n: u64) -> Vec<FaultAction> {
+        (0..n).map(|k| self.decide_at(site, k)).collect()
+    }
+
+    /// Faults injected so far at `site` (both decision modes).
+    pub fn injected(&self, site: &str) -> u64 {
+        self.sites
+            .get(site)
+            .map(|s| s.injected.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Total faults injected across all sites.
+    pub fn injected_total(&self) -> u64 {
+        self.sites
+            .values()
+            .map(|s| s.injected.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Whether the schedule fires for `(site, index)` at `rate`.
+    fn fires(&self, site: &str, index: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(fnv1a(site.as_bytes())) ^ splitmix64(index));
+        // Top 53 bits → uniform in [0, 1), exactly representable.
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < rate
+    }
+}
+
+/// The error every injected I/O fault carries. `io::ErrorKind::Other`
+/// with a message naming the site, so logs and degraded-mode reasons
+/// say exactly which schedule fired.
+pub fn injected_io_error(site: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {site}"))
+}
+
+/// True when `err` was produced by [`injected_io_error`] — lets tests
+/// distinguish scheduled faults from real disk trouble.
+pub fn is_injected(err: &io::Error) -> bool {
+    err.to_string().starts_with("injected fault: ")
+}
+
+// --- Process-global plan -------------------------------------------------
+//
+// Most injection points take the plan explicitly (the store's
+// `LogOptions`, the scheduler's `ServeConfig`). The worker pool cannot:
+// it is a process-wide singleton reached from deep inside kernels, so
+// it consults a process-global slot instead. The slot is guarded by a
+// relaxed `AtomicBool` checked *first*, so with no plan installed the
+// per-item cost is one relaxed load — the no-op guarantee the benches
+// pin.
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn global_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs `plan` as the process-global plan (replacing any previous
+/// one). Test-only in spirit: production processes never install one.
+pub fn install_global(plan: Arc<FaultPlan>) {
+    *global_slot().lock().expect("fault plan slot") = Some(plan);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the process-global plan; hooks return to no-ops.
+pub fn clear_global() {
+    ACTIVE.store(false, Ordering::Release);
+    *global_slot().lock().expect("fault plan slot") = None;
+}
+
+/// The currently installed process-global plan, if any. Fast `None`
+/// when nothing is installed.
+pub fn global() -> Option<Arc<FaultPlan>> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    global_slot().lock().expect("fault plan slot").clone()
+}
+
+/// The worker pool's per-item hook (site `parallel.item`): a single
+/// relaxed atomic load when no global plan is installed; otherwise an
+/// injected delay or panic per the schedule. Panics unwind into the
+/// pool's existing per-item `catch_unwind`, which re-raises on the
+/// posting caller — exactly the path a real work-item panic takes.
+#[inline]
+pub fn pool_item_hook() {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let Some(plan) = global() else { return };
+    match plan.decide("parallel.item") {
+        FaultAction::Delay(d) => std::thread::sleep(d),
+        FaultAction::Panic => panic!("injected fault: parallel.item"),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_sites_always_proceed() {
+        let plan = FaultPlan::builder(7).build();
+        for k in 0..100 {
+            assert_eq!(plan.decide_at("anything", k), FaultAction::Proceed);
+        }
+        assert_eq!(plan.decide("anything"), FaultAction::Proceed);
+        assert!(plan.fail_io("anything").is_ok());
+        assert_eq!(plan.injected_total(), 0);
+    }
+
+    #[test]
+    fn rate_edges_are_exact() {
+        let never = FaultPlan::builder(1).io_failures("s", 0.0).build();
+        let always = FaultPlan::builder(1).io_failures("s", 1.0).build();
+        for k in 0..200 {
+            assert_eq!(never.decide_at("s", k), FaultAction::Proceed);
+            assert_eq!(always.decide_at("s", k), FaultAction::FailIo);
+        }
+    }
+
+    #[test]
+    fn counter_mode_walks_the_pure_schedule() {
+        let plan = FaultPlan::builder(99).io_failures("s", 0.5).build();
+        let pure = plan.schedule("s", 64);
+        let walked: Vec<FaultAction> = (0..64).map(|_| plan.decide("s")).collect();
+        assert_eq!(walked, pure);
+    }
+
+    #[test]
+    fn different_sites_get_different_schedules() {
+        let plan = FaultPlan::builder(5)
+            .io_failures("a", 0.5)
+            .io_failures("b", 0.5)
+            .build();
+        let a = plan.schedule("a", 256);
+        let b = plan.schedule("b", 256);
+        assert_ne!(a, b, "independent sites must not share a schedule");
+    }
+
+    #[test]
+    fn rates_land_near_the_target_frequency() {
+        let plan = FaultPlan::builder(1234).io_failures("s", 0.25).build();
+        let fired = plan
+            .schedule("s", 4096)
+            .iter()
+            .filter(|a| **a == FaultAction::FailIo)
+            .count();
+        let frac = fired as f64 / 4096.0;
+        assert!(
+            (0.2..0.3).contains(&frac),
+            "rate 0.25 produced frequency {frac}"
+        );
+    }
+
+    #[test]
+    fn index_targeted_sites_fire_exactly_where_asked() {
+        let plan = FaultPlan::builder(0).io_failures_at("s", &[0, 3]).build();
+        let schedule = plan.schedule("s", 5);
+        assert_eq!(
+            schedule,
+            vec![
+                FaultAction::FailIo,
+                FaultAction::Proceed,
+                FaultAction::Proceed,
+                FaultAction::FailIo,
+                FaultAction::Proceed,
+            ]
+        );
+        assert_eq!(plan.injected("s"), 2);
+    }
+
+    #[test]
+    fn injected_errors_are_recognizable() {
+        let err = injected_io_error("store.append");
+        assert!(is_injected(&err));
+        assert!(err.to_string().contains("store.append"));
+        assert!(!is_injected(&io::Error::other("disk on fire")));
+    }
+
+    #[test]
+    fn injected_counters_track_fired_faults() {
+        let plan = FaultPlan::builder(3)
+            .io_failures("s", 1.0)
+            .delays("d", 1.0, Duration::ZERO)
+            .build();
+        for _ in 0..5 {
+            let _ = plan.fail_io("s");
+        }
+        assert_eq!(plan.injected("s"), 5);
+        assert_eq!(plan.decide("d"), FaultAction::Delay(Duration::ZERO));
+        assert_eq!(plan.injected_total(), 6);
+    }
+
+    #[test]
+    fn global_install_round_trips_and_clears() {
+        // Serialized with a lock because other tests may run in
+        // parallel in this binary — the global slot is process-wide.
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _guard = GUARD.lock().unwrap();
+        assert!(global().is_none());
+        pool_item_hook(); // no-op without a plan
+        let plan = FaultPlan::builder(11)
+            .delays("parallel.item", 1.0, Duration::ZERO)
+            .build();
+        install_global(Arc::clone(&plan));
+        assert!(global().is_some());
+        pool_item_hook();
+        assert_eq!(plan.injected("parallel.item"), 1);
+        clear_global();
+        assert!(global().is_none());
+    }
+}

@@ -34,7 +34,9 @@
 use crate::cache::EstimateCache;
 use crate::model::Estimate;
 use codesign_sim::report::ResourceUsage;
-use codesign_store::{ByteReader, ByteWriter, CodecError, LogError, RecordLog, StreamKind};
+use codesign_store::{
+    ByteReader, ByteWriter, CodecError, LogError, LogOptions, RecordLog, StreamKind,
+};
 use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -107,7 +109,19 @@ impl EstimateStore {
     /// not an estimate-store log (wrong magic, kind, or a future format
     /// version).
     pub fn open(path: &Path) -> Result<Self, LogError> {
-        let (log, raw_records, recovery) = RecordLog::open(path, StreamKind::EstimateStore)?;
+        Self::open_with(path, LogOptions::default())
+    }
+
+    /// [`open`](Self::open) with explicit durability and
+    /// fault-injection [`LogOptions`] for the underlying record log.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`open`](Self::open) returns, plus injected I/O
+    /// errors when `options` carry an active fault plan.
+    pub fn open_with(path: &Path, options: LogOptions) -> Result<Self, LogError> {
+        let (log, raw_records, recovery) =
+            RecordLog::open_with(path, StreamKind::EstimateStore, options)?;
         let mut pending = Vec::with_capacity(raw_records.len());
         let mut on_disk = HashSet::with_capacity(raw_records.len());
         for payload in &raw_records {
@@ -170,6 +184,18 @@ impl EstimateStore {
         }
         self.stats.persisted += written;
         Ok(written)
+    }
+
+    /// Forces every appended record to stable storage (`fsync`).
+    /// [`persist_from`](Self::persist_from) already syncs before
+    /// reporting success; this is for explicit durability points such
+    /// as graceful shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fsync` failures (including injected ones).
+    pub fn sync(&self) -> io::Result<()> {
+        self.log.sync()
     }
 
     /// Activity counters since open.
@@ -314,6 +340,43 @@ mod tests {
         assert_eq!(reopened.stats().recovered_tail_bytes, 0);
         let fresh = EstimateCache::new();
         assert_eq!(reopened.load_into(&fresh), 10);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_persist_failure_keeps_earlier_records_and_retries() {
+        let path = temp_path("inject");
+        let _ = std::fs::remove_file(&path);
+        let cache = EstimateCache::new();
+        for k in 0u8..6 {
+            cache
+                .get_or_insert_with(&[k], || Ok(est(k as u64 + 40)))
+                .unwrap();
+        }
+        // store.append fails on the 4th call (indices 3..) — the first
+        // three records land, the persist reports the failure, and the
+        // already-written records survive a retry with a clean store.
+        let plan = codesign_faults::FaultPlan::builder(0)
+            .io_failures_at("store.append", &[3])
+            .build();
+        let options = LogOptions {
+            sync_on_append: false,
+            faults: Some(plan),
+        };
+        {
+            let mut store = EstimateStore::open_with(&path, options).unwrap();
+            let err = store.persist_from(&cache).unwrap_err();
+            assert!(codesign_faults::is_injected(&err));
+        }
+        let mut store = EstimateStore::open(&path).unwrap();
+        assert_eq!(store.stats().loaded, 3);
+        // The retry appends only the records the failure dropped.
+        assert_eq!(store.persist_from(&cache).unwrap(), 3);
+        drop(store);
+        let mut reopened = EstimateStore::open(&path).unwrap();
+        assert_eq!(reopened.stats().loaded, 6);
+        let fresh = EstimateCache::new();
+        assert_eq!(reopened.load_into(&fresh), 6);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -114,7 +114,14 @@ impl Job {
             // AssertUnwindSafe: on panic the job aborts and the payload
             // is re-raised on the caller, which discards all partially
             // written per-item state — nothing broken is observed.
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
+            // The fault hook sits inside the same unwind boundary so an
+            // injected `parallel.item` panic takes exactly the path a
+            // real work-item panic takes; with no global plan installed
+            // it is a single relaxed atomic load.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                codesign_faults::pool_item_hook();
+                run(i)
+            })) {
                 abort.store(true, Ordering::Relaxed);
                 let mut slot = self.panic.lock().expect("panic slot");
                 if slot.is_none() {

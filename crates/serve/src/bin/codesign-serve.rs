@@ -12,7 +12,7 @@
 //! [`ServeConfig`]; defaults match `ServeConfig::default()` with
 //! `--addr 127.0.0.1:8080`.
 
-use codesign_serve::{ServeConfig, Server};
+use codesign_serve::{ServeConfig, Server, ShutdownPolicy};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -70,7 +70,7 @@ fn main() -> ExitCode {
         }
     };
     let store = options.config.store.clone();
-    let server = match Server::bind(&options.addr, options.config) {
+    let mut server = match Server::bind(&options.addr, options.config) {
         Ok(server) => server,
         Err(err) => {
             eprintln!("codesign-serve: cannot start on {}: {err}", options.addr);
@@ -81,9 +81,17 @@ fn main() -> ExitCode {
     if let Some(path) = store {
         println!("codesign-serve: estimate store at {}", path.display());
     }
-    // The accept loop and executors run on their own threads; keep the
-    // main thread parked so the process stays up until killed.
-    loop {
-        std::thread::park();
-    }
+    // The accept loop and executors run on their own threads; block the
+    // main thread until a client POSTs /admin/shutdown, then finish the
+    // graceful shutdown: drain or cancel per the requested policy,
+    // persist the estimate store, and join every thread.
+    let policy = server.wait_shutdown_requested();
+    let verb = match policy {
+        ShutdownPolicy::Drain => "draining",
+        ShutdownPolicy::Cancel => "cancelling",
+    };
+    println!("codesign-serve: shutdown requested, {verb} jobs");
+    server.shutdown_with(policy);
+    println!("codesign-serve: bye");
+    ExitCode::SUCCESS
 }

@@ -122,9 +122,9 @@ pub fn flow_result_body(out: &FlowOutput) -> String {
 
 /// Encodes one progress event as an NDJSON line for the event stream.
 ///
-/// Returns `None` for [`FlowEvent::Cancelled`]: the job layer emits its
-/// own terminal `cancelled` line so the stream has exactly one terminal
-/// event.
+/// Returns `None` for [`FlowEvent::Cancelled`] and
+/// [`FlowEvent::TimedOut`]: the job layer emits its own terminal line
+/// so the stream has exactly one terminal event.
 pub fn event_json(job_id: u64, event: &FlowEvent) -> Option<Json> {
     let mut fields: Vec<(String, Json)> = vec![("job_id".into(), Json::num(job_id as f64))];
     match event {
@@ -188,7 +188,7 @@ pub fn event_json(job_id: u64, event: &FlowEvent) -> Option<Json> {
             fields.push(("candidates".into(), Json::num(*candidates as f64)));
             fields.push(("designs".into(), Json::num(*designs as f64)));
         }
-        FlowEvent::Cancelled => return None,
+        FlowEvent::Cancelled | FlowEvent::TimedOut => return None,
         // FlowEvent is non_exhaustive: encode unknown future variants
         // generically instead of silently dropping them.
         other => {

@@ -121,6 +121,7 @@ fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -131,11 +132,30 @@ fn reason(status: u16) -> &'static str {
 ///
 /// Propagates socket errors.
 pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    write_json_response_with(stream, status, &[], body)
+}
+
+/// [`write_json_response`] with extra response headers (e.g.
+/// `Retry-After` on 429/503). Each pair is written as `name: value`.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_json_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

@@ -18,21 +18,23 @@
 use crate::encode::{event_json, flow_result_body};
 use crate::json::Json;
 use crate::metrics::Metrics;
-use codesign_core::flow::{CoDesignFlow, FlowConfig, FlowError};
-use codesign_core::observe::{CancelToken, FlowEvent};
+use codesign_core::flow::{CoDesignFlow, FlowConfig, FlowError, FlowOutput};
+use codesign_core::observe::{CancelState, CancelToken, FlowEvent};
+use codesign_faults::{FaultAction, FaultPlan};
 use codesign_hls::cache::EstimateCache;
 use codesign_hls::store::EstimateStore;
-use codesign_store::LogError;
+use codesign_store::{LogError, LogOptions};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Scheduler knobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Maximum number of *queued* (admitted, not yet running) jobs.
     /// Submissions beyond this bound are rejected with
@@ -41,11 +43,11 @@ pub struct ServeConfig {
     /// Number of executor threads. `0` admits jobs without ever running
     /// them — useful for deterministic admission/cancellation tests.
     pub executors: usize,
-    /// Maximum number of *finished* (completed / failed / cancelled)
-    /// jobs retained for status and result queries. Beyond the bound
-    /// the oldest finished job is evicted, and looking it up reports
-    /// [`JobLookup::Expired`]. Bounds the scheduler's memory on a
-    /// long-lived server — before this knob every job ever submitted
+    /// Maximum number of *finished* (completed / failed / cancelled /
+    /// timed-out) jobs retained for status and result queries. Beyond
+    /// the bound the oldest finished job is evicted, and looking it up
+    /// reports [`JobLookup::Expired`]. Bounds the scheduler's memory on
+    /// a long-lived server — before this knob every job ever submitted
     /// was kept forever.
     pub max_finished: usize,
     /// Optional path of a persistent [`EstimateStore`] log. When set,
@@ -53,6 +55,18 @@ pub struct ServeConfig {
     /// startup and new estimates are appended after each completed job,
     /// so a restarted server keeps its priced design points.
     pub store: Option<PathBuf>,
+    /// How many times a failed estimate-store persist is retried
+    /// (with exponential backoff) before the store goes read-only
+    /// degraded.
+    pub persist_retries: u32,
+    /// Base backoff between persist retries, in milliseconds; doubles
+    /// per attempt.
+    pub persist_backoff_ms: u64,
+    /// Fault-injection plan consulted at the serve-layer sites
+    /// (`serve.job.panic`, `serve.job.delay`, `serve.conn.drop`) and
+    /// passed down to the estimate store's I/O sites. `None` — the
+    /// production configuration — costs one `Option` check per site.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -62,8 +76,23 @@ impl Default for ServeConfig {
             executors: 2,
             max_finished: 64,
             store: None,
+            persist_retries: 3,
+            persist_backoff_ms: 10,
+            faults: None,
         }
     }
+}
+
+/// What [`Scheduler::shutdown_with`] does to jobs still in the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownPolicy {
+    /// Stop admitting, run every already-admitted job to completion,
+    /// then stop. Degenerates to [`Cancel`](Self::Cancel) when the
+    /// scheduler has no executors (nothing could ever drain the queue).
+    Drain,
+    /// Stop admitting and cancel everything: queued jobs are marked
+    /// cancelled immediately, running jobs get their token tripped.
+    Cancel,
 }
 
 /// Where a job is in its lifecycle.
@@ -79,6 +108,8 @@ pub enum JobPhase {
     Failed,
     /// Cancelled before or during execution.
     Cancelled,
+    /// Hit its deadline (queued wait counts) before finishing.
+    TimedOut,
 }
 
 impl JobPhase {
@@ -90,6 +121,7 @@ impl JobPhase {
             JobPhase::Completed => "completed",
             JobPhase::Failed => "failed",
             JobPhase::Cancelled => "cancelled",
+            JobPhase::TimedOut => "timed_out",
         }
     }
 
@@ -97,7 +129,7 @@ impl JobPhase {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobPhase::Completed | JobPhase::Failed | JobPhase::Cancelled
+            JobPhase::Completed | JobPhase::Failed | JobPhase::Cancelled | JobPhase::TimedOut
         )
     }
 }
@@ -121,18 +153,28 @@ pub struct Job {
     /// The validated flow configuration this job runs.
     pub config: FlowConfig,
     /// Cooperative cancellation token, shared with the running flow.
+    /// Carries the job's deadline when one was requested: the clock
+    /// starts at submit, so queue wait counts against the budget.
     pub cancel: CancelToken,
+    /// Requested deadline in milliseconds, if any (informational; the
+    /// enforcing state lives in `cancel`).
+    pub deadline_ms: Option<u64>,
     submitted_at: Instant,
     state: Mutex<JobState>,
     cv: Condvar,
 }
 
 impl Job {
-    fn new(id: u64, config: FlowConfig) -> Self {
+    fn new(id: u64, config: FlowConfig, deadline_ms: Option<u64>) -> Self {
+        let cancel = CancelToken::new();
+        if let Some(ms) = deadline_ms {
+            cancel.set_deadline_in(Duration::from_millis(ms));
+        }
         Self {
             id,
             config,
-            cancel: CancelToken::new(),
+            cancel,
+            deadline_ms,
             submitted_at: Instant::now(),
             state: Mutex::new(JobState {
                 phase: JobPhase::Queued,
@@ -288,6 +330,22 @@ struct Inner {
     finished: VecDeque<u64>,
     next_id: u64,
     shutdown: bool,
+    /// With `shutdown`: executors run the queue dry before exiting
+    /// instead of abandoning it.
+    drain: bool,
+}
+
+/// The persistent estimate store plus its degradation state.
+struct StoreState {
+    store: Mutex<EstimateStore>,
+    /// `Some(reason)` once persistence has been given up on: the store
+    /// is read-only for the rest of the process (the warm-started cache
+    /// keeps serving), and `/healthz` + `/metrics` report why. Sticky
+    /// until restart — flapping storage should not flap the health
+    /// signal.
+    degraded: Mutex<Option<String>>,
+    /// Individual persist attempts that failed (retries count).
+    persist_failures: AtomicU64,
 }
 
 struct Shared {
@@ -296,9 +354,13 @@ struct Shared {
     metrics: Metrics,
     cache: Arc<EstimateCache>,
     /// Persistent estimate log; `None` when running purely in memory.
-    store: Option<Mutex<EstimateStore>>,
+    store: Option<StoreState>,
     max_queue: usize,
     max_finished: usize,
+    persist_retries: u32,
+    persist_backoff: Duration,
+    /// Serve-layer fault-injection plan (`None` in production).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
@@ -314,14 +376,53 @@ impl Shared {
         }
     }
 
-    /// Appends any new `Ok` cache entries to the persistent store.
-    /// Persistence failures are recorded nowhere and never fail the
-    /// job — the store is an accelerator, not a source of truth.
+    /// Appends any new `Ok` cache entries to the persistent store,
+    /// retrying with exponential backoff. Persistence failures never
+    /// fail the job — the store is an accelerator, not a source of
+    /// truth — but after the retry budget the store goes read-only
+    /// degraded: no further writes are attempted, the cache keeps
+    /// serving, and `/healthz` + `/metrics` carry the reason.
     fn persist_estimates(&self) {
-        if let Some(store) = &self.store {
-            let mut store = store.lock().expect("store lock");
-            let _ = store.persist_from(&self.cache);
+        let Some(state) = &self.store else { return };
+        if state.degraded.lock().expect("degraded lock").is_some() {
+            return;
         }
+        let mut store = state.store.lock().expect("store lock");
+        let mut backoff = self.persist_backoff;
+        let mut last_error = None;
+        for attempt in 0..=self.persist_retries {
+            // Retries resume from the failed record: everything already
+            // appended is durable and tracked, so this never rewrites.
+            match store.persist_from(&self.cache) {
+                Ok(_) => return,
+                Err(err) => {
+                    state.persist_failures.fetch_add(1, Ordering::Relaxed);
+                    last_error = Some(err);
+                    if attempt < self.persist_retries {
+                        thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        }
+        let reason = match last_error {
+            Some(err) => format!(
+                "estimate store went read-only after {} failed persist attempts: {err}",
+                self.persist_retries + 1
+            ),
+            None => "estimate store went read-only".to_string(),
+        };
+        *state.degraded.lock().expect("degraded lock") = Some(reason);
+    }
+
+    /// The sticky degraded reason, if the store has one.
+    fn store_degraded(&self) -> Option<String> {
+        self.store
+            .as_ref()?
+            .degraded
+            .lock()
+            .expect("degraded lock")
+            .clone()
     }
 }
 
@@ -360,9 +461,17 @@ impl Scheduler {
         let cache = Arc::new(EstimateCache::new());
         let store = match &config.store {
             Some(path) => {
-                let mut store = EstimateStore::open(path)?;
+                let options = LogOptions {
+                    sync_on_append: false,
+                    faults: config.faults.clone(),
+                };
+                let mut store = EstimateStore::open_with(path, options)?;
                 store.load_into(&cache);
-                Some(Mutex::new(store))
+                Some(StoreState {
+                    store: Mutex::new(store),
+                    degraded: Mutex::new(None),
+                    persist_failures: AtomicU64::new(0),
+                })
             }
             None => None,
         };
@@ -373,6 +482,7 @@ impl Scheduler {
                 finished: VecDeque::new(),
                 next_id: 1,
                 shutdown: false,
+                drain: false,
             }),
             queue_cv: Condvar::new(),
             metrics: Metrics::default(),
@@ -380,6 +490,9 @@ impl Scheduler {
             store,
             max_queue: config.max_queue,
             max_finished: config.max_finished,
+            persist_retries: config.persist_retries,
+            persist_backoff: Duration::from_millis(config.persist_backoff_ms),
+            faults: config.faults.clone(),
         });
         let executors = (0..config.executors)
             .map(|i| {
@@ -428,6 +541,22 @@ impl Scheduler {
     /// [`SubmitError::QueueFull`] at the bound,
     /// [`SubmitError::ShuttingDown`] after [`shutdown`](Self::shutdown).
     pub fn submit(&self, config: FlowConfig) -> Result<Arc<Job>, SubmitError> {
+        self.submit_request(config, None)
+    }
+
+    /// [`submit`](Self::submit) with an optional deadline: a job that
+    /// has not finished `deadline_ms` after admission stops at the next
+    /// work-item boundary as [`JobPhase::TimedOut`]. Queue wait counts
+    /// against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Self::submit).
+    pub fn submit_request(
+        &self,
+        config: FlowConfig,
+        deadline_ms: Option<u64>,
+    ) -> Result<Arc<Job>, SubmitError> {
         let mut inner = self.shared.inner.lock().expect("scheduler lock");
         if inner.shutdown {
             return Err(SubmitError::ShuttingDown);
@@ -440,7 +569,7 @@ impl Scheduler {
         }
         let id = inner.next_id;
         inner.next_id += 1;
-        let job = Arc::new(Job::new(id, config));
+        let job = Arc::new(Job::new(id, config, deadline_ms));
         inner.queue.push_back(Arc::clone(&job));
         inner.jobs.insert(id, Arc::clone(&job));
         self.shared
@@ -486,9 +615,10 @@ impl Scheduler {
     /// The `/metrics` section describing the persistent estimate store,
     /// or `None` when the scheduler runs purely in memory.
     pub fn store_json(&self) -> Option<Json> {
-        let store = self.shared.store.as_ref()?;
-        let store = store.lock().expect("store lock");
+        let state = self.shared.store.as_ref()?;
+        let store = state.store.lock().expect("store lock");
         let stats = store.stats();
+        let degraded = state.degraded.lock().expect("degraded lock");
         Some(Json::Obj(vec![
             ("path".into(), Json::str(store.path().display().to_string())),
             ("entries".into(), Json::num(store.len() as f64)),
@@ -502,7 +632,41 @@ impl Scheduler {
                 "store_hits".into(),
                 Json::num(self.shared.cache.store_hits() as f64),
             ),
+            (
+                "persist_failures".into(),
+                Json::num(state.persist_failures.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "degraded".into(),
+                match degraded.as_ref() {
+                    Some(reason) => Json::str(reason.clone()),
+                    None => Json::Null,
+                },
+            ),
         ]))
+    }
+
+    /// The estimate store's sticky degraded reason, if any. `None` both
+    /// for a healthy store and for a scheduler with no store at all.
+    pub fn store_degraded(&self) -> Option<String> {
+        self.shared.store_degraded()
+    }
+
+    /// True once any shutdown has begun; submissions are rejected with
+    /// [`SubmitError::ShuttingDown`] from that point on.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.inner.lock().expect("scheduler lock").shutdown
+    }
+
+    /// True when the scheduler is backed by a persistent estimate
+    /// store (healthy or degraded).
+    pub fn has_store(&self) -> bool {
+        self.shared.store.is_some()
+    }
+
+    /// The fault plan injected via [`ServeConfig::faults`], if any.
+    pub(crate) fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.shared.faults.as_ref()
     }
 
     /// Cancels a job. Queued jobs leave the queue immediately (their
@@ -542,24 +706,72 @@ impl Scheduler {
         self.shared.note_terminal(job.id);
     }
 
-    /// Stops the scheduler: cancels every non-terminal job, wakes the
-    /// executors, and joins them. Idempotent.
+    /// Stops the scheduler with [`ShutdownPolicy::Cancel`]: cancels
+    /// every non-terminal job, wakes the executors, and joins them.
+    /// Idempotent.
     pub fn shutdown(&self) {
+        self.shutdown_with(ShutdownPolicy::Cancel);
+    }
+
+    /// Begins shutdown under `policy` without joining: stops admission
+    /// (new submissions get [`SubmitError::ShuttingDown`]), then either
+    /// cancels everything ([`Cancel`](ShutdownPolicy::Cancel)) or
+    /// leaves the queue for the executors to run dry
+    /// ([`Drain`](ShutdownPolicy::Drain)). Idempotent — the first
+    /// caller's policy wins. Safe to call from a request handler; the
+    /// owning thread completes the stop with
+    /// [`shutdown_with`](Self::shutdown_with).
+    pub fn begin_shutdown(&self, policy: ShutdownPolicy) {
+        // Drain needs executors to run the queue dry; without any, the
+        // only way to terminate is to cancel.
+        let policy = if self.executors.lock().expect("executor lock").is_empty() {
+            ShutdownPolicy::Cancel
+        } else {
+            policy
+        };
         let abandoned = {
             let mut inner = self.shared.inner.lock().expect("scheduler lock");
-            inner.shutdown = true;
-            for job in inner.jobs.values() {
-                job.cancel.cancel();
+            if inner.shutdown {
+                return;
             }
-            inner.queue.drain(..).collect::<Vec<_>>()
+            inner.shutdown = true;
+            match policy {
+                ShutdownPolicy::Drain => {
+                    inner.drain = true;
+                    Vec::new()
+                }
+                ShutdownPolicy::Cancel => {
+                    for job in inner.jobs.values() {
+                        job.cancel.cancel();
+                    }
+                    inner.queue.drain(..).collect::<Vec<_>>()
+                }
+            }
         };
         for job in &abandoned {
             self.mark_cancelled(job);
         }
         self.shared.queue_cv.notify_all();
+    }
+
+    /// Stops the scheduler under `policy`: begins shutdown (if not
+    /// already begun — the first policy wins), joins the executors, and
+    /// persists + syncs the estimate store so every completed job's
+    /// estimates are on stable storage before the call returns.
+    /// Idempotent.
+    pub fn shutdown_with(&self, policy: ShutdownPolicy) {
+        self.begin_shutdown(policy);
         let handles = std::mem::take(&mut *self.executors.lock().expect("executor lock"));
         for handle in handles {
             let _ = handle.join();
+        }
+        // Final durability point. A degraded store skips this — it is
+        // read-only by contract.
+        self.shared.persist_estimates();
+        if let Some(state) = &self.shared.store {
+            if self.shared.store_degraded().is_none() {
+                let _ = state.store.lock().expect("store lock").sync();
+            }
         }
     }
 }
@@ -586,7 +798,7 @@ fn run_executor(shared: &Shared) {
         let job = {
             let mut inner = shared.inner.lock().expect("scheduler lock");
             loop {
-                if inner.shutdown {
+                if inner.shutdown && (!inner.drain || inner.queue.is_empty()) {
                     return;
                 }
                 if let Some(job) = inner.queue.pop_front() {
@@ -599,7 +811,37 @@ fn run_executor(shared: &Shared) {
             .metrics
             .jobs_in_flight
             .fetch_add(1, Ordering::Relaxed);
+        // A job whose deadline already passed while queued (or that was
+        // cancelled between dequeue-check and here) goes terminal
+        // without ever running the flow.
+        match job.cancel.state() {
+            CancelState::TimedOut => {
+                shared
+                    .metrics
+                    .jobs_in_flight
+                    .fetch_sub(1, Ordering::Relaxed);
+                finish_job(shared, &job, Err(FlowError::DeadlineExceeded));
+                continue;
+            }
+            CancelState::Cancelled => {
+                shared
+                    .metrics
+                    .jobs_in_flight
+                    .fetch_sub(1, Ordering::Relaxed);
+                finish_job(shared, &job, Err(FlowError::Cancelled));
+                continue;
+            }
+            CancelState::Live => {}
+        }
         job.set_phase(JobPhase::Running);
+        // Serve-layer fault sites, keyed by the (dense, interleaving-
+        // independent) job id so "which jobs fault" is a function of
+        // the seed alone.
+        if let Some(plan) = &shared.faults {
+            if let FaultAction::Delay(d) = plan.decide_at("serve.job.delay", job.id) {
+                thread::sleep(d);
+            }
+        }
         let flow =
             CoDesignFlow::new(job.config.clone()).with_estimate_cache(Arc::clone(&shared.cache));
         let job_ref: &Job = &job;
@@ -608,39 +850,75 @@ fn run_executor(shared: &Shared) {
                 job_ref.push_line(line.encode());
             }
         };
-        let outcome = flow.run_observed(&observer, &job.cancel);
+        // Panic isolation: a panicking flow (injected or real) fails
+        // its own job; the executor thread survives and keeps serving.
+        let faults = shared.faults.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &faults {
+                if plan.decide_at("serve.job.panic", job.id) == FaultAction::Panic {
+                    panic!("injected fault: serve.job.panic");
+                }
+            }
+            flow.run_observed(&observer, &job.cancel)
+        }));
         shared
             .metrics
             .jobs_in_flight
             .fetch_sub(1, Ordering::Relaxed);
-        let elapsed_ms = job.submitted_at.elapsed().as_secs_f64() * 1e3;
-        // Metrics are committed BEFORE the terminal `finish`: the
-        // moment a client sees the job terminal (event stream ends),
-        // `/metrics` must already account for it.
-        match outcome {
-            Ok(out) => {
-                shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.record_latency(elapsed_ms);
-                job.finish(JobPhase::Completed, Some(flow_result_body(&out)), None);
-                // Spill the estimates this job added, after the client
-                // can already see it terminal — disk I/O must not delay
-                // result availability.
-                shared.persist_estimates();
-            }
-            Err(FlowError::Cancelled) => {
-                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-                job.push_line(terminal_line(job.id, "cancelled", None));
-                job.finish(JobPhase::Cancelled, None, None);
-            }
-            Err(err) => {
-                let text = err.to_string();
+        let outcome = match outcome {
+            Ok(flow_result) => flow_result,
+            Err(payload) => {
+                shared.metrics.panicked.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let text = format!("job panicked: {msg}");
                 job.push_line(terminal_line(job.id, "failed", Some(&text)));
                 job.finish(JobPhase::Failed, None, Some(text));
+                shared.note_terminal(job.id);
+                continue;
             }
-        }
-        shared.note_terminal(job.id);
+        };
+        finish_job(shared, &job, outcome);
     }
+}
+
+/// Commits a job's terminal state: metrics first (the moment a client
+/// sees the job terminal, `/metrics` must already account for it), then
+/// the terminal event line and phase, then persistence.
+fn finish_job(shared: &Shared, job: &Arc<Job>, outcome: Result<FlowOutput, FlowError>) {
+    let elapsed_ms = job.submitted_at.elapsed().as_secs_f64() * 1e3;
+    match outcome {
+        Ok(out) => {
+            shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.record_latency(elapsed_ms);
+            job.finish(JobPhase::Completed, Some(flow_result_body(&out)), None);
+            // Spill the estimates this job added, after the client can
+            // already see it terminal — disk I/O must not delay result
+            // availability.
+            shared.persist_estimates();
+        }
+        Err(FlowError::Cancelled) => {
+            shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            job.push_line(terminal_line(job.id, "cancelled", None));
+            job.finish(JobPhase::Cancelled, None, None);
+        }
+        Err(FlowError::DeadlineExceeded) => {
+            shared.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            job.push_line(terminal_line(job.id, "timed_out", None));
+            job.finish(JobPhase::TimedOut, None, None);
+        }
+        Err(err) => {
+            let text = err.to_string();
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            job.push_line(terminal_line(job.id, "failed", Some(&text)));
+            job.finish(JobPhase::Failed, None, Some(text));
+        }
+    }
+    shared.note_terminal(job.id);
 }
 
 #[cfg(test)]

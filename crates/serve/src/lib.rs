@@ -58,5 +58,8 @@ pub mod request;
 pub mod server;
 
 pub use client::Client;
-pub use job::{CancelOutcome, Job, JobLookup, JobPhase, Scheduler, ServeConfig, SubmitError};
+pub use job::{
+    CancelOutcome, Job, JobLookup, JobPhase, Scheduler, ServeConfig, ShutdownPolicy, SubmitError,
+};
+pub use request::JobRequest;
 pub use server::Server;

@@ -49,6 +49,11 @@ pub struct Metrics {
     pub failed: AtomicU64,
     /// Jobs cancelled (queued or running).
     pub cancelled: AtomicU64,
+    /// Jobs that hit their deadline before finishing.
+    pub timed_out: AtomicU64,
+    /// Jobs whose flow panicked (isolated at the executor boundary;
+    /// also counted in `failed`).
+    pub panicked: AtomicU64,
     /// Submissions rejected by admission control (HTTP 429).
     pub rejected: AtomicU64,
     /// Jobs currently executing on a worker.
@@ -117,6 +122,14 @@ impl Metrics {
             (
                 "cancelled".into(),
                 Json::num(self.cancelled.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "timed_out".into(),
+                Json::num(self.timed_out.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "panicked".into(),
+                Json::num(self.panicked.load(Ordering::Relaxed) as f64),
             ),
             (
                 "rejected".into(),

@@ -43,7 +43,20 @@ fn num_array_field(value: &Json, key: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
-/// Parses a job-submission body into a validated [`FlowConfig`].
+/// A parsed job submission: the flow configuration plus the
+/// request-level knobs that are not part of the flow itself.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// The validated flow configuration.
+    pub config: FlowConfig,
+    /// Optional deadline in milliseconds from admission; the job times
+    /// out at the next work-item boundary after it passes.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses a job-submission body into a validated [`FlowConfig`],
+/// ignoring request-level fields. See [`job_request_from_body`] for the
+/// full submission document.
 ///
 /// # Errors
 ///
@@ -51,13 +64,34 @@ fn num_array_field(value: &Json, key: &str) -> Result<Vec<f64>, String> {
 /// type mismatches, unknown devices, and configurations rejected by
 /// [`FlowConfig::validate`].
 pub fn flow_config_from_body(body: &str) -> Result<FlowConfig, String> {
+    job_request_from_body(body).map(|req| req.config)
+}
+
+/// Parses a job-submission body into a [`JobRequest`]: every
+/// [`FlowConfig`] field plus `deadline_ms` (positive integer,
+/// milliseconds).
+///
+/// # Errors
+///
+/// Everything [`flow_config_from_body`] rejects, plus a zero or
+/// non-integer `deadline_ms`.
+pub fn job_request_from_body(body: &str) -> Result<JobRequest, String> {
     let doc = crate::json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
     let pairs = doc
         .as_obj()
         .ok_or_else(|| "request body must be a JSON object".to_string())?;
     let mut builder = FlowConfig::builder();
+    let mut deadline_ms = None;
     for (key, value) in pairs {
         builder = match key.as_str() {
+            "deadline_ms" => {
+                let ms = uint_field(value, key)?;
+                if ms == 0 {
+                    return Err("field `deadline_ms` must be positive".into());
+                }
+                deadline_ms = Some(ms);
+                builder
+            }
             "device" => {
                 let name = value
                     .as_str()
@@ -97,7 +131,11 @@ pub fn flow_config_from_body(body: &str) -> Result<FlowConfig, String> {
             other => return Err(format!("unknown field `{other}`")),
         };
     }
-    builder.build().map_err(|e| e.to_string())
+    let config = builder.build().map_err(|e| e.to_string())?;
+    Ok(JobRequest {
+        config,
+        deadline_ms,
+    })
 }
 
 #[cfg(test)]
@@ -162,6 +200,21 @@ mod tests {
         assert!(flow_config_from_body("{nope")
             .unwrap_err()
             .contains("invalid JSON"));
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_rejects_zero() {
+        let req = job_request_from_body(r#"{"deadline_ms":2500,"seed":3}"#).unwrap();
+        assert_eq!(req.deadline_ms, Some(2500));
+        assert_eq!(req.config.seed, 3);
+        let req = job_request_from_body("{}").unwrap();
+        assert_eq!(req.deadline_ms, None);
+        assert!(job_request_from_body(r#"{"deadline_ms":0}"#)
+            .unwrap_err()
+            .contains("positive"));
+        assert!(job_request_from_body(r#"{"deadline_ms":"soon"}"#)
+            .unwrap_err()
+            .contains("non-negative integer"));
     }
 
     #[test]

@@ -7,28 +7,90 @@
 //!
 //! | Method | Path                  | Response |
 //! |--------|-----------------------|----------|
-//! | POST   | `/jobs`               | `202 {"job_id":N,"status":"queued"}`, `400` on bad request, `429` when the queue is full |
+//! | POST   | `/jobs`               | `202 {"job_id":N,"status":"queued"}`, `400` on bad request, `429` + `Retry-After` when the queue is full, `503` + `Retry-After` while shutting down. Body may carry `deadline_ms` alongside the flow fields. |
 //! | GET    | `/jobs/<id>`          | `200` status document; `404` for unknown ids, with a distinct "expired" error for finished jobs evicted under the retention bound |
 //! | GET    | `/jobs/<id>/events`   | `200` chunked NDJSON progress stream, one event per line, ends when the job finishes |
 //! | POST   | `/jobs/<id>/cancel`   | `200 {"job_id":N,"cancel":"..."}` |
 //! | GET    | `/jobs/<id>/result`   | `200` result body, `409` until completed |
-//! | GET    | `/metrics`            | `200` counters + latency percentiles + cache stats |
-//! | GET    | `/healthz`            | `200 {"ok":true}` |
+//! | GET    | `/metrics`            | `200` counters + latency percentiles + cache stats + store health |
+//! | GET    | `/healthz`            | `200` per-subsystem health: `{"ok":B,"status":"ok|degraded","subsystems":{...}}` |
+//! | POST   | `/admin/shutdown`     | `200`, begins graceful shutdown (body: `{"policy":"drain"\|"cancel"}`, default drain) |
 //!
 //! Every error body is `{"error":"<message>"}`.
 
-use crate::http::{read_request, write_json_response, ChunkedWriter, Request};
-use crate::job::{CancelOutcome, JobLookup, Scheduler, ServeConfig, SubmitError};
+use crate::http::{
+    read_request, write_json_response, write_json_response_with, ChunkedWriter, Request,
+};
+use crate::job::{CancelOutcome, JobLookup, Scheduler, ServeConfig, ShutdownPolicy, SubmitError};
 use crate::json::Json;
-use crate::request::flow_config_from_body;
+use crate::request::job_request_from_body;
+use codesign_faults::FaultAction;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 fn error_body(message: &str) -> String {
     Json::Obj(vec![("error".to_string(), Json::str(message))]).encode()
+}
+
+/// Suggested client back-off, in seconds, attached as `Retry-After` to
+/// 429 (queue full) and 503 (shutting down) responses.
+const RETRY_AFTER_SECS: u64 = 1;
+
+/// Coordination between request handlers and the thread that owns the
+/// [`Server`]: `POST /admin/shutdown` records the requested policy and
+/// wakes [`Server::wait_shutdown_requested`].
+struct ServerControl {
+    requested: Mutex<Option<ShutdownPolicy>>,
+    cv: Condvar,
+}
+
+impl ServerControl {
+    fn new() -> Self {
+        Self {
+            requested: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Records a shutdown request. The first policy wins; later
+    /// requests are ignored (matching the scheduler's semantics).
+    fn request(&self, policy: ShutdownPolicy) {
+        let mut slot = self.requested.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(policy);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> ShutdownPolicy {
+        let mut slot = self.requested.lock().unwrap();
+        loop {
+            if let Some(policy) = *slot {
+                return policy;
+            }
+            slot = self.cv.wait(slot).unwrap();
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<ShutdownPolicy> {
+        let mut slot = self.requested.lock().unwrap();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(policy) = *slot {
+                return Some(policy);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _) = self.cv.wait_timeout(slot, deadline - now).unwrap();
+            slot = next;
+        }
+    }
 }
 
 /// A running job server bound to a local address.
@@ -40,6 +102,7 @@ pub struct Server {
     addr: SocketAddr,
     stopping: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    control: Arc<ServerControl>,
 }
 
 impl Server {
@@ -65,9 +128,11 @@ impl Server {
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
         let scheduler = Arc::new(scheduler);
         let stopping = Arc::new(AtomicBool::new(false));
+        let control = Arc::new(ServerControl::new());
         let accept_thread = {
             let scheduler = Arc::clone(&scheduler);
             let stopping = Arc::clone(&stopping);
+            let control = Arc::clone(&control);
             thread::Builder::new()
                 .name("serve-accept".to_string())
                 .spawn(move || {
@@ -77,9 +142,10 @@ impl Server {
                         }
                         let Ok(stream) = stream else { continue };
                         let scheduler = Arc::clone(&scheduler);
+                        let control = Arc::clone(&control);
                         let _ = thread::Builder::new()
                             .name("serve-conn".to_string())
-                            .spawn(move || handle_connection(stream, &scheduler));
+                            .spawn(move || handle_connection(stream, &scheduler, &control));
                     }
                 })
                 .expect("spawn accept loop")
@@ -89,6 +155,7 @@ impl Server {
             addr,
             stopping,
             accept_thread: Some(accept_thread),
+            control,
         })
     }
 
@@ -102,18 +169,44 @@ impl Server {
         &self.scheduler
     }
 
+    /// Blocks until a client requests shutdown via
+    /// `POST /admin/shutdown`, returning the requested policy. The
+    /// scheduler has already stopped admitting jobs by the time this
+    /// returns; the caller finishes the job with
+    /// [`shutdown_with`](Server::shutdown_with).
+    pub fn wait_shutdown_requested(&self) -> ShutdownPolicy {
+        self.control.wait()
+    }
+
+    /// [`wait_shutdown_requested`](Server::wait_shutdown_requested)
+    /// with a timeout; `None` if no request arrived in time.
+    pub fn wait_shutdown_requested_timeout(&self, timeout: Duration) -> Option<ShutdownPolicy> {
+        self.control.wait_timeout(timeout)
+    }
+
     /// Stops accepting connections, cancels all jobs, and joins the
     /// accept loop and executors. Idempotent.
     pub fn shutdown(&mut self) {
+        self.shutdown_with(ShutdownPolicy::Cancel);
+    }
+
+    /// Stops accepting connections, then shuts the scheduler down under
+    /// `policy` ([`ShutdownPolicy::Drain`] finishes queued work first),
+    /// persists the estimate store, and joins every thread. Idempotent;
+    /// the first call's policy wins.
+    pub fn shutdown_with(&mut self, policy: ShutdownPolicy) {
         if self.stopping.swap(true, Ordering::Relaxed) {
             return;
         }
+        // Refuse new work before the listener closes so in-flight
+        // submissions see 503 rather than a connection reset.
+        self.scheduler.begin_shutdown(policy);
         // Unblock the accept loop with one throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        self.scheduler.shutdown();
+        self.scheduler.shutdown_with(policy);
     }
 }
 
@@ -123,7 +216,14 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, scheduler: &Scheduler) {
+fn handle_connection(mut stream: TcpStream, scheduler: &Scheduler, control: &ServerControl) {
+    // Fault site `serve.conn.drop`: sever the connection before reading
+    // a byte, exactly what a flaky network or dying peer looks like.
+    if let Some(plan) = scheduler.fault_plan() {
+        if plan.decide("serve.conn.drop") == FaultAction::DropConnection {
+            return;
+        }
+    }
     let request = match read_request(&mut stream) {
         Ok(Some(request)) => request,
         Ok(None) => return,
@@ -132,10 +232,15 @@ fn handle_connection(mut stream: TcpStream, scheduler: &Scheduler) {
             return;
         }
     };
-    let _ = route(&mut stream, &request, scheduler);
+    let _ = route(&mut stream, &request, scheduler, control);
 }
 
-fn route(stream: &mut TcpStream, request: &Request, scheduler: &Scheduler) -> io::Result<()> {
+fn route(
+    stream: &mut TcpStream,
+    request: &Request,
+    scheduler: &Scheduler,
+    control: &ServerControl,
+) -> io::Result<()> {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => submit_job(stream, request, scheduler),
@@ -197,16 +302,111 @@ fn route(stream: &mut TcpStream, request: &Request, scheduler: &Scheduler) -> io
                 .encode();
             write_json_response(stream, 200, &body)
         }
-        ("GET", ["healthz"]) => write_json_response(
-            stream,
-            200,
-            &Json::Obj(vec![("ok".to_string(), Json::Bool(true))]).encode(),
-        ),
-        (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["metrics"]) | (_, ["healthz"]) => {
+        ("GET", ["healthz"]) => write_json_response(stream, 200, &healthz_body(scheduler)),
+        ("POST", ["admin", "shutdown"]) => admin_shutdown(stream, request, scheduler, control),
+        (_, ["jobs"])
+        | (_, ["jobs", ..])
+        | (_, ["metrics"])
+        | (_, ["healthz"])
+        | (_, ["admin", "shutdown"]) => {
             write_json_response(stream, 405, &error_body("method not allowed"))
         }
         _ => write_json_response(stream, 404, &error_body("no such endpoint")),
     }
+}
+
+/// Per-subsystem health document. The top-level `ok`/`status` roll up
+/// the subsystems: a degraded store or a shutting-down scheduler makes
+/// the whole server report degraded, so load balancers stop routing to
+/// it while existing clients keep getting answers.
+fn healthz_body(scheduler: &Scheduler) -> String {
+    let shutting_down = scheduler.is_shutting_down();
+    let store_degraded = scheduler.store_degraded();
+    let scheduler_status = if shutting_down { "shutting_down" } else { "ok" };
+    let store_status = match (scheduler.has_store(), &store_degraded) {
+        (false, _) => "absent",
+        (true, Some(_)) => "degraded",
+        (true, None) => "ok",
+    };
+    let ok = !shutting_down && store_degraded.is_none();
+    let mut store_fields = vec![("status".to_string(), Json::str(store_status))];
+    if let Some(reason) = &store_degraded {
+        store_fields.push(("reason".to_string(), Json::str(reason)));
+    }
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(ok)),
+        (
+            "status".to_string(),
+            Json::str(if ok { "ok" } else { "degraded" }),
+        ),
+        (
+            "subsystems".to_string(),
+            Json::Obj(vec![
+                (
+                    "scheduler".to_string(),
+                    Json::Obj(vec![("status".to_string(), Json::str(scheduler_status))]),
+                ),
+                ("store".to_string(), Json::Obj(store_fields)),
+            ]),
+        ),
+    ])
+    .encode()
+}
+
+/// `POST /admin/shutdown`: stop admitting jobs under the requested
+/// policy (body `{"policy":"drain"|"cancel"}`, default drain), answer
+/// 200, and wake the thread blocked in
+/// [`Server::wait_shutdown_requested`] to finish the join.
+fn admin_shutdown(
+    stream: &mut TcpStream,
+    request: &Request,
+    scheduler: &Scheduler,
+    control: &ServerControl,
+) -> io::Result<()> {
+    let body = match request.body_text() {
+        Ok(body) => body.trim(),
+        Err(err) => return write_json_response(stream, 400, &error_body(&err)),
+    };
+    let policy = if body.is_empty() || body == "{}" {
+        ShutdownPolicy::Drain
+    } else {
+        let doc = match crate::json::parse(body) {
+            Ok(doc) => doc,
+            Err(err) => {
+                return write_json_response(
+                    stream,
+                    400,
+                    &error_body(&format!("invalid JSON: {err}")),
+                )
+            }
+        };
+        match doc.get("policy").and_then(Json::as_str) {
+            Some("drain") => ShutdownPolicy::Drain,
+            Some("cancel") => ShutdownPolicy::Cancel,
+            _ => {
+                return write_json_response(
+                    stream,
+                    400,
+                    &error_body("field `policy` must be \"drain\" or \"cancel\""),
+                )
+            }
+        }
+    };
+    // Stop admissions *before* answering so a client that sees the 200
+    // can rely on every later submission being refused with 503.
+    scheduler.begin_shutdown(policy);
+    let policy_str = match policy {
+        ShutdownPolicy::Drain => "drain",
+        ShutdownPolicy::Cancel => "cancel",
+    };
+    let body = Json::Obj(vec![
+        ("shutdown".to_string(), Json::str("begun")),
+        ("policy".to_string(), Json::str(policy_str)),
+    ])
+    .encode();
+    let result = write_json_response(stream, 200, &body);
+    control.request(policy);
+    result
 }
 
 fn submit_job(stream: &mut TcpStream, request: &Request, scheduler: &Scheduler) -> io::Result<()> {
@@ -215,11 +415,11 @@ fn submit_job(stream: &mut TcpStream, request: &Request, scheduler: &Scheduler) 
         Ok(_) => "{}",
         Err(err) => return write_json_response(stream, 400, &error_body(&err)),
     };
-    let config = match flow_config_from_body(body) {
-        Ok(config) => config,
+    let parsed = match job_request_from_body(body) {
+        Ok(parsed) => parsed,
         Err(err) => return write_json_response(stream, 400, &error_body(&err)),
     };
-    match scheduler.submit(config) {
+    match scheduler.submit_request(parsed.config, parsed.deadline_ms) {
         Ok(job) => {
             let body = Json::Obj(vec![
                 ("job_id".to_string(), Json::num(job.id as f64)),
@@ -234,11 +434,19 @@ fn submit_job(stream: &mut TcpStream, request: &Request, scheduler: &Scheduler) 
                 ("max_queue".to_string(), Json::num(max_queue as f64)),
             ])
             .encode();
-            write_json_response(stream, 429, &body)
+            write_json_response_with(
+                stream,
+                429,
+                &[("retry-after", RETRY_AFTER_SECS.to_string())],
+                &body,
+            )
         }
-        Err(err @ SubmitError::ShuttingDown) => {
-            write_json_response(stream, 429, &error_body(&err.to_string()))
-        }
+        Err(err @ SubmitError::ShuttingDown) => write_json_response_with(
+            stream,
+            503,
+            &[("retry-after", RETRY_AFTER_SECS.to_string())],
+            &error_body(&err.to_string()),
+        ),
     }
 }
 

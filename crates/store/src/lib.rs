@@ -18,7 +18,8 @@
 //!
 //! Domain encodings (estimate records, checkpoint stages) live next to
 //! their types in `codesign-hls` and `codesign-core`; this crate stays
-//! std-only and dependency-free so any crate in the workspace can
+//! std-only (its only dependency is the equally std-only
+//! `codesign-faults` harness) so any crate in the workspace can
 //! persist without dependency cycles.
 
 #![forbid(unsafe_code)]
@@ -28,7 +29,7 @@ pub mod codec;
 pub mod log;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
-pub use log::{LogError, RecordLog, StreamKind};
+pub use log::{LogError, LogOptions, RecordLog, StreamKind};
 
 /// FNV-1a over `bytes` — the checksum used for log records and the
 /// fingerprint hash used by flow checkpoints.

@@ -21,10 +21,12 @@
 //! file is a typed [`LogError::WrongKind`] instead of garbage decodes.
 
 use crate::fnv1a;
+use codesign_faults::FaultPlan;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic bytes opening every log file.
 pub const MAGIC: [u8; 8] = *b"CDSLOG01";
@@ -136,6 +138,22 @@ pub struct Recovery {
     pub truncated_bytes: u64,
 }
 
+/// Durability and fault-injection knobs for a [`RecordLog`].
+#[derive(Debug, Clone, Default)]
+pub struct LogOptions {
+    /// `fsync` after every [`append`](RecordLog::append), so each
+    /// acknowledged record is on stable storage before the call
+    /// returns. Off by default: the default durability contract is
+    /// "flushed to the OS per append, fsynced at explicit
+    /// [`sync`](RecordLog::sync) points" (e.g. before an estimate
+    /// store reports a batch persisted).
+    pub sync_on_append: bool,
+    /// Fault-injection plan consulted at the log's I/O sites
+    /// (`store.open`, `store.append`, `store.sync`). `None` — the
+    /// production configuration — costs one `Option` check per call.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
 /// An append-only log open for reading and appending.
 #[derive(Debug)]
 pub struct RecordLog {
@@ -143,6 +161,8 @@ pub struct RecordLog {
     path: PathBuf,
     /// Byte offset appends go to (end of last valid record).
     end: u64,
+    sync_on_append: bool,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl RecordLog {
@@ -157,6 +177,25 @@ impl RecordLog {
     /// / [`WrongKind`](LogError::WrongKind) for a file that is not this
     /// stream, and I/O failures.
     pub fn open(path: &Path, kind: StreamKind) -> Result<(Self, Vec<Vec<u8>>, Recovery), LogError> {
+        Self::open_with(path, kind, LogOptions::default())
+    }
+
+    /// [`open`](Self::open) with explicit durability and
+    /// fault-injection [`LogOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`open`](Self::open) returns, plus an injected I/O
+    /// error when the options carry a fault plan whose `store.open`
+    /// schedule fires.
+    pub fn open_with(
+        path: &Path,
+        kind: StreamKind,
+        options: LogOptions,
+    ) -> Result<(Self, Vec<Vec<u8>>, Recovery), LogError> {
+        if let Some(plan) = &options.faults {
+            plan.fail_io("store.open")?;
+        }
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -177,6 +216,8 @@ impl RecordLog {
                     file,
                     path: path.to_path_buf(),
                     end: HEADER_LEN,
+                    sync_on_append: options.sync_on_append,
+                    faults: options.faults,
                 },
                 Vec::new(),
                 Recovery::default(),
@@ -232,13 +273,16 @@ impl RecordLog {
                 file,
                 path: path.to_path_buf(),
                 end: offset as u64,
+                sync_on_append: options.sync_on_append,
+                faults: options.faults,
             },
             records,
             recovery,
         ))
     }
 
-    /// Appends one record and flushes it to the OS.
+    /// Appends one record and flushes it to the OS (plus an `fsync`
+    /// when `sync_on_append` is set).
     ///
     /// # Errors
     ///
@@ -246,6 +290,9 @@ impl RecordLog {
     /// error, so a failed append can be retried or abandoned without
     /// corrupting earlier records.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        if let Some(plan) = &self.faults {
+            plan.fail_io("store.append")?;
+        }
         let mut frame = Vec::with_capacity(FRAME_LEN as usize + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
@@ -254,7 +301,20 @@ impl RecordLog {
         self.file.write_all(&frame)?;
         self.file.flush()?;
         self.end += frame.len() as u64;
+        if self.sync_on_append {
+            self.sync()?;
+        }
         Ok(())
+    }
+
+    /// Flushes buffered writes to the OS without forcing them to
+    /// stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
     }
 
     /// Forces written records to stable storage (`fsync`).
@@ -263,7 +323,16 @@ impl RecordLog {
     ///
     /// Propagates `sync_data` failures.
     pub fn sync(&self) -> io::Result<()> {
+        if let Some(plan) = &self.faults {
+            plan.fail_io("store.sync")?;
+        }
         self.file.sync_data()
+    }
+
+    /// Toggles per-append `fsync` at runtime (see
+    /// [`LogOptions::sync_on_append`]).
+    pub fn set_sync_on_append(&mut self, on: bool) {
+        self.sync_on_append = on;
     }
 
     /// The file this log appends to.
@@ -417,6 +486,75 @@ mod tests {
             RecordLog::open(&path, StreamKind::EstimateStore),
             Err(LogError::BadMagic)
         ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn sync_on_append_round_trips_and_toggles() {
+        let path = temp_path("sync_on_append");
+        cleanup(&path);
+        {
+            let options = LogOptions {
+                sync_on_append: true,
+                faults: None,
+            };
+            let (mut log, _, _) =
+                RecordLog::open_with(&path, StreamKind::EstimateStore, options).unwrap();
+            log.append(b"durable").unwrap();
+            log.set_sync_on_append(false);
+            log.append(b"buffered").unwrap();
+            log.flush().unwrap();
+        }
+        let (_, records, recovery) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        assert_eq!(records, vec![b"durable".to_vec(), b"buffered".to_vec()]);
+        assert_eq!(recovery.truncated_bytes, 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn injected_append_failure_is_retryable() {
+        let path = temp_path("inject_append");
+        cleanup(&path);
+        // Rate 1.0: every store.append decision fires.
+        let plan = codesign_faults::FaultPlan::builder(7)
+            .io_failures("store.append", 1.0)
+            .build();
+        let options = LogOptions {
+            sync_on_append: false,
+            faults: Some(plan.clone()),
+        };
+        let (mut log, _, _) =
+            RecordLog::open_with(&path, StreamKind::EstimateStore, options).unwrap();
+        let err = log.append(b"blocked").unwrap_err();
+        assert!(codesign_faults::is_injected(&err));
+        assert_eq!(log.len_bytes(), HEADER_LEN);
+        // A log without the plan picks up where the failed one left
+        // off: no partial frame was written.
+        drop(log);
+        let (mut log, records, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        assert!(records.is_empty());
+        log.append(b"retried").unwrap();
+        drop(log);
+        let (_, records, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        assert_eq!(records, vec![b"retried".to_vec()]);
+        assert_eq!(plan.injected("store.append"), 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn injected_open_failure_fires_before_touching_disk() {
+        let path = temp_path("inject_open");
+        cleanup(&path);
+        let plan = codesign_faults::FaultPlan::builder(11)
+            .io_failures("store.open", 1.0)
+            .build();
+        let options = LogOptions {
+            sync_on_append: false,
+            faults: Some(plan),
+        };
+        let err = RecordLog::open_with(&path, StreamKind::EstimateStore, options).unwrap_err();
+        assert!(matches!(err, LogError::Io(_)));
+        assert!(!path.exists());
         cleanup(&path);
     }
 
