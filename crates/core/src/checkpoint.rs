@@ -448,7 +448,10 @@ fn activation_from_tag(tag: u8) -> Result<Activation, CodecError> {
 /// Encodes a design point field by field. The Bundle itself is stored
 /// as its id — Bundles are a fixed enumeration, so the id round-trips
 /// through [`bundle_by_id`] to the identical skeleton.
-fn encode_point(w: &mut ByteWriter, point: &DesignPoint) {
+///
+/// Public because shard workers persist per-cell candidates through
+/// the same byte-stable encoding the checkpoint log uses.
+pub fn encode_point(w: &mut ByteWriter, point: &DesignPoint) {
     w.put_varint(point.bundle.id().0 as u64);
     w.put_varint(point.n_replications as u64);
     w.put_len(point.downsample.len());
@@ -465,7 +468,13 @@ fn encode_point(w: &mut ByteWriter, point: &DesignPoint) {
     w.put_varint(point.max_channels as u64);
 }
 
-fn decode_point(r: &mut ByteReader<'_>) -> Result<DesignPoint, CodecError> {
+/// Decodes a design point written by [`encode_point`].
+///
+/// # Errors
+///
+/// [`CodecError`] on truncated input or an unknown bundle id /
+/// activation tag.
+pub fn decode_point(r: &mut ByteReader<'_>) -> Result<DesignPoint, CodecError> {
     let id = r.read_varint()? as usize;
     let bundle = bundle_by_id(BundleId(id)).ok_or(CodecError::InvalidTag {
         what: "bundle id",
@@ -494,7 +503,9 @@ fn decode_point(r: &mut ByteReader<'_>) -> Result<DesignPoint, CodecError> {
     })
 }
 
-fn encode_candidate(w: &mut ByteWriter, c: &Candidate) {
+/// Encodes one SCD [`Candidate`] (point + estimate + objectives) in
+/// the checkpoint log's byte-stable format.
+pub fn encode_candidate(w: &mut ByteWriter, c: &Candidate) {
     encode_point(w, &c.point);
     w.put_varint(c.estimate.latency_cycles);
     encode_resources(w, &c.estimate.resources);
@@ -502,7 +513,12 @@ fn encode_candidate(w: &mut ByteWriter, c: &Candidate) {
     w.put_f64(c.accuracy);
 }
 
-fn decode_candidate(r: &mut ByteReader<'_>) -> Result<Candidate, CodecError> {
+/// Decodes a candidate written by [`encode_candidate`].
+///
+/// # Errors
+///
+/// [`CodecError`] on truncated or schema-drifted input.
+pub fn decode_candidate(r: &mut ByteReader<'_>) -> Result<Candidate, CodecError> {
     Ok(Candidate {
         point: decode_point(r)?,
         estimate: Estimate {

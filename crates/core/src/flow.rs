@@ -513,6 +513,12 @@ pub enum FlowError {
         /// Description of the underlying I/O failure.
         reason: String,
     },
+    /// A multi-process sharded run of the flow failed (supervisor,
+    /// worker, or merge error from `codesign-shard`).
+    Sharded {
+        /// Description of the shard-layer failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -523,6 +529,7 @@ impl fmt::Display for FlowError {
             FlowError::Cancelled => write!(f, "flow cancelled"),
             FlowError::DeadlineExceeded => write!(f, "flow deadline exceeded"),
             FlowError::Checkpoint { reason } => write!(f, "checkpoint write failed: {reason}"),
+            FlowError::Sharded { reason } => write!(f, "sharded search failed: {reason}"),
         }
     }
 }

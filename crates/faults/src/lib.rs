@@ -24,6 +24,10 @@
 //! | `serve.job.delay`   | latency    | the serve executor, keyed by job id |
 //! | `serve.conn.drop`   | conn drop  | the HTTP accept path |
 //! | `parallel.item`     | latency/panic | the worker pool, per work item |
+//! | `shard.worker.crash` | crash     | shard workers, keyed by shard index: abort mid-append on the first attempt, leaving a torn segment |
+//! | `shard.worker.poison` | crash    | shard workers, keyed by shard index: abort on *every* attempt (poison-shard detection) |
+//! | `shard.worker.hang` | hang       | shard workers, keyed by shard index: stop heartbeating and sleep until the lease reaper kills them |
+//! | `shard.cell.delay`  | latency    | shard workers, keyed by global cell index, to widen crash windows in tests |
 //!
 //! A site not configured in the plan always proceeds, and a component
 //! with no plan installed at all pays only an `Option`/relaxed-atomic
@@ -39,6 +43,21 @@
 //!   (e.g. a job id). Use this when the fault must follow a stable
 //!   identity rather than call order, so "which jobs panic" is a
 //!   function of the seed alone.
+//!
+//! # Crossing process boundaries
+//!
+//! A plan serializes to a one-line *spec string*
+//! ([`FaultPlan::to_spec`] / [`FaultPlan::from_spec`]) so a supervisor
+//! can hand its children the exact schedule through the
+//! [`SPEC_ENV`] environment variable ([`plan_from_env`]):
+//!
+//! ```text
+//! seed=7;shard.worker.crash=panic@1,3;store.append=io%0.25;parallel.item=delay(50)%1
+//! ```
+//!
+//! Each entry is `site=kind[(delay_ms)]` followed by either `@i1,i2`
+//! (exact invocation indices) or `%rate` (seeded probability). Kinds
+//! are `io`, `panic`, `delay`, and `drop`.
 //!
 //! This crate is dependency-free and sits at the bottom of the
 //! workspace graph so store, parallel, core, and serve can all consume
@@ -340,6 +359,158 @@ impl FaultPlan {
     }
 }
 
+/// Environment variable carrying a fault-plan spec string across a
+/// process boundary (see [`FaultPlan::from_spec`] / [`plan_from_env`]).
+pub const SPEC_ENV: &str = "CODESIGN_FAULT_SPEC";
+
+/// A malformed fault-plan spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// What was wrong, quoting the offending fragment.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec: {}", self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn spec_err(reason: impl Into<String>) -> SpecError {
+    SpecError {
+        reason: reason.into(),
+    }
+}
+
+impl FaultPlan {
+    /// Renders this plan as a spec string that
+    /// [`from_spec`](Self::from_spec) parses back into an equivalent
+    /// plan (same seed, sites, kinds, schedules; counters reset).
+    pub fn to_spec(&self) -> String {
+        let mut out = format!("seed={}", self.seed);
+        for (name, site) in &self.sites {
+            out.push(';');
+            out.push_str(name);
+            out.push('=');
+            out.push_str(match site.kind {
+                FaultKind::IoError => "io",
+                FaultKind::Panic => "panic",
+                FaultKind::Delay => "delay",
+                FaultKind::DropConnection => "drop",
+            });
+            if !site.delay.is_zero() {
+                out.push_str(&format!("({})", site.delay.as_millis()));
+            }
+            match &site.at {
+                Some(indices) => {
+                    out.push('@');
+                    let joined: Vec<String> = indices.iter().map(|i| i.to_string()).collect();
+                    out.push_str(&joined.join(","));
+                }
+                None => out.push_str(&format!("%{}", site.rate)),
+            }
+        }
+        out
+    }
+
+    /// Parses a spec string produced by [`to_spec`](Self::to_spec) (or
+    /// written by hand; the grammar is in the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] naming the malformed fragment.
+    pub fn from_spec(spec: &str) -> Result<Arc<FaultPlan>, SpecError> {
+        let mut entries = spec.split(';');
+        let head = entries.next().unwrap_or_default().trim();
+        let seed: u64 = head
+            .strip_prefix("seed=")
+            .ok_or_else(|| spec_err(format!("must start with seed=<n>, got {head:?}")))?
+            .parse()
+            .map_err(|_| spec_err(format!("unparsable seed in {head:?}")))?;
+        let mut builder = FaultPlan::builder(seed);
+        for entry in entries {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (site, rest) = entry
+                .split_once('=')
+                .ok_or_else(|| spec_err(format!("entry {entry:?} missing '='")))?;
+            if site.is_empty() {
+                return Err(spec_err(format!("entry {entry:?} has an empty site name")));
+            }
+            enum Sched {
+                At(Vec<u64>),
+                Rate(f64),
+            }
+            let (kind_text, sched) = if let Some((k, idx)) = rest.split_once('@') {
+                let indices = idx
+                    .split(',')
+                    .map(|i| i.trim().parse::<u64>())
+                    .collect::<Result<Vec<u64>, _>>()
+                    .map_err(|_| spec_err(format!("unparsable index list in {entry:?}")))?;
+                (k, Sched::At(indices))
+            } else if let Some((k, r)) = rest.split_once('%') {
+                let rate: f64 = r
+                    .trim()
+                    .parse()
+                    .map_err(|_| spec_err(format!("unparsable rate in {entry:?}")))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(spec_err(format!("rate {rate} out of [0, 1] in {entry:?}")));
+                }
+                (k, Sched::Rate(rate))
+            } else {
+                (rest, Sched::Rate(1.0))
+            };
+            let (kind_name, delay) = match kind_text.split_once('(') {
+                Some((k, ms)) => {
+                    let ms: u64 = ms
+                        .strip_suffix(')')
+                        .ok_or_else(|| spec_err(format!("unclosed delay in {entry:?}")))?
+                        .trim()
+                        .parse()
+                        .map_err(|_| spec_err(format!("unparsable delay in {entry:?}")))?;
+                    (k.trim(), Duration::from_millis(ms))
+                }
+                None => (kind_text.trim(), Duration::ZERO),
+            };
+            let kind = match kind_name {
+                "io" => FaultKind::IoError,
+                "panic" => FaultKind::Panic,
+                "delay" => FaultKind::Delay,
+                "drop" => FaultKind::DropConnection,
+                other => {
+                    return Err(spec_err(format!(
+                        "unknown kind {other:?} in {entry:?} (expected io|panic|delay|drop)"
+                    )))
+                }
+            };
+            builder = match sched {
+                Sched::At(indices) => builder.add_at(site.trim(), kind, &indices, delay),
+                Sched::Rate(rate) => builder.add(site.trim(), kind, rate, delay),
+            };
+        }
+        Ok(builder.build())
+    }
+}
+
+/// Builds the plan described by the [`SPEC_ENV`] environment variable.
+/// `Ok(None)` when the variable is unset or empty — the production
+/// configuration.
+///
+/// # Errors
+///
+/// [`SpecError`] when the variable is set but malformed; callers
+/// should fail loudly rather than silently run without faults.
+pub fn plan_from_env() -> Result<Option<Arc<FaultPlan>>, SpecError> {
+    match std::env::var(SPEC_ENV) {
+        Ok(spec) if !spec.trim().is_empty() => FaultPlan::from_spec(&spec).map(Some),
+        _ => Ok(None),
+    }
+}
+
 /// The error every injected I/O fault carries. `io::ErrorKind::Other`
 /// with a message naming the site, so logs and degraded-mode reasons
 /// say exactly which schedule fired.
@@ -506,6 +677,68 @@ mod tests {
         assert_eq!(plan.injected("s"), 5);
         assert_eq!(plan.decide("d"), FaultAction::Delay(Duration::ZERO));
         assert_eq!(plan.injected_total(), 6);
+    }
+
+    #[test]
+    fn spec_round_trips_schedules_exactly() {
+        let plan = FaultPlan::builder(7)
+            .panics_at("shard.worker.crash", &[1, 3])
+            .io_failures("store.append", 0.25)
+            .delays("parallel.item", 1.0, Duration::from_millis(50))
+            .delays_at("shard.cell.delay", &[0, 2, 4], Duration::from_millis(5))
+            .connection_drops("serve.conn.drop", 0.125)
+            .build();
+        let spec = plan.to_spec();
+        let parsed = FaultPlan::from_spec(&spec).unwrap();
+        assert_eq!(parsed.seed(), plan.seed());
+        for site in [
+            "shard.worker.crash",
+            "store.append",
+            "parallel.item",
+            "shard.cell.delay",
+            "serve.conn.drop",
+            "unconfigured.site",
+        ] {
+            assert_eq!(
+                parsed.schedule(site, 256),
+                plan.schedule(site, 256),
+                "schedule mismatch at {site} for spec {spec:?}"
+            );
+        }
+        // And the re-render is stable.
+        assert_eq!(parsed.to_spec(), spec);
+    }
+
+    #[test]
+    fn handwritten_specs_parse() {
+        let plan =
+            FaultPlan::from_spec("seed=9; shard.worker.crash=panic@2 ;store.sync=io%0.5").unwrap();
+        assert_eq!(plan.decide_at("shard.worker.crash", 2), FaultAction::Panic);
+        assert_eq!(
+            plan.decide_at("shard.worker.crash", 1),
+            FaultAction::Proceed
+        );
+        // Bare kind means rate 1.0.
+        let always = FaultPlan::from_spec("seed=0;s=io").unwrap();
+        assert_eq!(always.decide_at("s", 123), FaultAction::FailIo);
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in [
+            "",
+            "seed=x",
+            "nosite",
+            "seed=1;entry-without-eq",
+            "seed=1;s=frobnicate",
+            "seed=1;s=io@x",
+            "seed=1;s=io%2.0",
+            "seed=1;s=delay(q)%1",
+            "seed=1;s=delay(5%1",
+            "seed=1;=io",
+        ] {
+            assert!(FaultPlan::from_spec(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

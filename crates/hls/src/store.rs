@@ -29,7 +29,12 @@
 //! mid-append loses at most the record being written, and the torn tail
 //! is truncated on the next [`open`](EstimateStore::open). Duplicate
 //! keys across records are harmless (last write wins on load, and all
-//! writes for a key carry the same deterministic value).
+//! writes for a key carry the same deterministic value) but accumulate
+//! bytes forever; [`compact`](EstimateStore::compact) rewrites the log
+//! with exactly one record per live key — a fresh log is written
+//! beside the original and atomically renamed over it, so a crash
+//! mid-compaction leaves either the old file or the new one, never a
+//! mix.
 
 use crate::cache::EstimateCache;
 use crate::model::Estimate;
@@ -37,7 +42,7 @@ use codesign_sim::report::ResourceUsage;
 use codesign_store::{
     ByteReader, ByteWriter, CodecError, LogError, LogOptions, RecordLog, StreamKind,
 };
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -52,6 +57,9 @@ pub struct StoreStats {
     /// Bytes of torn tail truncated during open (0 after a clean
     /// shutdown).
     pub recovered_tail_bytes: u64,
+    /// Bytes reclaimed by [`EstimateStore::compact`] since open
+    /// (duplicate records dropped from the rewritten log).
+    pub reclaimed_bytes: u64,
 }
 
 /// A disk-backed extension of the in-memory [`EstimateCache`].
@@ -69,6 +77,14 @@ pub struct EstimateStore {
     pending: Vec<(Vec<u8>, Estimate)>,
     /// Keys already present in the log (loaded or appended).
     on_disk: HashSet<Vec<u8>>,
+    /// Live value per key (last write wins), in sorted-key order —
+    /// exactly what [`compact`](Self::compact) rewrites.
+    live: BTreeMap<Vec<u8>, Estimate>,
+    /// Records on disk that a compaction would drop (duplicates).
+    dead_records: usize,
+    /// Options the log was opened with; compaction reuses them for the
+    /// replacement log.
+    options: LogOptions,
     stats: StoreStats,
 }
 
@@ -121,15 +137,17 @@ impl EstimateStore {
     /// errors when `options` carry an active fault plan.
     pub fn open_with(path: &Path, options: LogOptions) -> Result<Self, LogError> {
         let (log, raw_records, recovery) =
-            RecordLog::open_with(path, StreamKind::EstimateStore, options)?;
+            RecordLog::open_with(path, StreamKind::EstimateStore, options.clone())?;
         let mut pending = Vec::with_capacity(raw_records.len());
         let mut on_disk = HashSet::with_capacity(raw_records.len());
+        let mut live = BTreeMap::new();
         for payload in &raw_records {
             // A record that framed and checksummed correctly but does
             // not decode is a schema mismatch within the same log
             // version — skip it rather than poison the whole store.
             if let Ok((key, est)) = decode_record(payload) {
                 on_disk.insert(key.clone());
+                live.insert(key.clone(), est);
                 pending.push((key, est));
             }
         }
@@ -137,11 +155,16 @@ impl EstimateStore {
             loaded: pending.len(),
             persisted: 0,
             recovered_tail_bytes: recovery.truncated_bytes,
+            reclaimed_bytes: 0,
         };
+        let dead_records = pending.len() - live.len();
         Ok(Self {
             log,
             pending,
             on_disk,
+            live,
+            dead_records,
+            options,
             stats,
         })
     }
@@ -176,7 +199,8 @@ impl EstimateStore {
                 continue;
             }
             self.log.append(&encode_record(&key, &est))?;
-            self.on_disk.insert(key);
+            self.on_disk.insert(key.clone());
+            self.live.insert(key, est);
             written += 1;
         }
         if written > 0 {
@@ -196,6 +220,71 @@ impl EstimateStore {
     /// Propagates `fsync` failures (including injected ones).
     pub fn sync(&self) -> io::Result<()> {
         self.log.sync()
+    }
+
+    /// Rewrites the log keeping exactly one record per live key (in
+    /// sorted-key order), dropping the duplicates that accumulate when
+    /// the same entries are re-persisted across runs. The replacement
+    /// is written to a `.compact` sibling, synced, and atomically
+    /// renamed over the original — the advisory writer lock stays held
+    /// throughout, and a crash mid-compaction leaves a complete file
+    /// either way. Returns the bytes reclaimed (also accumulated in
+    /// [`StoreStats::reclaimed_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (including injected ones); on error the
+    /// original log is still open and intact.
+    pub fn compact(&mut self) -> io::Result<u64> {
+        let old_bytes = self.log.len_bytes();
+        let path = self.log.path().to_path_buf();
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        tmp_name.push(".compact");
+        let tmp = path.with_file_name(tmp_name);
+        // A stale .compact from a crashed earlier attempt is garbage.
+        let _ = std::fs::remove_file(&tmp);
+        {
+            // The original's lock already guards the store; the
+            // scratch file needs none (and must not collide with it).
+            let tmp_options = LogOptions {
+                lock: false,
+                ..self.options.clone()
+            };
+            let (mut fresh, _, _) =
+                RecordLog::open_with(&tmp, StreamKind::EstimateStore, tmp_options).map_err(
+                    |e| match e {
+                        LogError::Io(e) => e,
+                        other => io::Error::other(other.to_string()),
+                    },
+                )?;
+            for (key, est) in &self.live {
+                fresh.append(&encode_record(key, est))?;
+            }
+            fresh.sync()?;
+        }
+        self.log.swap_in(&tmp)?;
+        self.dead_records = 0;
+        let reclaimed = old_bytes.saturating_sub(self.log.len_bytes());
+        self.stats.reclaimed_bytes += reclaimed;
+        Ok(reclaimed)
+    }
+
+    /// Releases the advisory single-writer lock without closing the
+    /// store, so another process (or another handle in this one) may
+    /// open the log. For graceful shutdown when the store handle
+    /// outlives its final [`sync`](Self::sync); the caller must not
+    /// persist afterwards. Idempotent.
+    pub fn unlock(&mut self) {
+        self.log.unlock();
+    }
+
+    /// Records on disk that [`compact`](Self::compact) would drop —
+    /// duplicates superseded by a later write of the same key.
+    pub fn duplicate_records(&self) -> usize {
+        self.dead_records
     }
 
     /// Activity counters since open.
@@ -360,8 +449,8 @@ mod tests {
             .io_failures_at("store.append", &[3])
             .build();
         let options = LogOptions {
-            sync_on_append: false,
             faults: Some(plan),
+            ..LogOptions::default()
         };
         {
             let mut store = EstimateStore::open_with(&path, options).unwrap();
@@ -377,6 +466,60 @@ mod tests {
         assert_eq!(reopened.stats().loaded, 6);
         let fresh = EstimateCache::new();
         assert_eq!(reopened.load_into(&fresh), 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_drops_duplicates_and_preserves_live_entries() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let cache = EstimateCache::new();
+        for k in 0u8..8 {
+            cache
+                .get_or_insert_with(&[k], || Ok(est(k as u64 + 7)))
+                .unwrap();
+        }
+        {
+            let mut store = EstimateStore::open(&path).unwrap();
+            store.persist_from(&cache).unwrap();
+        }
+        // Duplicate every record by appending the same entries again
+        // through a raw log handle (simulating the historical
+        // append-only growth pattern across many runs).
+        {
+            let (mut log, _, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+            for k in 0u8..8 {
+                log.append(&encode_record(&[k], &est(k as u64 + 7)))
+                    .unwrap();
+            }
+        }
+        let mut store = EstimateStore::open(&path).unwrap();
+        assert_eq!(store.stats().loaded, 16);
+        assert_eq!(store.duplicate_records(), 8);
+        assert_eq!(store.len(), 8);
+        let reclaimed = store.compact().unwrap();
+        assert!(reclaimed > 0, "dropping 8 duplicate records frees bytes");
+        assert_eq!(store.stats().reclaimed_bytes, reclaimed);
+        assert_eq!(store.duplicate_records(), 0);
+        // Compacting an already-compact store reclaims nothing.
+        assert_eq!(store.compact().unwrap(), 0);
+        // The store keeps working after the swap: new entries append.
+        let more = EstimateCache::new();
+        more.get_or_insert_with(&[99], || Ok(est(500))).unwrap();
+        assert_eq!(store.persist_from(&more).unwrap(), 1);
+        drop(store);
+        // A reopen sees exactly the live set.
+        let warm = EstimateCache::new();
+        let mut reopened = EstimateStore::open(&path).unwrap();
+        assert_eq!(reopened.stats().loaded, 9);
+        assert_eq!(reopened.duplicate_records(), 0);
+        assert_eq!(reopened.load_into(&warm), 9);
+        for k in 0u8..8 {
+            let v = warm
+                .get_or_insert_with(&[k], || panic!("must hit"))
+                .unwrap();
+            assert_eq!(v, est(k as u64 + 7));
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,96 @@
+//! Sharded-search bench: the same sweep at 1 worker, 4 workers, and 4
+//! workers with an injected mid-append crash.
+//!
+//! Three contracts are measured (and one asserted): shards/s scaling
+//! from process fan-out, the wall-clock overhead of recovering a
+//! crashed worker, and — before any number is reported — that all
+//! three runs produced byte-identical canonical output. Emits
+//! `BENCH_shard.json` via `codesign_bench::perf`.
+
+use codesign_bench::{emit_bench_json, BenchRecord};
+use codesign_core::flow::FlowConfig;
+use codesign_shard::canonical_output_bytes;
+use codesign_shard::supervisor::{run, ShardConfig};
+use codesign_sim::device::pynq_z1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn flow_config() -> FlowConfig {
+    FlowConfig {
+        targets_fps: vec![10.0, 15.0],
+        candidates_per_bundle: 2,
+        coarse_pf_sweep: vec![16],
+        ..FlowConfig::for_device(pynq_z1())
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("codesign_bench_shard")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shard_config(name: &str, workers: usize, fault_spec: Option<&str>) -> ShardConfig {
+    ShardConfig {
+        dir: temp_dir(name),
+        flow: flow_config(),
+        workers,
+        shards: 4,
+        max_retries: 2,
+        lease: Duration::from_secs(60),
+        worker_exe: PathBuf::from(env!("CARGO_BIN_EXE_codesign-shard")),
+        fault_spec: fault_spec.map(str::to_string),
+    }
+}
+
+fn timed(config: &ShardConfig) -> (Vec<u8>, Duration, u32) {
+    let t0 = Instant::now();
+    let (output, report) = run(config).expect("sharded run");
+    (
+        canonical_output_bytes(&output),
+        t0.elapsed(),
+        report.retries,
+    )
+}
+
+fn bench_shard(_c: &mut Criterion) {
+    let (bytes_1, wall_1, _) = timed(&shard_config("w1", 1, None));
+    let (bytes_4, wall_4, _) = timed(&shard_config("w4", 4, None));
+    let (bytes_crash, wall_crash, retries) = timed(&shard_config(
+        "w4_crash",
+        4,
+        Some("seed=7;shard.worker.crash=panic@1"),
+    ));
+
+    // The headline guarantee, asserted before any number is believed.
+    assert_eq!(bytes_1, bytes_4, "1-worker vs 4-worker output differs");
+    assert_eq!(bytes_1, bytes_crash, "crash-recovery output differs");
+    assert!(retries >= 1, "the injected crash must force a retry");
+
+    let shards_per_sec = |wall: Duration| 4.0 / wall.as_secs_f64();
+    println!(
+        "shard: 1 worker {:.1} ms, 4 workers {:.1} ms, 4 workers + crash {:.1} ms",
+        wall_1.as_secs_f64() * 1e3,
+        wall_4.as_secs_f64() * 1e3,
+        wall_crash.as_secs_f64() * 1e3,
+    );
+
+    let records = [
+        BenchRecord::timing("workers_1", wall_1)
+            .with_metric("shards_per_sec", shards_per_sec(wall_1)),
+        BenchRecord::speedup_over("workers_4", wall_4, wall_1)
+            .with_metric("shards_per_sec", shards_per_sec(wall_4)),
+        BenchRecord::speedup_over("workers_4_crash_recovery", wall_crash, wall_4).with_metric(
+            "recovery_overhead_ms",
+            (wall_crash.saturating_sub(wall_4)).as_secs_f64() * 1e3,
+        ),
+    ];
+    let path = emit_bench_json("shard", &records).expect("emit BENCH_shard.json");
+    println!("shard: wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! The `codesign-shard` binary: crash-tolerant multi-process search.
+//!
+//! ```text
+//! codesign-shard --dir PATH [--workers N] [--shards N] [--targets CSV]
+//!                [--candidates N] [--pf-sweep CSV] [--seed N]
+//!                [--device NAME] [--max-retries N] [--lease-ms N]
+//!                [--emit PATH]
+//! ```
+//!
+//! Runs the full co-design flow with its SCD stage fanned out across
+//! worker processes (re-execs of this same binary). `--emit PATH`
+//! writes the canonical output bytes — the determinism artifact two
+//! runs can be compared by with `cmp`. A fault-plan spec in
+//! `CODESIGN_FAULT_SPEC` is forwarded to every worker, which is how
+//! the CI smoke leg injects a crash.
+//!
+//! Exit codes: 0 on success, 2 when shards were quarantined (partial
+//! results are never emitted), 1 on any other failure.
+
+use codesign_core::FlowConfig;
+use codesign_shard::supervisor::{run, ShardConfig};
+use codesign_shard::{canonical_output_bytes, maybe_run_worker, ShardError};
+use codesign_sim::device::{pynq_z1, ultra96, zcu104};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: codesign-shard --dir PATH [--workers N] [--shards N] \
+                     [--targets CSV] [--candidates N] [--pf-sweep CSV] [--seed N] \
+                     [--device pynq_z1|ultra96|zcu104] [--max-retries N] \
+                     [--lease-ms N] [--emit PATH]";
+
+struct Options {
+    config: ShardConfig,
+    emit: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut flow = FlowConfig::for_device(pynq_z1());
+    let mut workers = 2usize;
+    let mut shards = 0usize;
+    let mut max_retries = 2u32;
+    let mut lease_ms = 30_000u64;
+    let mut emit: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects {what}"))
+        };
+        match flag.as_str() {
+            "--dir" => dir = Some(PathBuf::from(value("a directory path")?)),
+            "--workers" => workers = parse_num(&value("a process count")?, flag)?,
+            "--shards" => shards = parse_num(&value("a shard count")?, flag)?,
+            "--targets" => {
+                flow.targets_fps = parse_csv(&value("a CSV of FPS targets")?, flag)?;
+            }
+            "--candidates" => {
+                flow.candidates_per_bundle = parse_num(&value("a candidate count")?, flag)?;
+            }
+            "--pf-sweep" => {
+                let pfs: Vec<f64> = parse_csv(&value("a CSV of parallel factors")?, flag)?;
+                flow.coarse_pf_sweep = pfs.into_iter().map(|pf| pf as usize).collect();
+            }
+            "--seed" => flow.seed = parse_num(&value("a seed")?, flag)?,
+            "--device" => {
+                flow.device = match value("a device name")?.as_str() {
+                    "pynq_z1" => pynq_z1(),
+                    "ultra96" => ultra96(),
+                    "zcu104" => zcu104(),
+                    other => return Err(format!("unknown device {other:?}\n{USAGE}")),
+                };
+            }
+            "--max-retries" => max_retries = parse_num(&value("a retry budget")?, flag)?,
+            "--lease-ms" => lease_ms = parse_num(&value("a lease in ms")?, flag)?,
+            "--emit" => emit = Some(PathBuf::from(value("a file path")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let dir = dir.ok_or_else(|| format!("--dir is required\n{USAGE}"))?;
+    let mut config = ShardConfig::new(dir, flow).map_err(|e| e.to_string())?;
+    config.workers = workers;
+    config.shards = shards;
+    config.max_retries = max_retries;
+    config.lease = Duration::from_millis(lease_ms);
+    // Forward whatever fault spec this process was launched with; the
+    // supervisor scrubs the variable from workers when None.
+    config.fault_spec = std::env::var(codesign_faults::SPEC_ENV).ok();
+    Ok(Options { config, emit })
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag} expects a number, got {text:?}"))
+}
+
+fn parse_csv(text: &str, flag: &str) -> Result<Vec<f64>, String> {
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| format!("{flag} expects comma-separated numbers, got {part:?}"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    // Worker mode exits inside; the supervisor path continues.
+    maybe_run_worker();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options.config) {
+        Ok((output, report)) => {
+            let bytes = canonical_output_bytes(&output);
+            println!(
+                "codesign-shard: {} cells in {} shards, {} reused, {} retries, \
+                 {} lease reclaims, {} designs",
+                report.cells,
+                report.shards,
+                report.reused_shards,
+                report.retries,
+                report.lease_reclaims,
+                output.designs.len(),
+            );
+            if let Some(path) = options.emit {
+                if let Err(e) = std::fs::write(&path, &bytes) {
+                    eprintln!("codesign-shard: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "codesign-shard: canonical output ({} bytes) at {}",
+                    bytes.len(),
+                    path.display()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(ShardError::Quarantined { shards }) => {
+            eprintln!("codesign-shard: quarantined shards {shards:?}; no output emitted");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("codesign-shard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Crash-tolerant multi-process sharded co-design search.
+//!
+//! The DAC'19 flow's SCD stage is a pure grid: one independent search
+//! per `(FPS target, selected Bundle, quantization arm)` cell, each
+//! seeded from what the cell *is* rather than when it runs. That makes
+//! it safe to split across OS processes — and this crate does exactly
+//! that, with the supervision needed to survive the processes dying:
+//!
+//! * [`supervisor`] — partitions the grid into shards, spawns worker
+//!   processes (re-execs of this crate's own binary), hands out shards
+//!   under heartbeat leases, reclaims leases from crashed or hung
+//!   workers, retries with a bounded budget, and quarantines shards
+//!   that keep failing instead of retrying forever.
+//! * [`worker`] — the child-process side: reads the [`spec`], computes
+//!   its cell range, appends results to its own [`segment`] log, and
+//!   resumes mid-shard after a crash by replaying what the torn-tail
+//!   recovery of its segment preserved.
+//! * [`manifest`] — the supervisor's checksummed record of claims,
+//!   completions, failures, and quarantines; replayed on restart so a
+//!   new supervisor run reuses finished shards.
+//! * [`output`] — a canonical byte serialization of the final
+//!   [`FlowOutput`](codesign_core::FlowOutput), the artifact the
+//!   determinism pins compare.
+//!
+//! The contract, enforced by this crate's tests: the merged output is
+//! **byte-identical** across one process, N processes, and N processes
+//! with workers killed mid-append — crashes cost wall-clock, never
+//! bits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use codesign_core::flow::FlowError;
+use codesign_store::{CodecError, LogError};
+use std::fmt;
+use std::io;
+
+pub mod manifest;
+pub mod output;
+pub mod segment;
+pub mod spec;
+pub mod supervisor;
+pub mod worker;
+
+pub use manifest::{Manifest, ManifestState, PlanRecord};
+pub use output::canonical_output_bytes;
+pub use segment::{read_segment, segment_path};
+pub use spec::{shard_range, Cell, SweepSpec};
+pub use supervisor::{run, run_with_cancel, ShardConfig, ShardReport};
+pub use worker::maybe_run_worker;
+
+/// Everything the sharded search can fail with.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ShardError {
+    /// An I/O operation failed.
+    Io(io::Error),
+    /// A record log failed to open or append (including a second
+    /// supervisor being locked out of the manifest).
+    Log(LogError),
+    /// Stored bytes did not decode.
+    Codec(CodecError),
+    /// The coarse stage or merge-side finalization failed.
+    Flow(FlowError),
+    /// The sweep spec was missing, corrupt, or pinned a different
+    /// configuration than this run's.
+    Spec(String),
+    /// One or more shards exhausted their retry budget and were
+    /// quarantined; their cells are missing from the output.
+    Quarantined {
+        /// The quarantined shard indices, ascending.
+        shards: Vec<usize>,
+    },
+    /// The merge found cells no completed segment covered (a bug or a
+    /// tampered shard directory, never an expected outcome).
+    IncompleteMerge {
+        /// Global indices of the uncovered cells, ascending.
+        missing: Vec<usize>,
+    },
+    /// The run was cancelled through its [`CancelToken`](codesign_core::CancelToken).
+    Cancelled,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard i/o error: {e}"),
+            ShardError::Log(e) => write!(f, "shard log error: {e}"),
+            ShardError::Codec(e) => write!(f, "shard decode error: {e}"),
+            ShardError::Flow(e) => write!(f, "shard flow error: {e}"),
+            ShardError::Spec(reason) => write!(f, "sweep spec error: {reason}"),
+            ShardError::Quarantined { shards } => {
+                write!(
+                    f,
+                    "{} shard(s) quarantined after retries: {shards:?}",
+                    shards.len()
+                )
+            }
+            ShardError::IncompleteMerge { missing } => {
+                write!(f, "merge missing {} cell(s): {missing:?}", missing.len())
+            }
+            ShardError::Cancelled => write!(f, "sharded search cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io(e) => Some(e),
+            ShardError::Log(e) => Some(e),
+            ShardError::Codec(e) => Some(e),
+            ShardError::Flow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+impl From<LogError> for ShardError {
+    fn from(e: LogError) -> Self {
+        ShardError::Log(e)
+    }
+}
+
+impl From<CodecError> for ShardError {
+    fn from(e: CodecError) -> Self {
+        ShardError::Codec(e)
+    }
+}
+
+impl From<FlowError> for ShardError {
+    fn from(e: FlowError) -> Self {
+        ShardError::Flow(e)
+    }
+}

@@ -1,0 +1,276 @@
+//! The supervisor's manifest log: shard claims, completions, leases.
+//!
+//! The manifest is a [`RecordLog`] (stream kind
+//! [`StreamKind::ShardManifest`]) that only the supervisor writes —
+//! its advisory lock is held for the whole run, so a second supervisor
+//! pointed at the same directory fails with a typed lock error instead
+//! of fighting over shards. Records, in append order, tell the story
+//! of the run:
+//!
+//! * `Plan` — fingerprint, shard count, cell count. Written once; a
+//!   restart with a different config is a typed mismatch.
+//! * `Claim` — shard assigned to a worker pid for an attempt.
+//! * `Done` — the worker exited cleanly and its segment verified.
+//! * `Failed` — the attempt died (nonzero exit, signal, expired
+//!   lease) with a reason.
+//! * `Quarantined` — the shard failed `max_retries + 1` attempts and
+//!   is poisoned; the run reports it instead of retrying forever.
+//!
+//! Replay on restart trusts only `Plan` and `Done` records (`Done`
+//! shards are additionally re-verified against their segment files
+//! before reuse); claims and failures are history. Attempt budgets
+//! reset on restart, so a previously quarantined run can be retried
+//! with a clean slate after the underlying cause is fixed.
+
+use codesign_store::{ByteReader, ByteWriter, CodecError, LogOptions, RecordLog, StreamKind};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+use crate::ShardError;
+
+/// File name of the manifest inside a shard directory.
+pub const MANIFEST_FILE: &str = "manifest.log";
+
+const TAG_PLAN: u8 = 1;
+const TAG_CLAIM: u8 = 2;
+const TAG_DONE: u8 = 3;
+const TAG_FAILED: u8 = 4;
+const TAG_QUARANTINED: u8 = 5;
+
+/// The run parameters pinned by the first manifest record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanRecord {
+    /// [`config_fingerprint`](codesign_core::checkpoint::config_fingerprint)
+    /// of the flow config.
+    pub fingerprint: u64,
+    /// Number of shards the grid was partitioned into.
+    pub shards: usize,
+    /// Total cells in the grid.
+    pub cells: usize,
+}
+
+/// What a manifest replay found on disk.
+#[derive(Debug, Clone, Default)]
+pub struct ManifestState {
+    /// The plan record, when one was written.
+    pub plan: Option<PlanRecord>,
+    /// Shards recorded `Done` (to be re-verified against segments).
+    pub done: BTreeSet<usize>,
+    /// Shards recorded `Quarantined` in an earlier run (informational;
+    /// attempt budgets reset on restart).
+    pub quarantined: BTreeSet<usize>,
+    /// Total `Failed` records across the log's history.
+    pub failures: usize,
+}
+
+/// The supervisor's handle on the manifest log.
+#[derive(Debug)]
+pub struct Manifest {
+    log: RecordLog,
+}
+
+impl Manifest {
+    /// Opens (creating if absent) the manifest at
+    /// `dir/`[`MANIFEST_FILE`], replaying its records. Holds the log's
+    /// advisory lock until dropped — one supervisor per directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Log`] on open/lock failures (a live second
+    /// supervisor surfaces here as `Locked`).
+    pub fn open(dir: &Path) -> Result<(Self, ManifestState), ShardError> {
+        let options = LogOptions {
+            // Manifest records are rare (a handful per shard) and are
+            // the recovery source of truth — sync each one.
+            sync_on_append: true,
+            ..LogOptions::default()
+        };
+        let (log, records, _recovery) =
+            RecordLog::open_with(&dir.join(MANIFEST_FILE), StreamKind::ShardManifest, options)?;
+        let mut state = ManifestState::default();
+        for payload in &records {
+            // A record that framed correctly but does not decode is
+            // schema drift — ignore it; the affected shard just reruns.
+            let _ = replay(payload, &mut state);
+        }
+        Ok((Self { log }, state))
+    }
+
+    /// Records the run plan (first record of a fresh manifest).
+    ///
+    /// # Errors
+    ///
+    /// Propagates append I/O failures.
+    pub fn record_plan(&mut self, plan: PlanRecord) -> io::Result<()> {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_PLAN);
+        w.put_u64(plan.fingerprint);
+        w.put_varint(plan.shards as u64);
+        w.put_varint(plan.cells as u64);
+        self.log.append(w.as_bytes())
+    }
+
+    /// Records a shard claim: `shard` assigned to worker `pid` for
+    /// `attempt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates append I/O failures.
+    pub fn record_claim(&mut self, shard: usize, attempt: u32, pid: u32) -> io::Result<()> {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_CLAIM);
+        w.put_varint(shard as u64);
+        w.put_varint(attempt as u64);
+        w.put_varint(pid as u64);
+        self.log.append(w.as_bytes())
+    }
+
+    /// Records a shard completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates append I/O failures.
+    pub fn record_done(&mut self, shard: usize, attempt: u32) -> io::Result<()> {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_DONE);
+        w.put_varint(shard as u64);
+        w.put_varint(attempt as u64);
+        self.log.append(w.as_bytes())
+    }
+
+    /// Records a failed attempt with its reason.
+    ///
+    /// # Errors
+    ///
+    /// Propagates append I/O failures.
+    pub fn record_failed(&mut self, shard: usize, attempt: u32, reason: &str) -> io::Result<()> {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_FAILED);
+        w.put_varint(shard as u64);
+        w.put_varint(attempt as u64);
+        w.put_str(reason);
+        self.log.append(w.as_bytes())
+    }
+
+    /// Records a shard quarantine after exhausting its attempt budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates append I/O failures.
+    pub fn record_quarantined(&mut self, shard: usize, attempts: u32) -> io::Result<()> {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_QUARANTINED);
+        w.put_varint(shard as u64);
+        w.put_varint(attempts as u64);
+        self.log.append(w.as_bytes())
+    }
+}
+
+fn replay(payload: &[u8], state: &mut ManifestState) -> Result<(), CodecError> {
+    let mut r = ByteReader::new(payload);
+    match r.read_u8()? {
+        TAG_PLAN => {
+            let plan = PlanRecord {
+                fingerprint: r.read_u64()?,
+                shards: r.read_varint()? as usize,
+                cells: r.read_varint()? as usize,
+            };
+            r.finish()?;
+            state.plan = Some(plan);
+        }
+        TAG_CLAIM => {
+            let _shard = r.read_varint()?;
+            let _attempt = r.read_varint()?;
+            let _pid = r.read_varint()?;
+            r.finish()?;
+        }
+        TAG_DONE => {
+            let shard = r.read_varint()? as usize;
+            let _attempt = r.read_varint()?;
+            r.finish()?;
+            state.done.insert(shard);
+        }
+        TAG_FAILED => {
+            let _shard = r.read_varint()?;
+            let _attempt = r.read_varint()?;
+            let _reason = r.read_str()?;
+            r.finish()?;
+            state.failures += 1;
+        }
+        TAG_QUARANTINED => {
+            let shard = r.read_varint()? as usize;
+            let _attempts = r.read_varint()?;
+            r.finish()?;
+            state.quarantined.insert(shard);
+        }
+        tag => {
+            return Err(CodecError::InvalidTag {
+                what: "manifest record",
+                tag: tag as u64,
+            })
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("codesign_shard_manifest_tests")
+            .join(format!(
+                "{name}_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_replay_restores_done_and_quarantined() {
+        let dir = temp_dir("replay");
+        let plan = PlanRecord {
+            fingerprint: 0xfeed_beef,
+            shards: 4,
+            cells: 12,
+        };
+        {
+            let (mut m, state) = Manifest::open(&dir).unwrap();
+            assert!(state.plan.is_none());
+            m.record_plan(plan).unwrap();
+            m.record_claim(0, 0, 111).unwrap();
+            m.record_done(0, 0).unwrap();
+            m.record_claim(1, 0, 222).unwrap();
+            m.record_failed(1, 0, "worker exited with signal 9")
+                .unwrap();
+            m.record_claim(1, 1, 333).unwrap();
+            m.record_failed(1, 1, "lease expired").unwrap();
+            m.record_quarantined(1, 2).unwrap();
+            m.record_claim(2, 0, 444).unwrap();
+            m.record_done(2, 0).unwrap();
+        }
+        let (_m, state) = Manifest::open(&dir).unwrap();
+        assert_eq!(state.plan, Some(plan));
+        assert_eq!(state.done, BTreeSet::from([0, 2]));
+        assert_eq!(state.quarantined, BTreeSet::from([1]));
+        assert_eq!(state.failures, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_supervisor_on_same_dir_is_locked_out() {
+        let dir = temp_dir("locked");
+        let (_first, _) = Manifest::open(&dir).unwrap();
+        match Manifest::open(&dir) {
+            Err(ShardError::Log(codesign_store::LogError::Locked { .. })) => {}
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

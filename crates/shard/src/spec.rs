@@ -1,0 +1,354 @@
+//! The sweep spec: what the supervisor tells its workers to compute.
+//!
+//! A [`SweepSpec`] pins everything a worker needs to reproduce its
+//! slice of the flow's SCD stage bit-for-bit: the full
+//! [`FlowConfig`] (minus parallelism, which never affects results),
+//! the Bundle selection the supervisor computed, and the shard count.
+//! The supervisor writes it once to `spec.bin` in the shard directory;
+//! each worker (including the retry of a crashed one) reads it back
+//! and derives its cell range from its shard index alone.
+//!
+//! # Work grid
+//!
+//! The grid is the flow's own SCD item list: the nested
+//! `FPS target × selected Bundle × quantization arm` loop, flattened
+//! in that exact order into [`Cell`]s with global indices. Shard `i`
+//! of `S` owns the contiguous range [`shard_range`]`(cells, S, i)`.
+//! Contiguity matters for determinism only in that every cell is owned
+//! by exactly one shard; the merge keys on the global cell index, so
+//! any partition would produce the same bytes.
+//!
+//! # File format
+//!
+//! ```text
+//! magic "CDSHSPC1" (8) | payload_len u32 LE | fnv1a(payload) u64 LE | payload
+//! ```
+//!
+//! The payload is the codec encoding of the fields above plus the
+//! [`config_fingerprint`] of the equivalent flow config, re-verified
+//! on read so a worker can never run somebody else's sweep.
+
+use codesign_core::checkpoint::config_fingerprint;
+use codesign_core::flow::FlowConfig;
+use codesign_core::parallel::Parallelism;
+use codesign_dnn::bundle::BundleId;
+use codesign_dnn::quant::Activation;
+use codesign_sim::device::FpgaDevice;
+use codesign_store::{fnv1a, ByteReader, ByteWriter, CodecError};
+use std::ops::Range;
+use std::path::Path;
+
+use crate::ShardError;
+
+/// Magic bytes opening a `spec.bin`.
+pub const SPEC_MAGIC: [u8; 8] = *b"CDSHSPC1";
+
+/// File name of the spec inside a shard directory.
+pub const SPEC_FILE: &str = "spec.bin";
+
+/// The search arms every cell sweeps (the flow's 16-bit and 8-bit
+/// quantization arms, in its exact order).
+pub const ARMS: [Activation; 2] = [Activation::Relu, Activation::Relu4];
+
+/// One cell of the (target × Bundle × arm) work grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Global index in the flattened grid (the merge key).
+    pub index: usize,
+    /// Index of the FPS target in `config.targets_fps`.
+    pub ti: usize,
+    /// The FPS target itself.
+    pub fps: f64,
+    /// The Bundle this cell searches.
+    pub bundle: BundleId,
+    /// Quantization-arm index (0 = Relu, 1 = Relu4) — part of the
+    /// seed-stream id.
+    pub arm: u64,
+    /// The activation the arm index denotes.
+    pub activation: Activation,
+}
+
+/// Everything a worker needs to compute its shard deterministically.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The flow configuration (parallelism is irrelevant to results;
+    /// workers run their cells sequentially).
+    pub config: FlowConfig,
+    /// Bundles selected by the supervisor's coarse stage, in selection
+    /// order.
+    pub selected: Vec<BundleId>,
+    /// Total number of shards the grid is partitioned into.
+    pub shards: usize,
+}
+
+impl SweepSpec {
+    /// The flattened work grid, in the flow's item order.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for (ti, &fps) in self.config.targets_fps.iter().enumerate() {
+            for &bundle in &self.selected {
+                for (arm, activation) in ARMS.into_iter().enumerate() {
+                    cells.push(Cell {
+                        index: cells.len(),
+                        ti,
+                        fps,
+                        bundle,
+                        arm: arm as u64,
+                        activation,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Global cell range owned by `shard`.
+    pub fn shard_cells(&self, shard: usize) -> Range<usize> {
+        shard_range(self.cells().len(), self.shards, shard)
+    }
+
+    /// Serializes the spec to its framed byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        let dev = &self.config.device;
+        w.put_str(&dev.name);
+        w.put_varint(dev.dsp);
+        w.put_varint(dev.lut);
+        w.put_varint(dev.ff);
+        w.put_varint(dev.bram_18k);
+        w.put_f64(dev.dram_bytes_per_cycle);
+        w.put_len(dev.clock_mhz.len());
+        for &mhz in &dev.clock_mhz {
+            w.put_f64(mhz);
+        }
+        w.put_len(self.config.targets_fps.len());
+        for &fps in &self.config.targets_fps {
+            w.put_f64(fps);
+        }
+        w.put_f64(self.config.clock_mhz);
+        w.put_f64(self.config.fps_tolerance);
+        w.put_varint(self.config.candidates_per_bundle as u64);
+        w.put_len(self.config.coarse_pf_sweep.len());
+        for &pf in &self.config.coarse_pf_sweep {
+            w.put_varint(pf as u64);
+        }
+        w.put_varint(self.config.eval_replications as u64);
+        w.put_u64(self.config.seed);
+        w.put_len(self.selected.len());
+        for id in &self.selected {
+            w.put_varint(id.0 as u64);
+        }
+        w.put_varint(self.shards as u64);
+        w.put_u64(config_fingerprint(&self.config));
+        let payload = w.into_bytes();
+
+        let mut framed = Vec::with_capacity(20 + payload.len());
+        framed.extend_from_slice(&SPEC_MAGIC);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        framed
+    }
+
+    /// Parses a spec from its framed byte form, verifying frame
+    /// checksum and config fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Spec`] on a bad frame, [`ShardError::Codec`] on a
+    /// truncated payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ShardError> {
+        if bytes.len() < 20 || bytes[..8] != SPEC_MAGIC {
+            return Err(ShardError::Spec("not a sweep spec (bad magic)".into()));
+        }
+        let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4")) as usize;
+        let checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8"));
+        let payload = bytes
+            .get(20..20 + len)
+            .ok_or_else(|| ShardError::Spec("truncated sweep spec".into()))?;
+        if fnv1a(payload) != checksum {
+            return Err(ShardError::Spec("sweep spec checksum mismatch".into()));
+        }
+        let mut r = ByteReader::new(payload);
+        let spec = Self::decode_payload(&mut r)?;
+        let stored = r.read_u64()?;
+        r.finish()?;
+        let actual = config_fingerprint(&spec.config);
+        if stored != actual {
+            return Err(ShardError::Spec(format!(
+                "sweep spec fingerprint mismatch (stored {stored:#018x}, decoded {actual:#018x})"
+            )));
+        }
+        Ok(spec)
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let name = r.read_str()?;
+        let dsp = r.read_varint()?;
+        let lut = r.read_varint()?;
+        let ff = r.read_varint()?;
+        let bram_18k = r.read_varint()?;
+        let dram_bytes_per_cycle = r.read_f64()?;
+        let n = r.read_len()?;
+        let mut clock_mhz_list = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            clock_mhz_list.push(r.read_f64()?);
+        }
+        let device = FpgaDevice {
+            name,
+            dsp,
+            lut,
+            ff,
+            bram_18k,
+            dram_bytes_per_cycle,
+            clock_mhz: clock_mhz_list,
+        };
+        let n = r.read_len()?;
+        let mut targets_fps = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            targets_fps.push(r.read_f64()?);
+        }
+        let clock_mhz = r.read_f64()?;
+        let fps_tolerance = r.read_f64()?;
+        let candidates_per_bundle = r.read_varint()? as usize;
+        let n = r.read_len()?;
+        let mut coarse_pf_sweep = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            coarse_pf_sweep.push(r.read_varint()? as usize);
+        }
+        let eval_replications = r.read_varint()? as usize;
+        let seed = r.read_u64()?;
+        let n = r.read_len()?;
+        let mut selected = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            selected.push(BundleId(r.read_varint()? as usize));
+        }
+        let shards = r.read_varint()? as usize;
+        Ok(Self {
+            config: FlowConfig {
+                device,
+                targets_fps,
+                clock_mhz,
+                fps_tolerance,
+                candidates_per_bundle,
+                coarse_pf_sweep,
+                eval_replications,
+                seed,
+                // Workers run their cells sequentially; parallelism
+                // never affects results, so it is not part of the spec.
+                parallelism: Parallelism::Fixed(1),
+            },
+            selected,
+            shards,
+        })
+    }
+
+    /// Writes the spec to `dir/spec.bin` (truncating any previous one
+    /// — the content is deterministic for one config, so a restart
+    /// rewrites identical bytes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::write(dir.join(SPEC_FILE), self.to_bytes())
+    }
+
+    /// Reads the spec back from `dir/spec.bin`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures plus everything [`from_bytes`](Self::from_bytes)
+    /// rejects.
+    pub fn read(dir: &Path) -> Result<Self, ShardError> {
+        let bytes = std::fs::read(dir.join(SPEC_FILE))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Contiguous cell range of shard `shard` when `cells` cells are split
+/// into `shards` near-equal parts (the first `cells % shards` shards
+/// get one extra).
+pub fn shard_range(cells: usize, shards: usize, shard: usize) -> Range<usize> {
+    assert!(shard < shards, "shard {shard} out of range 0..{shards}");
+    let lo = cells * shard / shards;
+    let hi = cells * (shard + 1) / shards;
+    lo..hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_sim::device::pynq_z1;
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            config: FlowConfig {
+                targets_fps: vec![10.0, 15.0, 20.0],
+                candidates_per_bundle: 2,
+                coarse_pf_sweep: vec![16],
+                parallelism: Parallelism::Fixed(1),
+                ..FlowConfig::for_device(pynq_z1())
+            },
+            selected: vec![BundleId(1), BundleId(3), BundleId(13)],
+            shards: 4,
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_bytes() {
+        let s = spec();
+        let decoded = SweepSpec::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(decoded.config, s.config);
+        assert_eq!(decoded.selected, s.selected);
+        assert_eq!(decoded.shards, s.shards);
+    }
+
+    #[test]
+    fn corrupt_spec_is_rejected() {
+        let s = spec();
+        let mut bytes = s.to_bytes();
+        // Flip one payload bit.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(SweepSpec::from_bytes(&bytes).is_err());
+        // Truncations are rejected, never garbage-decoded.
+        let whole = s.to_bytes();
+        for keep in 0..whole.len() {
+            assert!(SweepSpec::from_bytes(&whole[..keep]).is_err(), "cut {keep}");
+        }
+    }
+
+    #[test]
+    fn cells_follow_the_flow_item_order() {
+        let s = spec();
+        let cells = s.cells();
+        // 3 targets × 3 bundles × 2 arms.
+        assert_eq!(cells.len(), 18);
+        assert_eq!(cells[0].ti, 0);
+        assert_eq!(cells[0].bundle, BundleId(1));
+        assert_eq!(cells[0].arm, 0);
+        assert_eq!(cells[0].activation, Activation::Relu);
+        assert_eq!(cells[1].arm, 1);
+        assert_eq!(cells[1].activation, Activation::Relu4);
+        assert_eq!(cells[2].bundle, BundleId(3));
+        assert_eq!(cells[6].ti, 1);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_grid_exactly() {
+        for cells in [0usize, 1, 5, 17, 18, 64] {
+            for shards in [1usize, 2, 3, 4, 7, 16] {
+                let mut covered = Vec::new();
+                for s in 0..shards {
+                    covered.extend(shard_range(cells, shards, s));
+                }
+                let expected: Vec<usize> = (0..cells).collect();
+                assert_eq!(covered, expected, "cells={cells} shards={shards}");
+            }
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The supervisor: spawn, lease, reclaim, retry, quarantine, merge.
+//!
+//! [`run`] executes the full co-design flow with its SCD stage fanned
+//! out across worker *processes* (not threads): the supervisor runs
+//! the coarse stage itself, writes the [`SweepSpec`], and then drives
+//! a simple state machine over the shards —
+//!
+//! ```text
+//! pending ──spawn──▶ running ──exit 0 + segment verified──▶ done
+//!    ▲                  │
+//!    │   nonzero exit / signal / lease expired (attempt += 1)
+//!    └──────────────────┤
+//!                       └── attempts > max_retries ──▶ quarantined
+//! ```
+//!
+//! Liveness is lease-based: a running worker must bump its heartbeat
+//! file at least once per lease period or the supervisor `SIGKILL`s it
+//! and reclaims the shard. Exit status is *not* trusted on its own —
+//! a worker that exits 0 with an incomplete segment (torn tail ate its
+//! last cells) is treated as a failure and retried.
+//!
+//! When every shard is done, segments are merged in canonical cell
+//! order and the flow's own merge/finalize recipe reproduces the
+//! in-process [`FlowOutput`] byte for byte — see
+//! [`canonical_output_bytes`](crate::canonical_output_bytes) for what
+//! "byte for byte" means. A run with quarantined shards returns
+//! [`ShardError::Quarantined`] instead of a silently-partial output.
+
+use codesign_core::checkpoint::config_fingerprint;
+use codesign_core::evaluate::EvalMethod;
+use codesign_core::flow::{DesignOutcome, FlowConfig, FlowError, FlowOutput};
+use codesign_core::observe::CancelState;
+use codesign_core::{
+    coarse_evaluate_parallel, select_bundles, AccuracyModel, BundleEvaluation, CancelToken,
+    Candidate,
+};
+use codesign_dnn::bundle::enumerate_bundles;
+use codesign_dnn::DnnBuilder;
+use codesign_faults::SPEC_ENV;
+use codesign_hls::cache::EstimateCache;
+use codesign_hls::codegen::CodeGenerator;
+use codesign_sim::pipeline::{simulate, AccelConfig};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::manifest::{Manifest, PlanRecord};
+use crate::segment::{read_segment, segment_path};
+use crate::spec::SweepSpec;
+use crate::worker::{heartbeat_path, ATTEMPT_ENV, DIR_ENV, INDEX_ENV, WORKER_ENV};
+use crate::ShardError;
+
+/// How the sharded run is laid out and supervised.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Directory holding spec, manifest, segments, and heartbeats.
+    /// Created if absent; reusing a directory resumes its finished
+    /// shards (same config required).
+    pub dir: PathBuf,
+    /// The flow configuration (its `parallelism` only affects the
+    /// supervisor's own coarse stage; workers are single-threaded).
+    pub flow: FlowConfig,
+    /// Maximum worker processes alive at once (minimum 1).
+    pub workers: usize,
+    /// Number of shards to partition the grid into; `0` picks
+    /// `2 × workers`, clamped to the cell count.
+    pub shards: usize,
+    /// Failed attempts a shard may accumulate beyond its first before
+    /// being quarantined (`max_retries = 2` allows 3 attempts total).
+    pub max_retries: u32,
+    /// Heartbeat lease: a worker silent for this long is presumed hung
+    /// and killed.
+    pub lease: Duration,
+    /// The worker binary — normally the supervisor's own executable.
+    /// Tests pass `env!("CARGO_BIN_EXE_codesign-shard")`.
+    pub worker_exe: PathBuf,
+    /// Fault-plan spec to place in each worker's environment (see
+    /// `codesign-faults`); `None` scrubs any inherited spec so chaos
+    /// never leaks into workers by accident.
+    pub fault_spec: Option<String>,
+}
+
+impl ShardConfig {
+    /// A config with conservative supervision defaults: 2 workers,
+    /// auto shard count, 2 retries, 30-second lease, this process's
+    /// own executable as the worker.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`] when the current executable cannot be
+    /// resolved.
+    pub fn new(dir: PathBuf, flow: FlowConfig) -> Result<Self, ShardError> {
+        Ok(Self {
+            dir,
+            flow,
+            workers: 2,
+            shards: 0,
+            max_retries: 2,
+            lease: Duration::from_secs(30),
+            worker_exe: std::env::current_exe()?,
+            fault_spec: None,
+        })
+    }
+}
+
+/// What the supervision layer did, alongside the merged output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shards the grid was partitioned into.
+    pub shards: usize,
+    /// Total grid cells.
+    pub cells: usize,
+    /// Shards reused from a previous run's segments (verified, not
+    /// recomputed).
+    pub reused_shards: usize,
+    /// Failed attempts that were retried.
+    pub retries: u32,
+    /// Leases reclaimed from silent workers (SIGKILL + reassign).
+    pub lease_reclaims: u32,
+}
+
+struct Running {
+    shard: usize,
+    attempt: u32,
+    child: Child,
+    heartbeat: Option<Vec<u8>>,
+    deadline: Instant,
+}
+
+/// Runs the sharded search to completion. Equivalent to
+/// [`run_with_cancel`] with a token that never fires.
+///
+/// # Errors
+///
+/// See [`run_with_cancel`].
+pub fn run(config: &ShardConfig) -> Result<(FlowOutput, ShardReport), ShardError> {
+    run_with_cancel(config, &CancelToken::new())
+}
+
+/// Runs the sharded search to completion, checking `cancel` between
+/// supervision steps (a fired token kills every worker and returns
+/// [`ShardError::Cancelled`]).
+///
+/// # Errors
+///
+/// [`ShardError::Quarantined`] when any shard exhausted its retry
+/// budget; [`ShardError::Spec`] when the directory holds a different
+/// run's plan; plus I/O, log, and flow failures.
+pub fn run_with_cancel(
+    config: &ShardConfig,
+    cancel: &CancelToken,
+) -> Result<(FlowOutput, ShardReport), ShardError> {
+    config.flow.validate()?;
+    std::fs::create_dir_all(&config.dir)?;
+    let cfg = &config.flow;
+    let model = AccuracyModel::paper_calibrated();
+
+    // The coarse stage runs in-process: it is cheap, fully
+    // deterministic, and its output (the Bundle selection) is an input
+    // to the sharding plan itself.
+    let all_bundles = enumerate_bundles();
+    let coarse = coarse_evaluate_parallel(
+        &all_bundles,
+        &cfg.device,
+        &cfg.coarse_pf_sweep,
+        EvalMethod::Replicated {
+            n: cfg.eval_replications,
+        },
+        &model,
+        cfg.clock_mhz,
+        cfg.parallelism.threads(),
+    )
+    .map_err(|e| ShardError::Flow(FlowError::Sim(e)))?;
+    let max_pf = cfg.coarse_pf_sweep.iter().copied().max().unwrap_or(16);
+    let at_max_pf: Vec<BundleEvaluation> = coarse
+        .iter()
+        .filter(|e| e.parallel_factor == max_pf)
+        .cloned()
+        .collect();
+    let selected = select_bundles(&at_max_pf);
+
+    let workers = config.workers.max(1);
+    let cell_count = cfg.targets_fps.len() * selected.len() * crate::spec::ARMS.len();
+    let shards = match config.shards {
+        0 => (2 * workers).clamp(1, cell_count.max(1)),
+        n => n.clamp(1, cell_count.max(1)),
+    };
+    let spec = SweepSpec {
+        config: cfg.clone(),
+        selected: selected.clone(),
+        shards,
+    };
+    spec.write(&config.dir)?;
+    let cells = spec.cells();
+
+    // Manifest: open (exclusive — a second supervisor is locked out),
+    // replay, and either verify or record the plan.
+    let (mut manifest, state) = Manifest::open(&config.dir)?;
+    let plan = PlanRecord {
+        fingerprint: config_fingerprint(cfg),
+        shards,
+        cells: cells.len(),
+    };
+    match state.plan {
+        None => manifest.record_plan(plan)?,
+        Some(existing) if existing == plan => {}
+        Some(existing) => {
+            return Err(ShardError::Spec(format!(
+                "shard directory holds a different run's plan \
+                 (found {existing:?}, this run is {plan:?}) — use a fresh directory"
+            )));
+        }
+    }
+
+    // Re-verify previously-Done shards against their segments; a
+    // recorded Done whose segment lost cells (tampering, partial copy)
+    // is demoted and recomputed rather than trusted.
+    let mut done: BTreeSet<usize> = BTreeSet::new();
+    for &shard in &state.done {
+        if shard >= shards {
+            continue;
+        }
+        let covered = read_segment(&segment_path(&config.dir, shard))?;
+        if spec.shard_cells(shard).all(|i| covered.contains_key(&i)) {
+            done.insert(shard);
+        }
+    }
+    let mut report = ShardReport {
+        shards,
+        cells: cells.len(),
+        reused_shards: done.len(),
+        retries: 0,
+        lease_reclaims: 0,
+    };
+
+    let mut pending: VecDeque<usize> = (0..shards).filter(|s| !done.contains(s)).collect();
+    let mut attempts: Vec<u32> = vec![0; shards];
+    let mut quarantined: BTreeSet<usize> = BTreeSet::new();
+    let mut running: Vec<Running> = Vec::new();
+
+    let kill_all = |running: &mut Vec<Running>| {
+        for r in running.iter_mut() {
+            let _ = r.child.kill();
+            let _ = r.child.wait();
+        }
+        running.clear();
+    };
+
+    let result: Result<(), ShardError> = loop {
+        if done.len() + quarantined.len() == shards {
+            break Ok(());
+        }
+        if cancel.state() != CancelState::Live {
+            break Err(ShardError::Cancelled);
+        }
+
+        // Spawn up to the worker budget.
+        while running.len() < workers {
+            let Some(shard) = pending.pop_front() else {
+                break;
+            };
+            let attempt = attempts[shard];
+            let mut cmd = Command::new(&config.worker_exe);
+            cmd.env(WORKER_ENV, "1")
+                .env(DIR_ENV, &config.dir)
+                .env(INDEX_ENV, shard.to_string())
+                .env(ATTEMPT_ENV, attempt.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit());
+            match &config.fault_spec {
+                Some(s) => cmd.env(SPEC_ENV, s),
+                None => cmd.env_remove(SPEC_ENV),
+            };
+            let child = cmd.spawn()?;
+            manifest.record_claim(shard, attempt, child.id())?;
+            running.push(Running {
+                shard,
+                attempt,
+                child,
+                heartbeat: None,
+                deadline: Instant::now() + config.lease,
+            });
+        }
+
+        // Poll: exits first, then leases.
+        let mut failed: Vec<(usize, String)> = Vec::new();
+        let mut finished: Vec<usize> = Vec::new();
+        for (idx, r) in running.iter_mut().enumerate() {
+            if let Some(status) = r.child.try_wait()? {
+                if status.success() {
+                    let covered = read_segment(&segment_path(&config.dir, r.shard))?;
+                    if spec.shard_cells(r.shard).all(|i| covered.contains_key(&i)) {
+                        manifest.record_done(r.shard, r.attempt)?;
+                        done.insert(r.shard);
+                        finished.push(idx);
+                    } else {
+                        failed.push((idx, "exited 0 with incomplete segment".to_string()));
+                    }
+                } else {
+                    failed.push((idx, format!("worker {status}")));
+                }
+                continue;
+            }
+            // Still running: lease bookkeeping off the heartbeat file.
+            let beat = std::fs::read(heartbeat_path(&config.dir, r.shard)).ok();
+            if beat.is_some() && beat != r.heartbeat {
+                r.heartbeat = beat;
+                r.deadline = Instant::now() + config.lease;
+            } else if Instant::now() > r.deadline {
+                let _ = r.child.kill();
+                let _ = r.child.wait();
+                report.lease_reclaims += 1;
+                failed.push((idx, "lease expired (no heartbeat)".to_string()));
+            }
+        }
+
+        // Remove finished/failed entries back-to-front so indices stay
+        // valid, recording failures against the manifest.
+        let mut remove: Vec<(usize, Option<String>)> = finished
+            .into_iter()
+            .map(|i| (i, None))
+            .chain(failed.into_iter().map(|(i, reason)| (i, Some(reason))))
+            .collect();
+        remove.sort_by_key(|(i, _)| std::cmp::Reverse(*i));
+        for (idx, reason) in remove {
+            let r = running.swap_remove(idx);
+            let Some(reason) = reason else {
+                continue;
+            };
+            manifest.record_failed(r.shard, r.attempt, &reason)?;
+            attempts[r.shard] += 1;
+            if attempts[r.shard] > config.max_retries {
+                manifest.record_quarantined(r.shard, attempts[r.shard])?;
+                quarantined.insert(r.shard);
+            } else {
+                report.retries += 1;
+                pending.push_back(r.shard);
+            }
+        }
+
+        std::thread::sleep(Duration::from_millis(15));
+    };
+
+    kill_all(&mut running);
+    result?;
+    if !quarantined.is_empty() {
+        return Err(ShardError::Quarantined {
+            shards: quarantined.into_iter().collect(),
+        });
+    }
+
+    // Merge: segments in canonical shard order, keyed by global cell
+    // index. Workers are reaped, so segment locks are stale at worst.
+    let mut by_cell: BTreeMap<usize, Vec<Candidate>> = BTreeMap::new();
+    for shard in 0..shards {
+        by_cell.append(&mut read_segment(&segment_path(&config.dir, shard))?);
+    }
+    let missing: Vec<usize> = (0..cells.len())
+        .filter(|i| !by_cell.contains_key(i))
+        .collect();
+    if !missing.is_empty() {
+        return Err(ShardError::IncompleteMerge { missing });
+    }
+    let found: Vec<Vec<Candidate>> = (0..cells.len())
+        .map(|i| by_cell.remove(&i).unwrap())
+        .collect();
+
+    // From here on this is the flow's own merge + finalize recipe,
+    // reproduced over (cells, found) instead of (items, found).
+    let mut candidates: Vec<(f64, Candidate)> = Vec::new();
+    let mut best_per_target: Vec<(f64, Candidate)> = Vec::new();
+    for (ti, &fps) in cfg.targets_fps.iter().enumerate() {
+        let target_candidates: Vec<Candidate> = cells
+            .iter()
+            .zip(&found)
+            .filter(|(cell, _)| cell.ti == ti)
+            .flat_map(|(_, cs)| cs.iter().cloned())
+            .collect();
+        if let Some(best) = target_candidates
+            .iter()
+            .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
+            .cloned()
+        {
+            best_per_target.push((fps, best));
+        }
+        candidates.extend(target_candidates.into_iter().map(|c| (fps, c)));
+    }
+    let mut designs: Vec<DesignOutcome> = Vec::new();
+    for (fps, best) in &best_per_target {
+        if cancel.state() != CancelState::Live {
+            return Err(ShardError::Cancelled);
+        }
+        designs.push(finalize(cfg, *fps, best)?);
+    }
+
+    let output = FlowOutput {
+        coarse,
+        selected_bundles: selected,
+        candidates,
+        designs,
+        // Worker caches died with their processes; the merged output
+        // carries zeroed stats, consistent with "cache stats describe
+        // the run, not the answer".
+        cache_stats: EstimateCache::new().stats(),
+    };
+    Ok((output, report))
+}
+
+/// The flow's finalization step (full simulation + Auto-HLS codegen),
+/// reproduced verbatim so the merged designs match the in-process
+/// flow's bit for bit. Measured quantization is a flow-only option and
+/// stays `None` here.
+fn finalize(
+    cfg: &FlowConfig,
+    target_fps: f64,
+    candidate: &Candidate,
+) -> Result<DesignOutcome, ShardError> {
+    let dnn = DnnBuilder::new()
+        .build(&candidate.point)
+        .expect("search candidates elaborate");
+    let accel = AccelConfig::for_point(&candidate.point);
+    let report =
+        simulate(&dnn, &accel, &cfg.device).map_err(|e| ShardError::Flow(FlowError::Sim(e)))?;
+    let code = CodeGenerator::new(accel).generate(&dnn);
+    let latency_ms = report.latency_ms(cfg.clock_mhz);
+    Ok(DesignOutcome {
+        target_fps,
+        point: candidate.point.clone(),
+        accuracy: candidate.accuracy,
+        latency_ms,
+        fps: 1000.0 / latency_ms,
+        report,
+        code,
+        dnn,
+        measured_iou: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_resolves_current_exe() {
+        let cfg = ShardConfig::new(
+            std::env::temp_dir().join("codesign_shard_cfg"),
+            FlowConfig::for_device(codesign_sim::device::pynq_z1()),
+        )
+        .unwrap();
+        assert!(!cfg.worker_exe.as_os_str().is_empty());
+        assert_eq!(cfg.shards, 0);
+        assert_eq!(cfg.max_retries, 2);
+    }
+
+    #[test]
+    fn spawn_failure_surfaces_as_io_error() {
+        let dir =
+            std::env::temp_dir().join(format!("codesign_shard_badexe_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = ShardConfig::new(
+            dir.clone(),
+            FlowConfig {
+                targets_fps: vec![15.0],
+                candidates_per_bundle: 2,
+                coarse_pf_sweep: vec![16],
+                ..FlowConfig::for_device(codesign_sim::device::pynq_z1())
+            },
+        )
+        .unwrap();
+        cfg.worker_exe = PathBuf::from("/nonexistent/worker/binary");
+        match run(&cfg) {
+            Err(ShardError::Io(_)) => {}
+            other => panic!("expected Io error, got {:?}", other.map(|(_, r)| r)),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

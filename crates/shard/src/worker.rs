@@ -1,0 +1,254 @@
+//! The worker-process side of the sharded search.
+//!
+//! A worker is a re-exec of the supervisor's own binary with a handful
+//! of environment variables (see the `*_ENV` constants) naming the
+//! shard directory, the shard index, and the attempt number. It reads
+//! the [`SweepSpec`], derives its contiguous cell
+//! range from the shard index alone, and appends one record per
+//! computed cell to its private segment log. Everything it computes is
+//! seeded from what the cell *is*, so two attempts at the same shard —
+//! including an attempt resuming after its predecessor was
+//! `kill -9`'d mid-append — write byte-identical records.
+//!
+//! # Liveness protocol
+//!
+//! Before each cell the worker bumps a heartbeat file
+//! ([`heartbeat_path`]) via write-to-temp + rename. The supervisor
+//! considers a worker hung when the heartbeat has not changed for a
+//! full lease period and reclaims the shard with `SIGKILL`. A worker
+//! never *reads* its heartbeat — it is write-only telemetry, so a
+//! corrupt or deleted heartbeat file can slow recovery but never
+//! corrupt results.
+//!
+//! # Fault sites
+//!
+//! Deterministic chaos hooks (see `codesign-faults`), all keyed by
+//! shard index except the per-cell delay:
+//!
+//! * `shard.worker.crash` — on attempt 0, abort mid-append after half
+//!   the shard's pending cells, leaving a torn frame at the tail.
+//! * `shard.worker.poison` — abort on *every* attempt: the shard can
+//!   only be quarantined.
+//! * `shard.worker.hang` — on attempt 0, stop heartbeating and sleep
+//!   until the lease reaper kills the process.
+//! * `shard.cell.delay` — sleep before computing a cell (keyed by the
+//!   cell's global index), widening race windows for kill tests.
+
+use codesign_core::parallel::derive_seed;
+use codesign_core::{scd_search_with_activation, AccuracyModel, ScdConfig};
+use codesign_dnn::bundle::{bundle_by_id, BundleId};
+use codesign_faults::{plan_from_env, FaultAction, FaultPlan};
+use codesign_hls::cache::EstimateCache;
+use codesign_hls::calibrate::calibrate_bundle_with;
+use codesign_hls::model::HlsEstimator;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::segment::{encode_segment_record, open_segment, segment_path};
+use crate::spec::SweepSpec;
+use crate::ShardError;
+
+/// Set (to any value) to make the binary run as a worker.
+pub const WORKER_ENV: &str = "CODESIGN_SHARD_WORKER";
+/// The shard directory (spec, segments, heartbeats, manifest).
+pub const DIR_ENV: &str = "CODESIGN_SHARD_DIR";
+/// This worker's shard index.
+pub const INDEX_ENV: &str = "CODESIGN_SHARD_INDEX";
+/// Attempt number for this shard (0 on first assignment).
+pub const ATTEMPT_ENV: &str = "CODESIGN_SHARD_ATTEMPT";
+
+/// Path of shard `shard`'s heartbeat file inside a shard directory.
+pub fn heartbeat_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("hb-{shard}"))
+}
+
+/// Worker-mode entry point, called first thing in `main`. When the
+/// worker environment is absent this returns immediately; when present
+/// it runs the shard to completion and **exits the process** (0 on
+/// success, 1 on error) — worker processes never fall through into the
+/// CLI.
+pub fn maybe_run_worker() {
+    if std::env::var_os(WORKER_ENV).is_none() {
+        return;
+    }
+    match run_worker_from_env() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("codesign-shard worker failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Result<usize, ShardError> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ShardError::Spec(format!("missing or invalid {name} in worker env")))
+}
+
+fn run_worker_from_env() -> Result<(), ShardError> {
+    let dir = std::env::var_os(DIR_ENV)
+        .map(PathBuf::from)
+        .ok_or_else(|| ShardError::Spec(format!("missing {DIR_ENV} in worker env")))?;
+    let shard = env_usize(INDEX_ENV)?;
+    let attempt = env_usize(ATTEMPT_ENV)?;
+    let faults = plan_from_env().map_err(|e| ShardError::Spec(e.to_string()))?;
+    run_worker(&dir, shard, attempt, faults.as_deref())
+}
+
+/// Bumps the heartbeat atomically (temp + rename). Best-effort: a
+/// heartbeat I/O failure must not kill a healthy worker, so errors are
+/// swallowed — the worst case is the lease reaper recycling us.
+fn beat(dir: &Path, shard: usize, counter: u64) {
+    let path = heartbeat_path(dir, shard);
+    let tmp = dir.join(format!("hb-{shard}.tmp"));
+    let body = format!("pid {}\nbeat {counter}\n", std::process::id());
+    let write = std::fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(body.as_bytes()).and_then(|()| f.sync_all()));
+    if write.is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+fn triggered(faults: Option<&FaultPlan>, site: &str, index: u64) -> Option<FaultAction> {
+    let plan = faults?;
+    match plan.decide_at(site, index) {
+        FaultAction::Proceed => None,
+        action => Some(action),
+    }
+}
+
+/// Runs one shard to completion: read the spec, resume the segment,
+/// compute every remaining cell, append, sync, done.
+///
+/// # Errors
+///
+/// Spec/segment/calibration failures; injected faults abort or hang
+/// the process instead of returning.
+pub fn run_worker(
+    dir: &Path,
+    shard: usize,
+    attempt: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<(), ShardError> {
+    let spec = SweepSpec::read(dir)?;
+    if shard >= spec.shards {
+        return Err(ShardError::Spec(format!(
+            "shard index {shard} out of range 0..{}",
+            spec.shards
+        )));
+    }
+
+    // Poison: this shard aborts on every attempt — only quarantine
+    // ends it.
+    if triggered(faults, "shard.worker.poison", shard as u64).is_some() {
+        beat(dir, shard, 0);
+        std::process::abort();
+    }
+
+    let cells = spec.cells();
+    let range = spec.shard_cells(shard);
+    let (mut log, done) = open_segment(&segment_path(dir, shard))?;
+    let pending: Vec<&crate::Cell> = cells[range]
+        .iter()
+        .filter(|c| !done.contains_key(&c.index))
+        .collect();
+
+    // Crash: on the first attempt, die mid-append after half the
+    // pending cells — the retry resumes from the torn tail.
+    let crash_after =
+        if attempt == 0 && triggered(faults, "shard.worker.crash", shard as u64).is_some() {
+            Some(pending.len() / 2)
+        } else {
+            None
+        };
+    // Hang: on the first attempt, stop heartbeating and wait for the
+    // lease reaper.
+    let hang = attempt == 0 && triggered(faults, "shard.worker.hang", shard as u64).is_some();
+
+    let cfg = &spec.config;
+    let model = AccuracyModel::paper_calibrated();
+    let cache = Arc::new(EstimateCache::new());
+
+    // Calibrate each Bundle this worker actually needs, exactly as the
+    // flow does (deterministic per Bundle × device, so workers that
+    // share a Bundle agree with each other and with the in-process
+    // flow).
+    let mut estimators: BTreeMap<BundleId, HlsEstimator> = BTreeMap::new();
+    for cell in &pending {
+        if estimators.contains_key(&cell.bundle) {
+            continue;
+        }
+        let bundle = bundle_by_id(cell.bundle).ok_or_else(|| {
+            ShardError::Spec(format!("spec selects unknown bundle {}", cell.bundle.0))
+        })?;
+        let params = calibrate_bundle_with(&bundle, &cfg.device, &[1, 2, 3, 4], 96)
+            .map_err(|e| ShardError::Spec(format!("calibration failed: {e}")))?;
+        let estimator =
+            HlsEstimator::new(params, cfg.device.clone()).with_cache(Arc::clone(&cache));
+        estimators.insert(cell.bundle, estimator);
+    }
+
+    let mut beats = 0u64;
+    for (appended, cell) in pending.iter().enumerate() {
+        beats += 1;
+        beat(dir, shard, beats);
+
+        if crash_after == Some(appended) {
+            // Simulate a power-cut / SIGKILL mid-append: a frame header
+            // promising more payload than will ever arrive, then abort
+            // without unwinding.
+            let _ = std::fs::OpenOptions::new()
+                .append(true)
+                .open(segment_path(dir, shard))
+                .and_then(|mut f| {
+                    f.write_all(&1_000u32.to_le_bytes())?;
+                    f.write_all(&0xdead_beef_dead_beefu64.to_le_bytes())?;
+                    f.write_all(&[0xab; 13])?;
+                    f.sync_all()
+                });
+            std::process::abort();
+        }
+        if hang {
+            // Stop heartbeating forever; the supervisor's lease reaper
+            // will SIGKILL us once the lease expires.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        if let Some(FaultAction::Delay(d)) =
+            triggered(faults, "shard.cell.delay", cell.index as u64)
+        {
+            std::thread::sleep(d);
+        }
+
+        let bundle = bundle_by_id(cell.bundle).expect("validated above");
+        let estimator = &estimators[&cell.bundle];
+        let target_ms = 1000.0 / cell.fps;
+        let tolerance_ms = target_ms - 1000.0 / (cell.fps + cfg.fps_tolerance);
+        // Identical to the flow's stream id: what the cell is, never
+        // when or where it runs.
+        let stream = ((cell.ti as u64) << 32) | ((cell.bundle.0 as u64) << 8) | cell.arm;
+        let scd = ScdConfig {
+            latency_target_ms: target_ms,
+            tolerance_ms,
+            clock_mhz: cfg.clock_mhz,
+            candidates: cfg.candidates_per_bundle,
+            max_iterations: 400,
+            seed: derive_seed(cfg.seed, stream),
+        };
+        let found = scd_search_with_activation(&bundle, estimator, &model, &scd, cell.activation);
+        log.append(&encode_segment_record(cell.index, &found))?;
+    }
+    // Edge case: a crash shard with nothing pending (all cells resumed
+    // from the segment) still has to die on attempt 0 so the injection
+    // is observable; there is no append to tear, so a plain abort.
+    if crash_after.is_some() && pending.is_empty() {
+        std::process::abort();
+    }
+    log.sync()?;
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! The headline pin: sharded output is byte-identical to the
+//! in-process flow at any worker count, with or without injected
+//! worker crashes.
+//!
+//! Identity is asserted over [`canonical_output_bytes`] — the same
+//! artifact the CI smoke leg `cmp`s — so "the same result" means the
+//! same coarse records, Bundle selection, Pareto candidates, finalized
+//! design points, objectives, and generated-C checksums, byte for
+//! byte.
+
+use codesign_core::flow::{CoDesignFlow, FlowConfig};
+use codesign_shard::canonical_output_bytes;
+use codesign_shard::supervisor::{run, ShardConfig};
+use codesign_sim::device::pynq_z1;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn flow_config() -> FlowConfig {
+    FlowConfig {
+        targets_fps: vec![15.0],
+        candidates_per_bundle: 2,
+        coarse_pf_sweep: vec![16],
+        ..FlowConfig::for_device(pynq_z1())
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("codesign_shard_determinism")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shard_config(name: &str, workers: usize, fault_spec: Option<&str>) -> ShardConfig {
+    ShardConfig {
+        dir: temp_dir(name),
+        flow: flow_config(),
+        workers,
+        shards: 4,
+        max_retries: 2,
+        lease: Duration::from_secs(60),
+        // Never default to current_exe here: the test harness binary
+        // would re-run the whole suite in every "worker".
+        worker_exe: PathBuf::from(env!("CARGO_BIN_EXE_codesign-shard")),
+        fault_spec: fault_spec.map(str::to_string),
+    }
+}
+
+#[test]
+fn sharded_output_matches_in_process_flow_at_any_worker_count() {
+    let direct = CoDesignFlow::new(flow_config()).run().expect("direct flow");
+    let direct_bytes = canonical_output_bytes(&direct);
+
+    let (out_1, report_1) = run(&shard_config("w1", 1, None)).expect("1-worker run");
+    let (out_4, report_4) = run(&shard_config("w4", 4, None)).expect("4-worker run");
+
+    assert_eq!(
+        canonical_output_bytes(&out_1),
+        direct_bytes,
+        "1-worker sharded output differs from the in-process flow"
+    );
+    assert_eq!(
+        canonical_output_bytes(&out_4),
+        direct_bytes,
+        "4-worker sharded output differs from the in-process flow"
+    );
+
+    // The grid is (1 target × selected Bundles × 2 arms).
+    let expected_cells = direct.selected_bundles.len() * 2;
+    assert_eq!(report_1.cells, expected_cells);
+    assert_eq!(report_4.cells, expected_cells);
+    assert_eq!(report_1.shards, 4);
+    assert_eq!(report_1.retries, 0, "clean run must not retry");
+    assert_eq!(report_4.retries, 0, "clean run must not retry");
+    assert_eq!(report_4.lease_reclaims, 0);
+
+    // The designs themselves (not just their bytes) agree.
+    assert_eq!(direct.candidates, out_4.candidates);
+    assert_eq!(direct.designs.len(), out_4.designs.len());
+    for (a, b) in direct.designs.iter().zip(&out_4.designs) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.code, b.code);
+    }
+}
+
+#[test]
+fn injected_crashes_do_not_change_a_bit() {
+    // Shards 1 and 3 abort mid-append on their first attempt, leaving
+    // torn segment tails; their retries resume from the torn tail.
+    let (crashed, report) = run(&shard_config(
+        "crash",
+        4,
+        Some("seed=7;shard.worker.crash=panic@1,3"),
+    ))
+    .expect("run with injected crashes");
+    assert!(
+        report.retries >= 2,
+        "both injected crashes must show up as retries, got {report:?}"
+    );
+
+    let (clean, clean_report) = run(&shard_config("crash_ref", 1, None)).expect("reference run");
+    assert_eq!(clean_report.retries, 0);
+    assert_eq!(
+        canonical_output_bytes(&crashed),
+        canonical_output_bytes(&clean),
+        "crash-recovered output differs from the clean run"
+    );
+}

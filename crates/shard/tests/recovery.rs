@@ -1,0 +1,139 @@
+//! Recovery pins: a real `kill -9` mid-run, and quarantine + restart.
+//!
+//! These tests exercise the supervision machinery against genuinely
+//! dead processes, not simulated failures: the first SIGKILLs a live
+//! worker found through its heartbeat file, the second poisons a shard
+//! until quarantine and then restarts the sweep in the same directory
+//! to show finished shards are reused and the final bytes still match
+//! a clean run.
+
+use codesign_core::flow::FlowConfig;
+use codesign_shard::supervisor::{run, ShardConfig};
+use codesign_shard::worker::heartbeat_path;
+use codesign_shard::{canonical_output_bytes, ShardError};
+use codesign_sim::device::pynq_z1;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn flow_config() -> FlowConfig {
+    FlowConfig {
+        targets_fps: vec![15.0],
+        candidates_per_bundle: 2,
+        coarse_pf_sweep: vec![16],
+        ..FlowConfig::for_device(pynq_z1())
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("codesign_shard_recovery")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shard_config(dir: PathBuf, workers: usize, fault_spec: Option<&str>) -> ShardConfig {
+    ShardConfig {
+        dir,
+        flow: flow_config(),
+        workers,
+        shards: 2,
+        max_retries: 2,
+        lease: Duration::from_secs(60),
+        worker_exe: PathBuf::from(env!("CARGO_BIN_EXE_codesign-shard")),
+        fault_spec: fault_spec.map(str::to_string),
+    }
+}
+
+/// Parses the `pid N` line of a heartbeat file.
+fn heartbeat_pid(dir: &std::path::Path, shard: usize) -> Option<u32> {
+    let body = std::fs::read_to_string(heartbeat_path(dir, shard)).ok()?;
+    body.lines()
+        .find_map(|line| line.strip_prefix("pid "))
+        .and_then(|pid| pid.trim().parse().ok())
+}
+
+#[test]
+fn kill_nine_mid_append_recovers_byte_identically() {
+    let dir = temp_dir("kill9");
+    // Per-cell delays keep each worker alive for seconds, so the kill
+    // below lands mid-shard, after some appends and before others.
+    let config = shard_config(dir.clone(), 2, Some("seed=1;shard.cell.delay=delay(250)"));
+
+    let supervisor = {
+        let config = config.clone();
+        std::thread::spawn(move || run(&config))
+    };
+
+    // Find a live worker through its heartbeat and SIGKILL it. Retry
+    // until one kill lands — a worker that already exited is ESRCH and
+    // we just try the next poll.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut killed = false;
+    'hunt: while Instant::now() < deadline {
+        for shard in 0..2 {
+            if let Some(pid) = heartbeat_pid(&dir, shard) {
+                let status = std::process::Command::new("kill")
+                    .args(["-9", &pid.to_string()])
+                    .status()
+                    .expect("spawn kill");
+                if status.success() {
+                    killed = true;
+                    break 'hunt;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(killed, "never found a live worker to kill");
+
+    let (output, report) = supervisor
+        .join()
+        .expect("supervisor thread")
+        .expect("run survives a kill -9");
+    assert!(
+        report.retries >= 1,
+        "the SIGKILL'd worker must have been retried, got {report:?}"
+    );
+
+    // Byte identity against a clean single-worker run (no faults, no
+    // delays) in a fresh directory.
+    let (clean, _) = run(&shard_config(temp_dir("kill9_ref"), 1, None)).expect("reference run");
+    assert_eq!(
+        canonical_output_bytes(&output),
+        canonical_output_bytes(&clean),
+        "output after kill -9 recovery differs from the clean run"
+    );
+}
+
+#[test]
+fn poison_shard_is_quarantined_then_restart_completes() {
+    let dir = temp_dir("poison");
+    // Shard 1 aborts on *every* attempt; with max_retries = 1 it burns
+    // 2 attempts and is quarantined. Shard 0 completes normally.
+    let mut config = shard_config(dir.clone(), 2, Some("seed=3;shard.worker.poison=panic@1"));
+    config.max_retries = 1;
+    match run(&config) {
+        Err(ShardError::Quarantined { shards }) => assert_eq!(shards, vec![1]),
+        other => panic!(
+            "expected quarantine, got {:?}",
+            other.map(|(_, report)| report)
+        ),
+    }
+
+    // Restart the sweep in the same directory without the poison: the
+    // finished shard is reused, the quarantined one recomputed.
+    let restart = shard_config(dir, 2, None);
+    let (output, report) = run(&restart).expect("restart completes");
+    assert_eq!(
+        report.reused_shards, 1,
+        "the healthy shard's segment must be reused, got {report:?}"
+    );
+
+    let (clean, _) = run(&shard_config(temp_dir("poison_ref"), 1, None)).expect("reference run");
+    assert_eq!(
+        canonical_output_bytes(&output),
+        canonical_output_bytes(&clean),
+        "post-quarantine restart output differs from the clean run"
+    );
+}

@@ -15,6 +15,10 @@
 //!   loses at most the record being written: on re-open the log scans
 //!   from the start, keeps every record whose length frame and FNV-1a
 //!   checksum validate, and truncates the torn tail.
+//! * [`lock`] — [`LockFile`], the advisory single-writer lock every
+//!   record log acquires by default so two processes can never
+//!   interleave appends into one file; stale locks left by dead
+//!   processes are taken over automatically.
 //!
 //! Domain encodings (estimate records, checkpoint stages) live next to
 //! their types in `codesign-hls` and `codesign-core`; this crate stays
@@ -26,9 +30,11 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod lock;
 pub mod log;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use lock::{LockError, LockFile};
 pub use log::{LogError, LogOptions, RecordLog, StreamKind};
 
 /// FNV-1a over `bytes` — the checksum used for log records and the

@@ -17,10 +17,23 @@
 //! that was being written, never an earlier one.
 //!
 //! The header's [`StreamKind`] tags what the records mean (estimate
-//! store vs flow checkpoint), so pointing one subsystem at the other's
-//! file is a typed [`LogError::WrongKind`] instead of garbage decodes.
+//! store vs flow checkpoint vs shard coordination), so pointing one
+//! subsystem at the other's file is a typed [`LogError::WrongKind`]
+//! instead of garbage decodes.
+//!
+//! # Single-writer guard
+//!
+//! Appends are positioned writes from an in-memory `end` offset, so
+//! two processes appending to one file would silently interleave and
+//! corrupt each other's frames. By default every open therefore
+//! acquires an advisory [`LockFile`] at
+//! `<path>.lock`; a second writer gets a typed [`LogError::Locked`]
+//! instead of a corrupted log, and locks abandoned by dead processes
+//! are taken over automatically. [`LogOptions::lock`] opts out for
+//! callers that coordinate exclusivity themselves.
 
 use crate::fnv1a;
+use crate::lock::{LockError, LockFile};
 use codesign_faults::FaultPlan;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -45,6 +58,10 @@ pub enum StreamKind {
     EstimateStore,
     /// Flow stage checkpoints of `codesign_core::checkpoint`.
     FlowCheckpoint,
+    /// Shard supervisor manifest records of `codesign_shard`.
+    ShardManifest,
+    /// Per-shard worker result segments of `codesign_shard`.
+    ShardSegment,
 }
 
 impl StreamKind {
@@ -52,6 +69,8 @@ impl StreamKind {
         match self {
             StreamKind::EstimateStore => 1,
             StreamKind::FlowCheckpoint => 2,
+            StreamKind::ShardManifest => 3,
+            StreamKind::ShardSegment => 4,
         }
     }
 
@@ -59,6 +78,8 @@ impl StreamKind {
         match v {
             1 => Some(StreamKind::EstimateStore),
             2 => Some(StreamKind::FlowCheckpoint),
+            3 => Some(StreamKind::ShardManifest),
+            4 => Some(StreamKind::ShardSegment),
             _ => None,
         }
     }
@@ -69,6 +90,8 @@ impl fmt::Display for StreamKind {
         match self {
             StreamKind::EstimateStore => write!(f, "estimate-store"),
             StreamKind::FlowCheckpoint => write!(f, "flow-checkpoint"),
+            StreamKind::ShardManifest => write!(f, "shard-manifest"),
+            StreamKind::ShardSegment => write!(f, "shard-segment"),
         }
     }
 }
@@ -93,6 +116,13 @@ pub enum LogError {
         /// Kind tag found in the header (raw, may be unknown).
         found: u32,
     },
+    /// Another live process holds the log's advisory writer lock.
+    Locked {
+        /// Path of the contended lock file.
+        lock_path: PathBuf,
+        /// Pid recorded in the lock file.
+        owner_pid: u32,
+    },
 }
 
 impl fmt::Display for LogError {
@@ -109,6 +139,28 @@ impl fmt::Display for LogError {
             LogError::WrongKind { expected, found } => {
                 write!(f, "log holds stream kind {found}, expected {expected}")
             }
+            LogError::Locked {
+                lock_path,
+                owner_pid,
+            } => {
+                write!(
+                    f,
+                    "log locked by live pid {owner_pid} ({})",
+                    lock_path.display()
+                )
+            }
+        }
+    }
+}
+
+impl From<LockError> for LogError {
+    fn from(e: LockError) -> Self {
+        match e {
+            LockError::Held { path, owner_pid } => LogError::Locked {
+                lock_path: path,
+                owner_pid,
+            },
+            LockError::Io(e) => LogError::Io(e),
         }
     }
 }
@@ -139,7 +191,7 @@ pub struct Recovery {
 }
 
 /// Durability and fault-injection knobs for a [`RecordLog`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LogOptions {
     /// `fsync` after every [`append`](RecordLog::append), so each
     /// acknowledged record is on stable storage before the call
@@ -152,6 +204,22 @@ pub struct LogOptions {
     /// (`store.open`, `store.append`, `store.sync`). `None` — the
     /// production configuration — costs one `Option` check per call.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Acquire the advisory single-writer [`LockFile`] at
+    /// `<path>.lock` for the lifetime of the log. On by default; a
+    /// second writer then fails with [`LogError::Locked`] instead of
+    /// interleaving appends. Turn off only when the caller guarantees
+    /// exclusivity by other means.
+    pub lock: bool,
+}
+
+impl Default for LogOptions {
+    fn default() -> Self {
+        Self {
+            sync_on_append: false,
+            faults: None,
+            lock: true,
+        }
+    }
 }
 
 /// An append-only log open for reading and appending.
@@ -163,6 +231,8 @@ pub struct RecordLog {
     end: u64,
     sync_on_append: bool,
     faults: Option<Arc<FaultPlan>>,
+    /// Advisory single-writer lock; releases on drop.
+    lock: Option<LockFile>,
 }
 
 impl RecordLog {
@@ -196,6 +266,11 @@ impl RecordLog {
         if let Some(plan) = &options.faults {
             plan.fail_io("store.open")?;
         }
+        let lock = if options.lock {
+            Some(LockFile::acquire(&lock_path(path))?)
+        } else {
+            None
+        };
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -218,6 +293,7 @@ impl RecordLog {
                     end: HEADER_LEN,
                     sync_on_append: options.sync_on_append,
                     faults: options.faults,
+                    lock,
                 },
                 Vec::new(),
                 Recovery::default(),
@@ -275,6 +351,7 @@ impl RecordLog {
                 end: offset as u64,
                 sync_on_append: options.sync_on_append,
                 faults: options.faults,
+                lock,
             },
             records,
             recovery,
@@ -344,6 +421,58 @@ impl RecordLog {
     pub fn len_bytes(&self) -> u64 {
         self.end
     }
+
+    /// Whether this log holds the advisory single-writer lock (see
+    /// [`LogOptions::lock`]).
+    pub fn holds_lock(&self) -> bool {
+        self.lock.is_some()
+    }
+
+    /// Releases the advisory single-writer lock without closing the
+    /// log. After this another writer may open the same path, so the
+    /// caller must guarantee no further appends race it — the intended
+    /// use is a graceful shutdown that keeps the handle alive (e.g. a
+    /// server whose owner outlives its final sync). Idempotent; a
+    /// no-op for logs opened with [`LogOptions::lock`] off.
+    pub fn unlock(&mut self) {
+        self.lock = None;
+    }
+
+    /// Atomically replaces this log's backing file with the
+    /// already-written log at `replacement` (a `rename`), keeping the
+    /// advisory lock held across the swap. Compaction uses this: write
+    /// a fresh log beside the original, then swap it in so readers
+    /// only ever see a complete file.
+    ///
+    /// The caller guarantees `replacement` is a complete, synced log
+    /// of the same stream kind whose own handle (and lock) has been
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rename/reopen failures; on error the original file
+    /// may already have been replaced, but the log is reopened from
+    /// whatever is at its path on the next open.
+    pub fn swap_in(&mut self, replacement: &Path) -> io::Result<()> {
+        std::fs::rename(replacement, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        let end = file.metadata()?.len();
+        file.seek(SeekFrom::Start(end))?;
+        self.file = file;
+        self.end = end;
+        Ok(())
+    }
+}
+
+/// Sibling lock-file path guarding the log at `path` (full file name
+/// plus a `.lock` suffix, so `a.log` and `a.log2` never collide).
+pub fn lock_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".lock");
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -496,7 +625,7 @@ mod tests {
         {
             let options = LogOptions {
                 sync_on_append: true,
-                faults: None,
+                ..LogOptions::default()
             };
             let (mut log, _, _) =
                 RecordLog::open_with(&path, StreamKind::EstimateStore, options).unwrap();
@@ -520,8 +649,8 @@ mod tests {
             .io_failures("store.append", 1.0)
             .build();
         let options = LogOptions {
-            sync_on_append: false,
             faults: Some(plan.clone()),
+            ..LogOptions::default()
         };
         let (mut log, _, _) =
             RecordLog::open_with(&path, StreamKind::EstimateStore, options).unwrap();
@@ -549,12 +678,81 @@ mod tests {
             .io_failures("store.open", 1.0)
             .build();
         let options = LogOptions {
-            sync_on_append: false,
             faults: Some(plan),
+            ..LogOptions::default()
         };
         let err = RecordLog::open_with(&path, StreamKind::EstimateStore, options).unwrap_err();
         assert!(matches!(err, LogError::Io(_)));
         assert!(!path.exists());
+        assert!(!lock_path(&path).exists());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn second_writer_is_rejected_while_log_is_open() {
+        let path = temp_path("single_writer");
+        cleanup(&path);
+        let (mut log, _, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        assert!(log.holds_lock());
+        log.append(b"one").unwrap();
+        // A concurrent open of the same file is a typed lock error,
+        // not an interleaved writer.
+        let err = RecordLog::open(&path, StreamKind::EstimateStore).unwrap_err();
+        match err {
+            LogError::Locked { owner_pid, .. } => assert_eq!(owner_pid, std::process::id()),
+            other => panic!("expected Locked, got {other}"),
+        }
+        // Releasing the first writer releases the lock.
+        drop(log);
+        assert!(!lock_path(&path).exists());
+        let (_, records, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        assert_eq!(records, vec![b"one".to_vec()]);
+        cleanup(&path);
+        let _ = std::fs::remove_file(lock_path(&path));
+    }
+
+    #[test]
+    fn lock_opt_out_allows_a_second_handle() {
+        let path = temp_path("lock_opt_out");
+        cleanup(&path);
+        let options = LogOptions {
+            lock: false,
+            ..LogOptions::default()
+        };
+        let (_a, _, _) =
+            RecordLog::open_with(&path, StreamKind::EstimateStore, options.clone()).unwrap();
+        let (_b, _, _) = RecordLog::open_with(&path, StreamKind::EstimateStore, options).unwrap();
+        assert!(!lock_path(&path).exists());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn swap_in_replaces_contents_atomically() {
+        let path = temp_path("swap_in");
+        let tmp = temp_path("swap_in_tmp");
+        cleanup(&path);
+        cleanup(&tmp);
+        let (mut log, _, _) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        log.append(b"old-a").unwrap();
+        log.append(b"old-b").unwrap();
+        {
+            let options = LogOptions {
+                lock: false,
+                ..LogOptions::default()
+            };
+            let (mut fresh, _, _) =
+                RecordLog::open_with(&tmp, StreamKind::EstimateStore, options).unwrap();
+            fresh.append(b"compacted").unwrap();
+            fresh.sync().unwrap();
+        }
+        log.swap_in(&tmp).unwrap();
+        // Appends continue into the swapped-in file.
+        log.append(b"after-swap").unwrap();
+        drop(log);
+        let (_, records, recovery) = RecordLog::open(&path, StreamKind::EstimateStore).unwrap();
+        assert_eq!(records, vec![b"compacted".to_vec(), b"after-swap".to_vec()]);
+        assert_eq!(recovery.truncated_bytes, 0);
+        assert!(!tmp.exists());
         cleanup(&path);
     }
 
